@@ -1,0 +1,53 @@
+"""Figure 2 — AX speedup and compression ratio vs alpha, per dataset.
+
+Benchmarks the two competing kernels (CSR SpMM baseline and CBM SpMM) at
+several alphas, then prints the full Figure 2 grid: measured sequential
+wall-clock speedup, scalar-operation ratio, and modelled 1-core/16-core
+speedups at paper scale.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import run_figure2
+from repro.core.builder import build_cbm
+from repro.graphs.datasets import load_dataset
+from repro.sparse.ops import spmm
+
+from conftest import ALL, FAST, write_report
+
+P = 500
+ALPHAS = (0, 2, 8, 32)
+
+
+@pytest.fixture(scope="module")
+def operand(rng):
+    def make(a):
+        return rng.random((a.shape[1], P), dtype=np.float64).astype(np.float32)
+
+    return make
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_csr_spmm_baseline(benchmark, name, operand):
+    a = load_dataset(name)
+    x = operand(a)
+    benchmark(lambda: spmm(a, x))
+
+
+@pytest.mark.parametrize("alpha", ALPHAS)
+@pytest.mark.parametrize("name", FAST)
+def test_cbm_spmm(benchmark, name, alpha, operand):
+    a = load_dataset(name)
+    cbm, _ = build_cbm(a, alpha=alpha)
+    x = operand(a)
+    benchmark(lambda: cbm.matmul(x))
+
+
+def test_report_figure2(benchmark):
+    def run():
+        rows, text = run_figure2(datasets=ALL, alphas=(0, 1, 2, 4, 8, 16, 32), p=P, measure_wall=False)
+        write_report("figure2_alpha_sweep", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+

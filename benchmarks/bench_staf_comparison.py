@@ -1,0 +1,74 @@
+"""Related-work comparison: CSR vs CBM vs STAF (paper Section VII).
+
+STAF (Nishino et al. 2014) shares only common row *suffixes*; CBM
+compresses whole rows differentially.  This benchmark quantifies the gap
+the paper argues qualitatively: on clustered graphs CBM compresses and
+accelerates far more, while STAF's trie still beats CSR slightly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.graphs.datasets import load_dataset
+from repro.sparse.ops import spmm
+from repro.staf import build_staf
+from repro.utils.fmt import format_table
+
+from conftest import ALL, FAST, write_report
+
+P = 256
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_staf_build(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: build_staf(a))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_staf_spmm(benchmark, name, rng):
+    a = load_dataset(name)
+    st = build_staf(a)
+    x = rng.random((a.shape[1], P), dtype=np.float64).astype(np.float32)
+    benchmark(lambda: st.matmul(x))
+
+
+def test_report_staf_comparison(benchmark):
+    def run():
+        rows = []
+        for name in ALL:
+            a = load_dataset(name)
+            st = build_staf(a)
+            cbm, rep = build_cbm(a, alpha=0)
+            p = P
+            ops_csr = 2 * a.nnz * p
+            rows.append(
+                [
+                    name,
+                    f"{rep.compression_ratio:.2f}",
+                    f"{st.compression_ratio():.2f}",
+                    f"{ops_csr / max(cbm.scalar_ops(p).total, 1):.2f}",
+                    f"{ops_csr / max(st.scalar_ops(p), 1):.2f}",
+                    cbm.num_deltas,
+                    st.num_nodes,
+                    a.nnz,
+                ]
+            )
+        text = format_table(
+            [
+                "Graph",
+                "CBM ratio",
+                "STAF ratio",
+                "CBM ops x",
+                "STAF ops x",
+                "CBM deltas",
+                "STAF nodes",
+                "nnz",
+            ],
+            rows,
+            title="Related work — CBM vs STAF vs CSR (alpha=0, p=256)",
+        )
+        write_report("staf_comparison", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,41 @@
+"""Table I — dataset statistics.
+
+Benchmarks the dataset generators and the statistics kernels, then prints
+the Table I comparison (stand-in vs paper numbers).
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table1
+from repro.graphs.datasets import REGISTRY, load_dataset
+from repro.graphs.stats import average_clustering_coefficient, compute_stats
+
+from conftest import FAST, write_report
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_generate_dataset(benchmark, name):
+    spec = REGISTRY[name]
+    benchmark(spec.build)
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_stats_without_clustering(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: compute_stats(a, clustering=False))
+
+
+@pytest.mark.parametrize("name", ("Cora", "ca-HepPh"))
+def test_clustering_coefficient(benchmark, name):
+    """The paper notes this costs about as much as CBM compression."""
+    a = load_dataset(name)
+    benchmark(lambda: average_clustering_coefficient(a))
+
+
+def test_report_table1(benchmark):
+    def run():
+        _, text = run_table1()
+        write_report("table1_datasets", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+

@@ -1,0 +1,61 @@
+"""Table II — CBM construction time and compression ratio (alpha 0 / 32).
+
+Benchmarks the full compression pipeline per dataset and alpha, plus its
+stages (candidate generation, spanning structure, delta extraction), then
+prints the Table II comparison.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table2
+from repro.core.builder import build_cbm
+from repro.core.deltas import build_delta_matrix
+from repro.core.distance import candidate_edges
+from repro.core.mst import kruskal_mst
+from repro.core.arborescence import minimum_arborescence
+from repro.graphs.datasets import load_dataset
+
+from conftest import FAST, write_report
+
+
+@pytest.mark.parametrize("alpha", [0, 32])
+@pytest.mark.parametrize("name", FAST)
+def test_build_cbm(benchmark, name, alpha):
+    a = load_dataset(name)
+    benchmark(lambda: build_cbm(a, alpha=alpha))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_stage_candidate_edges(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: candidate_edges(a, None))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_stage_mst(benchmark, name):
+    a = load_dataset(name)
+    g = candidate_edges(a, None)
+    benchmark(lambda: kruskal_mst(g))
+
+
+@pytest.mark.parametrize("name", ("Cora", "ca-HepPh"))
+def test_stage_arborescence(benchmark, name):
+    a = load_dataset(name)
+    g = candidate_edges(a, 8)
+    benchmark(lambda: minimum_arborescence(g))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_stage_delta_extraction(benchmark, name):
+    a = load_dataset(name)
+    tree = kruskal_mst(candidate_edges(a, None))
+    benchmark(lambda: build_delta_matrix(a, tree))
+
+
+def test_report_table2(benchmark):
+    def run():
+        _, text = run_table2()
+        write_report("table2_compression", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+

@@ -1,0 +1,54 @@
+"""Table III — AX / ADX / DADX kernels at the paper's best alphas.
+
+Benchmarks all three multiplication flavours for CSR and CBM, then prints
+the Table III comparison with the paper's speedups alongside.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import PAPER_BEST_ALPHA, run_table3
+from repro.core.builder import build_cbm
+from repro.graphs.datasets import load_dataset
+from repro.sparse.ops import spmm
+
+from conftest import ALL, FAST, write_report
+
+P = 500
+
+
+def _diag(n):
+    return (np.random.default_rng(13).random(n) + 0.5).astype(np.float64)
+
+
+@pytest.mark.parametrize("variant", ["A", "AD", "DAD"])
+@pytest.mark.parametrize("name", FAST)
+def test_cbm_variant_kernel(benchmark, name, variant, rng):
+    a = load_dataset(name)
+    alpha = PAPER_BEST_ALPHA[name][0]
+    diag = None if variant == "A" else _diag(a.shape[0])
+    cbm, _ = build_cbm(a, alpha=alpha, variant=variant, diag=diag)
+    x = rng.random((a.shape[1], P), dtype=np.float64).astype(np.float32)
+    benchmark(lambda: cbm.matmul(x))
+
+
+@pytest.mark.parametrize("variant", ["A", "AD", "DAD"])
+@pytest.mark.parametrize("name", FAST)
+def test_csr_variant_kernel(benchmark, name, variant, rng):
+    a = load_dataset(name)
+    if variant != "A":
+        d = _diag(a.shape[0])
+        a = a.scale_columns(d)
+        if variant == "DAD":
+            a = a.scale_rows(d)
+    x = rng.random((a.shape[1], P), dtype=np.float64).astype(np.float32)
+    benchmark(lambda: spmm(a, x))
+
+
+def test_report_table3(benchmark):
+    def run():
+        _, text = run_table3(datasets=ALL, p=P, measure_wall=False)
+        write_report("table3_variants", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+

@@ -1,0 +1,70 @@
+"""Table IV — two-layer GCN inference, CSR vs CBM.
+
+Benchmarks the paper's exact inference expression Â σ(Â X W⁰) W¹ with the
+adjacency held in each format, plus the training-step extension, then
+prints the Table IV comparison.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import PAPER_BEST_ALPHA, run_table4
+from repro.gnn.adjacency import make_operator
+from repro.gnn.data import synthetic_node_classification
+from repro.gnn.gcn import GCN, two_layer_gcn_inference
+from repro.gnn.train import cross_entropy
+from repro.graphs.datasets import load_dataset
+
+from conftest import ALL, FAST, write_report
+
+P = 500
+
+
+def _weights(rng, p):
+    w0 = (rng.random((p, p), dtype=np.float64).astype(np.float32) - 0.5) / np.sqrt(p)
+    w1 = (rng.random((p, p), dtype=np.float64).astype(np.float32) - 0.5) / np.sqrt(p)
+    return w0, w1
+
+
+@pytest.mark.parametrize("kind", ["csr", "cbm"])
+@pytest.mark.parametrize("name", FAST)
+def test_gcn_inference(benchmark, name, kind, rng):
+    a = load_dataset(name)
+    alpha = PAPER_BEST_ALPHA[name][0]
+    op = make_operator(a, kind, alpha=alpha)
+    x = rng.random((a.shape[0], P), dtype=np.float64).astype(np.float32)
+    w0, w1 = _weights(rng, P)
+    benchmark(lambda: two_layer_gcn_inference(op, x, w0, w1))
+
+
+@pytest.mark.parametrize("kind", ["csr", "cbm"])
+def test_gcn_training_step(benchmark, kind):
+    """Future-work extension: one forward+backward through Â in each format."""
+    task = synthetic_node_classification(1500, classes=4, feature_dim=64, seed=0)
+    op = make_operator(task.adjacency, kind, alpha=4)
+    model = GCN([64, 64, 4], seed=1, requires_grad=True)
+
+    def step():
+        logits = model.forward(op, task.features)
+        _, grad = cross_entropy(logits, task.labels, task.train_mask)
+        model.backward(op, grad)
+
+    benchmark(step)
+
+
+def test_report_table4(benchmark):
+    def run():
+        _, text = run_table4(datasets=ALL, p=P, measure_wall=False)
+        write_report("table4_gcn", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_report_training_extension(benchmark):
+    def run():
+        from repro.bench.experiments import run_training_table
+
+        _, text = run_training_table()
+        write_report("training_extension", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Table V — average clustering coefficient vs compression ratio.
+
+Benchmarks the clustering-coefficient kernel against the compression
+pipeline (the paper observes they cost about the same), then prints the
+sorted Table V correlation.
+"""
+
+import pytest
+
+from repro.bench.experiments import run_table5
+from repro.core.builder import build_cbm
+from repro.graphs.datasets import load_dataset
+from repro.graphs.stats import average_clustering_coefficient, triangle_counts
+
+from conftest import ALL, FAST, write_report
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_clustering_vs_compression_clustering_side(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: average_clustering_coefficient(a))
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_clustering_vs_compression_compression_side(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: build_cbm(a, alpha=0))
+
+
+@pytest.mark.parametrize("name", ("Cora",))
+def test_triangle_kernel(benchmark, name):
+    a = load_dataset(name)
+    benchmark(lambda: triangle_counts(a))
+
+
+def test_report_table5(benchmark):
+    def run():
+        _, text = run_table5(datasets=ALL)
+        write_report("table5_clustering", text)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+

@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Every ``bench_*`` module regenerates one of the paper's exhibits: the
+pytest-benchmark entries time the underlying kernels, and each module's
+``test_report_*`` function renders the paper-shaped comparison table to
+stdout and to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.graphs.datasets import load_dataset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Datasets ordered small to large; heavy benchmarks use the FAST subset.
+ALL = (
+    "Cora",
+    "PubMed",
+    "ca-HepPh",
+    "ca-AstroPh",
+    "ogbn-proteins",
+    "COLLAB",
+    "coPapersDBLP",
+    "coPapersCiteseer",
+)
+FAST = ("Cora", "ca-HepPh", "COLLAB")
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a rendered table under benchmarks/results/ and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[written to {path}]")
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(2025)
+
+
+@pytest.fixture(scope="session", params=FAST)
+def fast_dataset(request):
+    """(name, adjacency) pairs for the timing-heavy benchmarks."""
+    return request.param, load_dataset(request.param)

@@ -1,0 +1,67 @@
+"""Analyse CBM compressibility across graph families (Tables II & V).
+
+Sweeps every registered dataset, reporting compression ratio, clustering
+coefficient, and the alpha trade-off — a compact reproduction of the
+paper's compression narrative.
+
+Run:  python examples/compression_analysis.py
+"""
+
+from repro import build_cbm, list_datasets, load_dataset, paper_stats
+from repro.graphs.stats import average_clustering_coefficient
+from repro.utils.fmt import format_table
+
+
+def main() -> None:
+    rows = []
+    for name in list_datasets():
+        a = load_dataset(name)
+        cc = average_clustering_coefficient(a)
+        ratios = {}
+        branches = {}
+        for alpha in (0, 8, 32):
+            cbm, rep = build_cbm(a, alpha=alpha)
+            ratios[alpha] = rep.compression_ratio
+            branches[alpha] = rep.roots
+        ps = paper_stats(name)
+        rows.append(
+            [
+                name,
+                f"{a.nnz / a.shape[0]:.1f}",
+                f"{cc:.2f}",
+                f"{ratios[0]:.2f}",
+                f"{ps.compression_ratio_a0:.2f}",
+                f"{ratios[8]:.2f}",
+                f"{ratios[32]:.2f}",
+                branches[0],
+                branches[32],
+            ]
+        )
+    rows.sort(key=lambda r: float(r[3]))
+    print(
+        format_table(
+            [
+                "Graph",
+                "AvgDeg",
+                "Clustering",
+                "Ratio(a=0)",
+                "Paper(a=0)",
+                "Ratio(a=8)",
+                "Ratio(a=32)",
+                "Roots(a=0)",
+                "Roots(a=32)",
+            ],
+            rows,
+            title="CBM compressibility by family (sorted by ratio)",
+        )
+    )
+    print(
+        "\nTakeaways (matching the paper): clique-projection families"
+        " (co-papers, COLLAB) compress 6-11x; low-degree citation graphs"
+        " barely compress; raising alpha trades compression for more"
+        " virtual-root branches (parallelism)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Mini-batch GNN deployment on CBM-compressed receptive fields.
+
+Serving predictions for a handful of nodes doesn't need the full graph:
+each batch materialises its k-hop receptive field, compresses that small
+subgraph into CBM on the fly, and runs the model.  This example checks
+the batched path against full-batch inference and reports the receptive
+field / compression statistics per batch.
+
+Run:  python examples/minibatch_deployment.py
+"""
+
+import numpy as np
+
+from repro import build_cbm, load_dataset
+from repro.gnn.adjacency import make_operator
+from repro.gnn.gcn import GCN
+from repro.gnn.sampling import induced_subgraph, k_hop_neighborhood, minibatch_inference
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    a = load_dataset("ca-HepPh")
+    n = a.shape[0]
+    rng = np.random.default_rng(0)
+    x = rng.random((n, 64), dtype=np.float64).astype(np.float32)
+    model = GCN([64, 32, 4], seed=1)
+
+    targets = rng.choice(n, size=96, replace=False)
+
+    full = model(make_operator(a, "csr"), x)
+
+    with Timer() as t:
+        batched = minibatch_inference(
+            a, x, model, targets, hops=2, batch_size=32, kind="cbm", alpha=2
+        )
+    err = np.max(np.abs(batched - full[targets]))
+    print(f"batched CBM inference for {len(targets)} targets in {t.elapsed:.2f}s")
+    print(f"max deviation vs full-batch: {err:.2e} (haloed 2-hop fields are exact)")
+
+    # Per-batch anatomy: field size and its compressibility.
+    print("\nper-batch receptive fields:")
+    for lo in range(0, len(targets), 32):
+        batch = targets[lo : lo + 32]
+        field = k_hop_neighborhood(a, batch, 2)
+        sub, _ = induced_subgraph(a, field)
+        _, rep = build_cbm(sub, alpha=2)
+        print(
+            f"  batch {lo // 32}: {len(batch)} targets -> {len(field)} field nodes, "
+            f"{sub.nnz} edges, CBM ratio {rep.compression_ratio:.2f}x "
+            f"(built in {rep.seconds * 1e3:.0f} ms)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Train a GCN for node classification on a CBM-compressed graph.
+
+The paper's future-work section targets the training stage: every epoch
+multiplies Â with activations (forward) and gradients (backward), and the
+symmetric Â serves both directions from one CBM matrix.
+
+Run:  python examples/node_classification_training.py
+"""
+
+from repro.gnn.adjacency import make_operator
+from repro.gnn.data import synthetic_node_classification
+from repro.gnn.gcn import GCN
+from repro.gnn.train import accuracy, train_gcn
+from repro.utils.timing import Timer
+
+
+def main() -> None:
+    task = synthetic_node_classification(
+        1200, classes=4, feature_dim=32, feature_noise=2.5, seed=7
+    )
+    print(
+        f"planted-partition task: {task.n} nodes, {task.num_classes} classes, "
+        f"{int(task.train_mask.sum())} labelled for training"
+    )
+
+    results = {}
+    for kind in ("csr", "cbm"):
+        op = make_operator(task.adjacency, kind, alpha=2)
+        model = GCN([32, 32, task.num_classes], dropout=0.2, seed=0, requires_grad=True)
+        with Timer() as t:
+            history = train_gcn(
+                model,
+                op,
+                task.features,
+                task.labels,
+                train_mask=task.train_mask,
+                val_mask=task.val_mask,
+                epochs=100,
+                lr=0.02,
+            )
+        logits = model.forward(op, task.features)
+        test_acc = accuracy(logits, task.labels, task.test_mask)
+        results[kind] = (t.elapsed, history.final_loss, test_acc)
+        print(
+            f"[{kind}] 100 epochs in {t.elapsed:.2f}s | final loss "
+            f"{history.final_loss:.4f} | test accuracy {test_acc:.3f}"
+        )
+
+    csr_t, _, csr_acc = results["csr"]
+    cbm_t, _, cbm_acc = results["cbm"]
+    print(f"\ntraining speedup with CBM: {csr_t / cbm_t:.2f}x")
+    print(f"accuracy difference: {abs(csr_acc - cbm_acc):.4f} (formats are numerically equivalent)")
+
+
+if __name__ == "__main__":
+    main()

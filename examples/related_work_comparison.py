@@ -1,0 +1,81 @@
+"""Compare CBM against the related-work formats on one graph.
+
+Reproduces Section VII's qualitative claims quantitatively:
+
+* STAF (Nishino et al. 2014) shares only common row suffixes — it
+  compresses, but far less than CBM's whole-row deltas;
+* Björklund–Lingas (2001) differential compression lacks the virtual
+  node, so it can *lose* to CSR (no Property 1/2 guarantees).
+
+Run:  python examples/related_work_comparison.py [dataset]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import build_bl2001, build_cbm, load_dataset
+from repro.core.opcount import csr_spmm_ops
+from repro.sparse.ops import spmm
+from repro.staf import build_staf
+from repro.utils.fmt import format_table, human_bytes
+from repro.utils.timing import measure
+
+
+def main(name: str = "coPapersCiteseer") -> None:
+    a = load_dataset(name)
+    p = 256
+    x = np.random.default_rng(0).random((a.shape[1], p), dtype=np.float64)
+    x = x.astype(np.float32)
+    t_csr = measure(lambda: spmm(a, x), max_repeats=10).mean
+    ops_csr = csr_spmm_ops(a, p).total
+
+    cbm, rep = build_cbm(a, alpha=0)
+    staf = build_staf(a)
+    bl, rep_bl = build_bl2001(a)
+
+    rows = [
+        [
+            "CSR (baseline)",
+            human_bytes(8 * a.nnz + 4 * (a.shape[0] + 1)),
+            "1.00",
+            f"{ops_csr:,}",
+            "1.00",
+            "1.00",
+        ]
+    ]
+    for label, obj, ratio, ops, fn in (
+        ("CBM (this paper)", cbm, rep.compression_ratio, cbm.scalar_ops(p).total,
+         lambda: cbm.matmul(x)),
+        ("STAF (Nishino'14)", staf, staf.compression_ratio(), staf.scalar_ops(p),
+         lambda: staf.matmul(x)),
+        ("BL (Björklund'01)", bl, rep_bl.compression_ratio, bl.scalar_ops(p).total,
+         lambda: bl.matmul(x)),
+    ):
+        t = measure(fn, max_repeats=10).mean
+        rows.append(
+            [
+                label,
+                human_bytes(obj.memory_bytes()),
+                f"{ratio:.2f}",
+                f"{ops:,}",
+                f"{ops_csr / max(ops, 1):.2f}",
+                f"{t_csr / t:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["Format", "Memory", "Ratio", "SpMM ops", "Ops speedup", "Wall speedup"],
+            rows,
+            title=f"Related-work comparison on {name} (alpha=0, p={p})",
+        )
+    )
+    print(
+        "\nCBM's whole-row deltas dominate STAF's suffix sharing on clustered"
+        "\ngraphs, and the virtual node keeps it from ever doing worse than"
+        "\nCSR — the guarantee BL lacks."
+    )
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "coPapersCiteseer")

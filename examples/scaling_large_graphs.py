@@ -1,0 +1,62 @@
+"""Compressing graphs too large for the global builder (Section VIII).
+
+The paper reports the global construction exploding to 92 GiB on Reddit
+because the ``A @ Aᵀ`` overlap computation densifies.  This example shows
+the production decision procedure implemented here:
+
+1. estimate the overlap intermediate with
+   :func:`repro.core.verify.estimate_candidate_memory`;
+2. if it exceeds budget, use the future-work *clustered* builder, which
+   only forms overlaps inside row-similarity clusters;
+3. quantify what the bounded build gives up (compression) and gains
+   (parallel branches, bounded memory).
+
+Run:  python examples/scaling_large_graphs.py
+"""
+
+from repro import build_cbm, build_clustered, load_dataset
+from repro.core.verify import estimate_candidate_memory
+from repro.utils.fmt import format_table, human_bytes
+
+
+def main() -> None:
+    name = "ogbn-proteins"  # densest stand-in: worst A·Aᵀ blow-up
+    a = load_dataset(name)
+    estimate = estimate_candidate_memory(a)
+    print(f"{name}: {a.shape[0]} nodes, {a.nnz} edges")
+    print(f"estimated A·Aᵀ intermediate: {human_bytes(estimate)}")
+    print(f"(CSR itself is only {human_bytes(a.memory_bytes())} — the paper's")
+    print(" Reddit case hit 92 GiB from 0.9 GiB of CSR this way)\n")
+
+    rows = []
+    cbm, rep = build_cbm(a, alpha=0)
+    rows.append(
+        ["global", f"{rep.seconds:.2f}", f"{rep.compression_ratio:.2f}", rep.roots,
+         human_bytes(16 * rep.candidate_edges)]
+    )
+    for size in (2048, 512, 128):
+        cbm_c, rep_c = build_clustered(a, cluster_size=size)
+        rows.append(
+            [
+                f"clustered[{size}]",
+                f"{rep_c.seconds:.2f}",
+                f"{rep_c.compression_ratio:.2f}",
+                rep_c.roots,
+                human_bytes(16 * rep_c.candidate_edges),
+            ]
+        )
+    print(
+        format_table(
+            ["Builder", "Time[s]", "Ratio", "Branches(roots)", "CandidateMem"],
+            rows,
+            title="Global vs memory-bounded clustered construction",
+        )
+    )
+    print(
+        "\nSmaller clusters bound the overlap memory and add parallel branches;"
+        "\nthe compression cost is the price of never forming the full A·Aᵀ."
+    )
+
+
+if __name__ == "__main__":
+    main()

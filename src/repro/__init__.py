@@ -1,0 +1,57 @@
+"""repro — Compressed Binary Matrix (CBM) format for accelerating GNNs.
+
+A full reproduction of *"Accelerating Graph Neural Networks Using a Novel
+Computation-Friendly Matrix Compression Format"* (Alves et al., IPDPS
+2025): the CBM compression format, its AX/ADX/DADX multiplication kernels,
+the parallel update-stage machinery, a GNN stack (GCN/GIN/GraphSAGE), and
+the full benchmark harness for every table and figure in the paper.
+
+Quickstart::
+
+    import numpy as np
+    from repro import build_cbm, load_dataset
+
+    a = load_dataset("ca-HepPh")              # binary adjacency, CSR
+    cbm, report = build_cbm(a, alpha=4)       # compress
+    x = np.random.rand(a.shape[1], 500).astype(np.float32)
+    y = cbm @ x                                # CBM SpMM
+    assert np.allclose(y, a @ x, rtol=1e-4)
+    print(report.compression_ratio)
+"""
+
+from repro.core.builder import BuildReport, build_cbm, build_clustered
+from repro.core.bl2001 import build_bl2001
+from repro.core.io import load_cbm, save_cbm
+from repro.core.verify import verify_cbm
+from repro.core.cbm import CBMMatrix, Variant
+from repro.core.tree import CompressionTree, VIRTUAL
+from repro.graphs.datasets import list_datasets, load_dataset, paper_stats
+from repro.graphs.laplacian import gcn_normalization, normalized_adjacency
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BuildReport",
+    "build_cbm",
+    "build_clustered",
+    "build_bl2001",
+    "load_cbm",
+    "save_cbm",
+    "verify_cbm",
+    "CBMMatrix",
+    "Variant",
+    "CompressionTree",
+    "VIRTUAL",
+    "list_datasets",
+    "load_dataset",
+    "paper_stats",
+    "gcn_normalization",
+    "normalized_adjacency",
+    "CSRMatrix",
+    "COOMatrix",
+    "CSCMatrix",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Benchmark harness: timing protocol, experiment runners, table rendering.
+
+One module per paper exhibit lives in :mod:`repro.bench.experiments`; the
+scripts under ``benchmarks/`` are thin wrappers that run them under
+pytest-benchmark and print paper-vs-measured tables.
+"""
+
+from repro.bench.harness import BenchResult, compare, time_kernel
+from repro.bench.experiments import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_figure2,
+)
+
+__all__ = [
+    "BenchResult",
+    "compare",
+    "time_kernel",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_figure2",
+]

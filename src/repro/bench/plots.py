@@ -1,0 +1,112 @@
+"""ASCII line charts for terminal-friendly benchmark output.
+
+The paper's Figure 2 is eight speedup-vs-alpha panels; this renderer
+reproduces their shape in plain text so EXPERIMENTS.md and CLI output can
+show the curves, not just the numbers, without any plotting dependency.
+
+The canvas maps series onto a character grid; multiple series get
+distinct glyphs and a legend.  X positions use the *index* of each sample
+(the paper's alpha axis is categorical: 0, 1, 2, 4, 8, 16, 32).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def _format_tick(v: float) -> str:
+    if v == int(v) and abs(v) < 1000:
+        return str(int(v))
+    return f"{v:.2f}"
+
+
+def ascii_chart(
+    x_labels: Sequence[object],
+    series: dict[str, Sequence[float]],
+    *,
+    height: int = 12,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render one or more series over categorical x positions.
+
+    ``series`` maps legend names to equal-length value sequences; the
+    y-axis is scaled to the data (0 is included when all values are
+    non-negative, so bar-like comparisons stay honest).
+    """
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1 or lengths.pop() != len(x_labels):
+        raise ValueError("all series must match the length of x_labels")
+    if height < 3:
+        raise ValueError(f"height must be >= 3, got {height}")
+    glyphs = "*o+x#@%&"
+    values = [v for vs in series.values() for v in vs if not math.isnan(v)]
+    if not values:
+        raise ValueError("series contain no finite values")
+    vmax = max(values)
+    vmin = min(values)
+    if vmin > 0:
+        vmin = 0.0
+    if vmax == vmin:
+        vmax = vmin + 1.0
+
+    width = len(x_labels)
+    col_width = max(max(len(str(lbl)) for lbl in x_labels) + 1, 4)
+    grid = [[" "] * (width * col_width) for _ in range(height)]
+
+    def row_of(v: float) -> int:
+        frac = (v - vmin) / (vmax - vmin)
+        return int(round((height - 1) * (1.0 - frac)))
+
+    for si, (name, vals) in enumerate(series.items()):
+        glyph = glyphs[si % len(glyphs)]
+        for xi, v in enumerate(vals):
+            if math.isnan(v):
+                continue
+            grid[row_of(v)][xi * col_width + col_width // 2] = glyph
+
+    y_ticks = [vmax, (vmax + vmin) / 2, vmin]
+    tick_rows = {0: y_ticks[0], (height - 1) // 2: y_ticks[1], height - 1: y_ticks[2]}
+    margin = max(len(_format_tick(t)) for t in y_ticks) + 1
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(f"{y_label}")
+    for r in range(height):
+        tick = _format_tick(tick_rows[r]) if r in tick_rows else ""
+        lines.append(f"{tick.rjust(margin)}|{''.join(grid[r])}")
+    axis = "-" * (width * col_width)
+    lines.append(f"{' ' * margin}+{axis}")
+    labels = "".join(str(lbl).center(col_width) for lbl in x_labels)
+    lines.append(f"{' ' * margin} {labels}")
+    legend = "   ".join(
+        f"{glyphs[i % len(glyphs)]} {name}" for i, name in enumerate(series)
+    )
+    lines.append(f"{' ' * margin} legend: {legend}")
+    return "\n".join(lines)
+
+
+def figure2_panel(
+    alphas: Sequence[int],
+    seq_speedup: Sequence[float],
+    par_speedup: Sequence[float],
+    ratio: Sequence[float],
+    *,
+    graph: str,
+) -> str:
+    """One panel of the paper's Figure 2 as an ASCII chart."""
+    return ascii_chart(
+        list(alphas),
+        {
+            "seq speedup": list(seq_speedup),
+            "par speedup (16c)": list(par_speedup),
+            "compression ratio": list(ratio),
+        },
+        title=f"Figure 2 — {graph} (x: alpha)",
+        height=12,
+    )

@@ -1,0 +1,221 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the registered paper datasets and their stand-in statistics.
+``stats <graph>``
+    Degree/clustering/memory statistics of a dataset or MatrixMarket file.
+``compress <graph> [-a ALPHA] [-o OUT.npz]``
+    Compress to CBM, print the Table-II-style report, optionally persist.
+``inspect <file.npz>``
+    Summarise a stored CBM archive.
+``bench <graph> [-a ALPHA] [-p COLUMNS]``
+    Time CSR vs CBM SpMM on this machine and print the model's 1/16-core
+    predictions at paper scale (for registry datasets).
+
+``<graph>`` is a registry name (see ``datasets``) or a path to a
+MatrixMarket ``.mtx`` file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+import numpy as np
+
+from repro.core.builder import build_cbm
+from repro.core.io import load_cbm, save_cbm
+from repro.graphs.datasets import REGISTRY, load_dataset, paper_stats
+from repro.graphs.stats import compute_stats
+from repro.parallel.simulate import predict_cbm_spmm, predict_csr_spmm
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.io import load_matrix_market
+from repro.sparse.ops import spmm
+from repro.utils.fmt import format_table, human_bytes, human_time
+from repro.utils.timing import measure
+
+
+def _load_graph(spec: str) -> tuple[str, CSRMatrix]:
+    if spec in REGISTRY:
+        return spec, load_dataset(spec)
+    if os.path.exists(spec):
+        a = load_matrix_market(spec)
+        a.data.fill(1)  # treat any weights as structure
+        return os.path.basename(spec), a
+    raise SystemExit(
+        f"unknown graph {spec!r}: not a registered dataset "
+        f"({', '.join(sorted(REGISTRY))}) and not a file"
+    )
+
+
+def cmd_datasets(_args) -> int:
+    rows = []
+    for name, spec in REGISTRY.items():
+        a = load_dataset(name)
+        ps = spec.paper
+        rows.append(
+            [
+                name,
+                spec.family,
+                a.shape[0],
+                a.nnz,
+                f"{a.nnz / a.shape[0]:.1f}",
+                ps.nodes,
+                ps.edges,
+            ]
+        )
+    print(
+        format_table(
+            ["Name", "Family", "Nodes", "Edges", "AvgDeg", "Nodes(paper)", "Edges(paper)"],
+            rows,
+            title="Registered datasets (synthetic stand-ins; paper originals on the right)",
+        )
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    name, a = _load_graph(args.graph)
+    st = compute_stats(a, clustering=not args.no_clustering)
+    print(f"{name}: {st.nodes} nodes, {st.edges} undirected edges")
+    print(f"  average degree        {st.average_degree:.2f}")
+    if not args.no_clustering:
+        print(f"  average clustering    {st.average_clustering:.3f}")
+    print(f"  CSR footprint         {human_bytes(st.csr_bytes)}")
+    return 0
+
+
+def cmd_compress(args) -> int:
+    name, a = _load_graph(args.graph)
+    cbm, rep = build_cbm(a, alpha=args.alpha)
+    print(f"{name}: compressed in {human_time(rep.seconds)} (alpha={args.alpha})")
+    print(f"  candidate edges       {rep.candidate_edges}")
+    print(f"  tree edges / roots    {rep.tree_edges} / {rep.roots}")
+    print(f"  deltas vs nnz         {rep.total_deltas} / {rep.source_nnz}")
+    print(f"  S_CBM                 {human_bytes(rep.memory_bytes)}")
+    print(f"  compression ratio     {rep.compression_ratio:.2f}x")
+    if args.output:
+        save_cbm(args.output, cbm)
+        print(f"  written to            {args.output}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    cbm = load_cbm(args.file)
+    st = cbm.stats()
+    rows = [[k, v if not isinstance(v, float) else f"{v:.4f}"] for k, v in st.items()]
+    print(format_table(["field", "value"], rows, title=f"CBM archive {args.file}"))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    name, a = _load_graph(args.graph)
+    cbm, rep = build_cbm(a, alpha=args.alpha)
+    x = np.random.default_rng(0).random((a.shape[1], args.columns), dtype=np.float64)
+    x = x.astype(np.float32)
+    t_csr = measure(lambda: spmm(a, x), max_repeats=args.repeats)
+    t_cbm = measure(lambda: cbm.matmul(x), max_repeats=args.repeats)
+    print(f"{name} (alpha={args.alpha}, p={args.columns}, ratio={rep.compression_ratio:.2f}x)")
+    print(f"  CSR SpMM   {human_time(t_csr.mean)} +- {human_time(t_csr.std)}")
+    print(f"  CBM SpMM   {human_time(t_cbm.mean)} +- {human_time(t_cbm.std)}")
+    print(f"  measured speedup (1 core): {t_csr.mean / t_cbm.mean:.2f}x")
+    if args.graph in REGISTRY:
+        ps = paper_stats(args.graph)
+        s_nnz = ps.edges / a.nnz
+        s_rows = ps.nodes / a.shape[0]
+        for cores in (1, 16):
+            c = predict_csr_spmm(a, args.columns, cores=cores, scale_nnz=s_nnz, scale_rows=s_rows)
+            b = predict_cbm_spmm(cbm, args.columns, cores=cores, scale_nnz=s_nnz, scale_rows=s_rows)
+            print(f"  model speedup at paper scale ({cores:2d} cores): {c.total_s / b.total_s:.2f}x")
+    return 0
+
+
+def cmd_model(args) -> int:
+    from repro.parallel.report import cost_breakdown, render_breakdown
+
+    name, a = _load_graph(args.graph)
+    cbm, rep = build_cbm(a, alpha=args.alpha)
+    if args.graph in REGISTRY:
+        ps = paper_stats(args.graph)
+        s_nnz = ps.edges / a.nnz
+        s_rows = ps.nodes / a.shape[0]
+        scale_note = "paper scale"
+    else:
+        s_nnz = s_rows = 1.0
+        scale_note = "native scale"
+    rows = cost_breakdown(a, cbm, args.columns, scale_nnz=s_nnz, scale_rows=s_rows)
+    print(
+        render_breakdown(
+            rows,
+            f"Machine-model cost breakdown — {name} (alpha={args.alpha}, "
+            f"p={args.columns}, ratio={rep.compression_ratio:.2f}x, {scale_note})",
+        )
+    )
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.core.verify import verify_cbm
+
+    name, a = _load_graph(args.graph)
+    cbm, _ = build_cbm(a, alpha=args.alpha)
+    report = verify_cbm(cbm, a, runs=args.runs, columns=args.columns)
+    print(f"{name}: {report}")
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="CBM format toolkit (paper reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list registered datasets").set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("stats", help="graph statistics")
+    p.add_argument("graph")
+    p.add_argument("--no-clustering", action="store_true", help="skip the triangle count")
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("compress", help="compress a graph to CBM")
+    p.add_argument("graph")
+    p.add_argument("-a", "--alpha", type=int, default=0)
+    p.add_argument("-o", "--output", help="write the CBM archive here (.npz)")
+    p.set_defaults(fn=cmd_compress)
+
+    p = sub.add_parser("inspect", help="summarise a stored CBM archive")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("model", help="machine-model cost breakdown (CSR vs CBM, 1/16 cores)")
+    p.add_argument("graph")
+    p.add_argument("-a", "--alpha", type=int, default=0)
+    p.add_argument("-p", "--columns", type=int, default=500)
+    p.set_defaults(fn=cmd_model)
+
+    p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
+    p.add_argument("graph")
+    p.add_argument("-a", "--alpha", type=int, default=0)
+    p.add_argument("--runs", type=int, default=10)
+    p.add_argument("--columns", type=int, default=100)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bench", help="time CSR vs CBM SpMM")
+    p.add_argument("graph")
+    p.add_argument("-a", "--alpha", type=int, default=4)
+    p.add_argument("-p", "--columns", type=int, default=500)
+    p.add_argument("--repeats", type=int, default=15)
+    p.set_defaults(fn=cmd_bench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,211 @@
+"""Minimum-cost arborescence (Chu–Liu/Edmonds) for pruned distance graphs.
+
+With edge pruning enabled (alpha > 0, Section V-C) the distance graph is
+directed, so the compression tree is a minimum-cost arborescence rooted at
+the virtual node.  This module implements Chu–Liu/Edmonds from scratch
+with full parent recovery:
+
+1.  Every non-root node picks its cheapest incoming edge (vectorised
+    argmin per destination).
+2.  If the picked edges are acyclic they form the arborescence.
+3.  Otherwise every cycle is contracted into a supernode, entering-edge
+    weights are reduced by the cycle edge they displace, and the algorithm
+    recurses on the contracted multigraph.  Expansion walks the
+    contraction levels backwards: inside each cycle all picked edges are
+    kept except the one entering the node where the external edge lands.
+
+Each contraction round is O(E) NumPy work; the number of rounds is bounded
+by the number of simultaneous cycles, small in practice.  Total complexity
+matches the paper's stated O(n² log n) bound on dense graphs and is far
+lower on the pruned graphs it is actually applied to.
+
+Ties are broken toward virtual-node edges, mirroring the MST tie rule
+(worthless compression opportunities go to the adjacency-list case, which
+also raises the virtual root's out-degree — the parallelism knob of
+Section V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distance import DistanceGraph
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import CompressionError
+
+
+def _pick_min_incoming(
+    src: np.ndarray, dst: np.ndarray, w: np.ndarray, is_real: np.ndarray, nodes: int, root: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cheapest incoming edge index per node (or -1); ties prefer virtual."""
+    pick = np.full(nodes, -1, dtype=np.int64)
+    minw = np.zeros(nodes, dtype=np.int64)
+    if len(src) == 0:
+        return pick, minw
+    order = np.lexsort((is_real, w, dst))
+    sd = dst[order]
+    first = np.ones(len(sd), dtype=bool)
+    first[1:] = sd[1:] != sd[:-1]
+    sel = order[first]
+    pick[dst[sel]] = sel
+    minw[dst[sel]] = w[sel]
+    pick[root] = -1
+    return pick, minw
+
+
+def _find_cycles(pick: np.ndarray, src: np.ndarray, nodes: int, root: int) -> list[np.ndarray]:
+    """Cycles in the functional graph v -> src[pick[v]] (root excluded)."""
+    color = np.zeros(nodes, dtype=np.int8)  # 0 unseen, 1 on stack, 2 done
+    cycles: list[np.ndarray] = []
+    for start in range(nodes):
+        if color[start] != 0 or start == root:
+            continue
+        path = []
+        v = start
+        while v != root and color[v] == 0 and pick[v] >= 0:
+            color[v] = 1
+            path.append(v)
+            v = int(src[pick[v]])
+        if v != root and color[v] == 1 and pick[v] >= 0:
+            # Found a new cycle: the tail of `path` starting at v.
+            k = path.index(v)
+            cycles.append(np.asarray(path[k:], dtype=np.int64))
+        for u in path:
+            color[u] = 2
+    return cycles
+
+
+def minimum_arborescence(g: DistanceGraph) -> CompressionTree:
+    """Minimum-cost arborescence of the virtual-rooted distance graph.
+
+    Accepts directed *or* undirected distance graphs (an undirected graph
+    is expanded to both orientations first — on symmetric weights the
+    result has the same cost as the MST, a property the test suite pins).
+    """
+    n = g.n
+    if g.directed:
+        e_src, e_dst, e_w = g.src, g.dst, g.weight
+    else:
+        e_src = np.concatenate([g.src, g.dst])
+        e_dst = np.concatenate([g.dst, g.src])
+        e_w = np.concatenate([g.weight, g.weight])
+    root = n
+    # Combined edge arrays; original edge ids index into these.
+    src0 = np.concatenate([e_src, np.full(n, root, dtype=np.int64)])
+    dst0 = np.concatenate([e_dst, np.arange(n, dtype=np.int64)])
+    w0 = np.concatenate([e_w, g.row_nnz]).astype(np.int64)
+    is_real0 = np.concatenate(
+        [np.ones(len(e_src), dtype=np.int8), np.zeros(n, dtype=np.int8)]
+    )
+
+    # Current contracted graph.
+    src, dst, w = src0.copy(), dst0.copy(), w0.copy()
+    is_real = is_real0.copy()
+    eid = np.arange(len(src0), dtype=np.int64)
+    nodes = n + 1
+    cur_root = root
+
+    # Per-level records for expansion.
+    levels: list[dict] = []
+
+    for _ in range(n + 1):
+        pick, minw = _pick_min_incoming(src, dst, w, is_real, nodes, cur_root)
+        missing = np.flatnonzero(pick < 0)
+        missing = missing[missing != cur_root]
+        if len(missing):
+            raise CompressionError(
+                f"arborescence: node(s) {missing[:5]} have no incoming edge"
+            )
+        cycles = _find_cycles(pick, src, nodes, cur_root)
+        if not cycles:
+            chosen = {int(v): int(eid[pick[v]]) for v in range(nodes) if v != cur_root}
+            selected = set(chosen.values())
+            break
+
+        # Contract all cycles simultaneously.
+        node_map = np.full(nodes, -1, dtype=np.int64)
+        in_cycle = np.zeros(nodes, dtype=bool)
+        for c in cycles:
+            in_cycle[c] = True
+        new_id = 0
+        for v in range(nodes):
+            if not in_cycle[v]:
+                node_map[v] = new_id
+                new_id += 1
+        cycle_ids = []
+        for c in cycles:
+            node_map[c] = new_id
+            cycle_ids.append(new_id)
+            new_id += 1
+
+        levels.append(
+            {
+                # eid is strictly increasing (arange filtered by masks), so
+                # level-local dst lookups can use searchsorted at expansion.
+                "eid": eid,
+                "dst": dst,
+                "nodes": nodes,
+                "pick_eid": {
+                    int(v): int(eid[pick[v]]) for v in range(nodes) if v != cur_root
+                },
+                "cycles": cycles,
+                "cycle_ids": cycle_ids,
+            }
+        )
+
+        # Reduced weights: edges entering a cycle pay w - minw[dst].
+        adj_w = w - np.where(in_cycle[dst], minw[dst], 0)
+        new_src = node_map[src]
+        new_dst = node_map[dst]
+        keep = new_src != new_dst
+        src, dst, w = new_src[keep], new_dst[keep], adj_w[keep]
+        is_real, eid = is_real[keep], eid[keep]
+        nodes = new_id
+        cur_root = int(node_map[cur_root])
+    else:  # pragma: no cover - guarded by CompressionError paths
+        raise CompressionError("arborescence failed to converge")
+
+    # Expand contractions from the last (most contracted) level outward:
+    # after processing a level, `selected` is an arborescence on that
+    # level's pre-contraction node set.  Entry-edge lookups are vectorised:
+    # map every selected edge to its level-local dst at once, then to the
+    # cycle that dst belongs to (a selected edge whose level dst is inside
+    # a cycle is exactly the unique external edge entering that supernode —
+    # same-cycle edges were self-loops and never survived the contraction).
+    for level in reversed(levels):
+        level_eid, level_dst = level["eid"], level["dst"]
+        sel_arr = np.fromiter(selected, dtype=np.int64, count=len(selected))
+        pos = np.searchsorted(level_eid, sel_arr)
+        pos_clip = np.minimum(pos, len(level_eid) - 1)
+        present = level_eid[pos_clip] == sel_arr
+        dsts = level_dst[pos_clip[present]]
+        cyc_of = np.full(level["nodes"], -1, dtype=np.int64)
+        for ci, c in enumerate(level["cycles"]):
+            cyc_of[c] = ci
+        hit = cyc_of[dsts] >= 0
+        entry_node = dict(zip(cyc_of[dsts[hit]].tolist(), dsts[hit].tolist()))
+        for ci, c in enumerate(level["cycles"]):
+            if ci not in entry_node:
+                raise CompressionError("expansion: no edge enters contracted cycle")
+            t = entry_node[ci]
+            for v in c:
+                if int(v) != t:
+                    selected.add(level["pick_eid"][int(v)])
+
+    # Selected edges now form the arborescence on original nodes.
+    parent = np.full(n, VIRTUAL, dtype=np.int64)
+    weight = np.zeros(n, dtype=np.int64)
+    seen = np.zeros(n, dtype=bool)
+    for e in selected:
+        t = int(dst0[e])
+        if t == root:
+            raise CompressionError("expansion: selected edge enters the root")
+        if seen[t]:
+            raise CompressionError(f"expansion: two selected edges enter row {t}")
+        seen[t] = True
+        s = int(src0[e])
+        parent[t] = VIRTUAL if s == root else s
+        weight[t] = int(w0[e])
+    if not seen.all():
+        raise CompressionError("expansion: some rows received no parent")
+    return CompressionTree(parent=parent, weight=weight)

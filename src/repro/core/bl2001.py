@@ -1,0 +1,113 @@
+"""Björklund–Lingas (WADS 2001) differential compression — ablation.
+
+The paper's closest theoretical ancestor (Section VII) also builds an MST
+over row Hamming distances, but *without* the virtual node: each
+connected component of the similarity graph is spanned by an MST rooted
+at its lightest row, and rows keep their tree parent even when the deltas
+exceed the row's own nnz.  Consequently it lacks the paper's Property 1
+(compressed size ≤ nnz) and Property 2 (ops ≤ sparse baseline).
+
+Implementing it against the same delta/CBM machinery lets the test suite
+and benchmarks demonstrate *why* the virtual node matters: on graphs with
+dissimilar-but-overlapping rows the BL tree is measurably worse, and on
+every input ``total_deltas(BL) >= total_deltas(CBM)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.builder import BuildReport
+from repro.core.cbm import CBMMatrix, Variant
+from repro.core.deltas import build_delta_matrix
+from repro.core.distance import DistanceGraph
+from repro.core.mst import UnionFind
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import NotBinaryError, ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import sparse_sparse_matmul
+
+import time
+
+
+def _all_overlap_edges(a: CSRMatrix) -> DistanceGraph:
+    """Un-pruned undirected similarity edges (every overlapping pair).
+
+    Unlike :func:`repro.core.distance.candidate_edges`, no safety filter
+    is applied — the filter's correctness argument routes through the
+    virtual node, which this scheme does not have.
+    """
+    aat = sparse_sparse_matmul(a, a.transpose())
+    coo = aat.tocoo()
+    keep = coo.rows > coo.cols
+    xs, ys, ov = coo.rows[keep], coo.cols[keep], coo.data[keep].astype(np.int64)
+    nnz = a.row_nnz().astype(np.int64)
+    w = nnz[xs] + nnz[ys] - 2 * ov
+    return DistanceGraph(
+        n=a.shape[0], src=xs, dst=ys, weight=w, row_nnz=nnz, directed=False, alpha=None
+    )
+
+
+def build_bl2001(a: CSRMatrix) -> tuple[CBMMatrix, BuildReport]:
+    """Compress ``a`` with the Björklund–Lingas construction.
+
+    Returns the same container type as :func:`~repro.core.builder.build_cbm`
+    (the multiplication kernels are shared), so the two schemes can be
+    compared on identical footing.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError(f"BL compression requires a square matrix, got {a.shape}")
+    if not a.is_binary():
+        raise NotBinaryError("BL compression requires a binary matrix")
+    t0 = time.perf_counter()
+    g = _all_overlap_edges(a)
+    n = g.n
+    order = np.argsort(g.weight, kind="stable")
+    uf = UnionFind(n)
+    chosen: list[tuple[int, int, int]] = []
+    for k in order:
+        u, v, w = int(g.src[k]), int(g.dst[k]), int(g.weight[k])
+        if uf.union(u, v):
+            chosen.append((u, v, w))
+    # Per-component root: the row with the fewest non-zeros.
+    adj: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+    for u, v, w in chosen:
+        adj[u].append((v, w))
+        adj[v].append((u, w))
+    comp_root: dict[int, int] = {}
+    nnz = g.row_nnz
+    for x in range(n):
+        r = uf.find(x)
+        if r not in comp_root or nnz[x] < nnz[comp_root[r]]:
+            comp_root[r] = x
+    parent = np.full(n, VIRTUAL, dtype=np.int64)
+    weight = nnz.copy()
+    visited = np.zeros(n, dtype=bool)
+    for root in comp_root.values():
+        stack = [root]
+        visited[root] = True
+        while stack:
+            u = stack.pop()
+            for v, w in adj[u]:
+                if not visited[v]:
+                    visited[v] = True
+                    parent[v] = u
+                    weight[v] = w  # kept even when w > nnz(v): no Property 1
+                    stack.append(v)
+    tree = CompressionTree(parent=parent, weight=weight)
+    delta = build_delta_matrix(a, tree)
+    elapsed = time.perf_counter() - t0
+    cbm = CBMMatrix(
+        tree=tree, delta=delta, variant=Variant.A, source_nnz=a.nnz, alpha=None
+    )
+    report = BuildReport(
+        seconds=elapsed,
+        candidate_edges=g.num_edges,
+        tree_edges=tree.num_tree_edges,
+        roots=int(len(tree.roots)),
+        total_deltas=delta.nnz,
+        source_nnz=a.nnz,
+        memory_bytes=cbm.memory_bytes(),
+        compression_ratio=cbm.compression_ratio(),
+    )
+    return cbm, report

@@ -1,0 +1,321 @@
+"""The Compressed Binary Matrix (CBM) — public container and kernels.
+
+A :class:`CBMMatrix` holds a binary matrix ``A`` (or its column/row scaled
+forms ``AD`` / ``DAD``) as a compression tree plus a CSR delta matrix, and
+multiplies with dense operands per Sections IV–V of the paper:
+
+1. **Multiplication stage** — one sparse-dense product ``A′ @ B`` (or
+   ``(AD)′ @ B``) on the shared high-performance backend.
+2. **Update stage** — propagate partial results down the compression tree.
+   The paper performs one ``axpy`` per tree edge in topological order;
+   here edges are grouped by tree depth and each level is applied as one
+   vectorised batched row addition (parents of level-k rows live strictly
+   above level k, so a level is dependency-free).  The per-edge variant is
+   retained for the ablation benchmark, and the branch-parallel execution
+   of Section V-B lives in :mod:`repro.parallel`.
+
+For ``DADX`` two update modes exist: ``"fused"`` follows Eq. 6 literally
+(scale while updating), ``"deferred"`` accumulates unscaled partial sums
+and applies one final row scaling — mathematically identical, fewer flops;
+the ablation benchmark compares them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core import opcount
+from repro.core.deltas import reconstruct_rows, scale_delta_matrix
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import Engine, spmm, spmv
+from repro.utils.validation import check_dense, ensure_array
+
+UpdateMode = Literal["level", "edge"]
+ScalingMode = Literal["deferred", "fused"]
+
+
+class Variant(enum.Enum):
+    """Which factorised form the CBM matrix represents."""
+
+    A = "A"  # plain binary matrix
+    AD = "AD"  # column-scaled: A @ diag(d)
+    DAD = "DAD"  # row- and column-scaled: diag(d) @ A @ diag(d)
+    D1AD2 = "D1AD2"  # general two-diagonal form: diag(d1) @ A @ diag(d2)
+
+
+@dataclass
+class CBMMatrix:
+    """A binary (or diagonally scaled binary) matrix in CBM format.
+
+    Build instances with :func:`repro.core.builder.build_cbm`; the
+    constructor is public for tests and power users but performs no
+    compression itself.
+
+    Attributes
+    ----------
+    tree:
+        The compression tree (parents, per-row delta counts).
+    delta:
+        The *unscaled* delta matrix A′ with entries in {+1, −1}.
+    variant:
+        Which product the matrix represents (A, AD, DAD).
+    diag:
+        The (right) diagonal vector d for AD/DAD/D1AD2 variants (None for
+        A).  For DAD the same vector also scales rows.
+    diag_left:
+        The left diagonal d1 of the general D1AD2 form (required for that
+        variant, ignored otherwise) — the paper notes the format "can be
+        easily extended" to distinct diagonals; this is that extension.
+    source_nnz:
+        nnz of the original matrix; backs Property-1/2 checks and the
+        compression-ratio computation.
+    """
+
+    tree: CompressionTree
+    delta: CSRMatrix
+    variant: Variant = Variant.A
+    diag: np.ndarray | None = None
+    diag_left: np.ndarray | None = None
+    source_nnz: int = 0
+    alpha: int | None = 0
+    _scaled_delta: CSRMatrix | None = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.tree.n != self.delta.shape[0]:
+            raise ShapeError(
+                f"tree covers {self.tree.n} rows, delta matrix has {self.delta.shape[0]}"
+            )
+        self.variant = Variant(self.variant)
+        if self.variant is not Variant.A:
+            if self.diag is None:
+                raise ShapeError(f"variant {self.variant.value} requires a diagonal vector")
+            self.diag = ensure_array(self.diag, dtype=np.float64, name="diag").ravel()
+            if len(self.diag) != self.delta.shape[1]:
+                raise ShapeError.mismatch("diag", (len(self.diag),), self.delta.shape)
+            if np.any(self.diag == 0):
+                raise ValueError(
+                    "diagonal entries must be non-zero for AD/DAD round-trips"
+                )
+        if self.variant is Variant.DAD and self.delta.shape[0] != self.delta.shape[1]:
+            raise ShapeError(
+                "variant DAD requires a square matrix (one diagonal scales "
+                "both sides); use D1AD2 for rectangular matrices"
+            )
+        if self.variant is Variant.D1AD2:
+            if self.diag_left is None:
+                raise ShapeError("variant D1AD2 requires diag_left (d1) and diag (d2)")
+            self.diag_left = ensure_array(
+                self.diag_left, dtype=np.float64, name="diag_left"
+            ).ravel()
+            if len(self.diag_left) != self.delta.shape[0]:
+                raise ShapeError.mismatch(
+                    "diag_left", (len(self.diag_left),), self.delta.shape
+                )
+            if np.any(self.diag_left == 0):
+                raise ValueError("diag_left entries must be non-zero")
+
+    def _row_diag(self) -> np.ndarray:
+        """The row-scaling diagonal: d for DAD, d1 for D1AD2."""
+        return self.diag_left if self.variant is Variant.D1AD2 else self.diag
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.delta.shape
+
+    @property
+    def n(self) -> int:
+        return self.delta.shape[0]
+
+    @property
+    def num_deltas(self) -> int:
+        """Total delta count — Property 1 bounds this by ``source_nnz``."""
+        return self.delta.nnz
+
+    def _multiply_operand(self) -> CSRMatrix:
+        """The matrix fed to the multiplication stage: A′ or (AD)′ (cached)."""
+        if self.variant is Variant.A:
+            return self.delta
+        if self._scaled_delta is None:
+            self._scaled_delta = scale_delta_matrix(self.delta, self.diag)
+        return self._scaled_delta
+
+    # ------------------------------------------------------------------
+    def matmul(
+        self,
+        b: np.ndarray,
+        *,
+        update: UpdateMode = "level",
+        scaling: ScalingMode = "deferred",
+        engine: Engine | None = None,
+    ) -> np.ndarray:
+        """Dense product ``M @ b`` where M is A, AD, or DAD per the variant."""
+        b = check_dense(b, name="b", ndim=2)
+        if b.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("CBM matmul", self.shape, b.shape)
+        c = spmm(self._multiply_operand(), b, engine=engine)
+        self._apply_update(c, update=update, scaling=scaling)
+        return c
+
+    def matvec(
+        self,
+        v: np.ndarray,
+        *,
+        update: UpdateMode = "level",
+        scaling: ScalingMode = "deferred",
+        engine: Engine | None = None,
+    ) -> np.ndarray:
+        """Dense product ``M @ v`` for a 1-D vector ``v``.
+
+        This is the paper's Section IV kernel in its native shape: one
+        sparse matrix–vector product with the delta matrix, then scalar
+        updates ``u_x += u_{r_x}`` down the compression tree (Eq. 5) —
+        no 2-D reshaping, no column dimension.
+        """
+        v = check_dense(v, name="v", ndim=1)
+        if v.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("CBM matvec", self.shape, v.shape)
+        u = spmv(self._multiply_operand(), v, engine=engine)
+        parent = self.tree.parent
+        row_scaled = self.variant in (Variant.DAD, Variant.D1AD2)
+        if update == "level":
+            if row_scaled and scaling == "fused":
+                d = self._row_diag()
+                roots = self.tree.roots
+                u[roots] *= d[roots]
+                for lv in self.tree.levels():
+                    ps = parent[lv]
+                    u[lv] = d[lv] * (u[ps] / d[ps] + u[lv])
+                return u
+            for lv in self.tree.levels():
+                u[lv] += u[parent[lv]]
+        elif update == "edge":
+            order = self.tree.topological_order()
+            if row_scaled and scaling == "fused":
+                d = self._row_diag()
+                for x in order:
+                    p = parent[x]
+                    if p == VIRTUAL:
+                        u[x] *= d[x]
+                    else:
+                        u[x] = d[x] * (u[p] / d[p] + u[x])
+                return u
+            for x in order:
+                p = parent[x]
+                if p != VIRTUAL:
+                    u[x] += u[p]
+        else:
+            raise ValueError(f"unknown update mode {update!r}")
+        if row_scaled:
+            u *= np.asarray(self._row_diag())
+        return u
+
+    def __matmul__(self, b) -> np.ndarray:
+        b = np.asarray(b)
+        if b.ndim == 1:
+            return self.matvec(b)
+        return self.matmul(b)
+
+    # ------------------------------------------------------------------
+    def _apply_update(self, c: np.ndarray, *, update: UpdateMode, scaling: ScalingMode) -> None:
+        """Run the update stage in place on the multiplication-stage output."""
+        if update == "level":
+            self._update_levels(c, scaling)
+        elif update == "edge":
+            self._update_edges(c, scaling)
+        else:
+            raise ValueError(f"unknown update mode {update!r}")
+
+    def _update_levels(self, c: np.ndarray, scaling: ScalingMode) -> None:
+        parent = self.tree.parent
+        row_scaled = self.variant in (Variant.DAD, Variant.D1AD2)
+        if row_scaled and scaling == "fused":
+            d = self._row_diag()
+            roots = self.tree.roots
+            c[roots] *= d[roots, None]
+            for lv in self.tree.levels():
+                ps = parent[lv]
+                c[lv] = d[lv, None] * (c[ps] / d[ps, None] + c[lv])
+            return
+        for lv in self.tree.levels():
+            c[lv] += c[parent[lv]]
+        if row_scaled:
+            c *= np.asarray(self._row_diag())[:, None]
+
+    def _update_edges(self, c: np.ndarray, scaling: ScalingMode) -> None:
+        """Paper-literal update: one axpy per tree edge in topological order."""
+        parent = self.tree.parent
+        row_scaled = self.variant in (Variant.DAD, Variant.D1AD2)
+        order = self.tree.topological_order()
+        if row_scaled and scaling == "fused":
+            d = self._row_diag()
+            for x in order:
+                p = parent[x]
+                if p == VIRTUAL:
+                    c[x] *= d[x]
+                else:
+                    c[x] = d[x] * (c[p] / d[p] + c[x])
+            return
+        for x in order:
+            p = parent[x]
+            if p != VIRTUAL:
+                c[x] += c[p]
+        if row_scaled:
+            c *= np.asarray(self._row_diag())[:, None]
+
+    # ------------------------------------------------------------------
+    def tocsr(self) -> CSRMatrix:
+        """Decompress back to CSR (binary for A; scaled values for AD/DAD)."""
+        binary = reconstruct_rows(self.delta, self.tree)
+        if self.variant is Variant.A:
+            return binary
+        scaled = binary.scale_columns(np.asarray(self.diag, dtype=np.float64))
+        if self.variant in (Variant.DAD, Variant.D1AD2):
+            scaled = scaled.scale_rows(np.asarray(self._row_diag(), dtype=np.float64))
+        return scaled
+
+    def todense(self) -> np.ndarray:
+        return self.tocsr().toarray()
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """Paper-convention CBM footprint (delta CSR + tree edges)."""
+        return opcount.cbm_memory_bytes(self.delta, self.tree)
+
+    def compression_ratio(self) -> float:
+        """``S_CSR / S_CBM`` against the paper's CSR accounting of the source."""
+        n = self.n
+        s_csr = 8 * self.source_nnz + 4 * (n + 1)
+        return s_csr / self.memory_bytes()
+
+    def scalar_ops(self, p: int) -> opcount.OpCount:
+        """Scalar operations of one ``matmul`` against p dense columns."""
+        return opcount.cbm_spmm_ops(self.delta, self.tree, p, variant=self.variant.value)
+
+    def stats(self) -> dict:
+        """Compression summary for reports: deltas, tree shape, footprint."""
+        out = self.tree.stats()
+        out.update(
+            {
+                "variant": self.variant.value,
+                "alpha": self.alpha,
+                "source_nnz": self.source_nnz,
+                "deltas": self.num_deltas,
+                "memory_bytes": self.memory_bytes(),
+                "compression_ratio": self.compression_ratio() if self.source_nnz else None,
+            }
+        )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CBMMatrix(variant={self.variant.value}, shape={self.shape}, "
+            f"deltas={self.num_deltas}, tree_edges={self.tree.num_tree_edges}, "
+            f"alpha={self.alpha})"
+        )

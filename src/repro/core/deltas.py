@@ -1,0 +1,136 @@
+"""Delta-set extraction and the delta matrix A′ (paper Sections III & V-A).
+
+Given a compression tree, row ``x`` is represented by the two delta sets
+
+* ``Δ⁺(x) = row(x) \\ row(parent(x))`` — columns switched on, and
+* ``Δ⁻(x) = row(parent(x)) \\ row(x)`` — columns switched off,
+
+which the multiplication kernels consume as a single CSR *matrix of
+deltas* ``A′`` whose x-th row is ``indicator(Δ⁺) − indicator(Δ⁻)``.  Rows
+parented by the virtual node store their full adjacency list (Δ⁺ = row,
+Δ⁻ = ∅).  For the AD and DAD variants the delta matrix is column-scaled
+by the diagonal vector — see :func:`scale_delta_matrix`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import CompressionError
+from repro.sparse.csr import CSRMatrix
+
+
+def delta_sets(a: CSRMatrix, tree: CompressionTree, x: int) -> tuple[np.ndarray, np.ndarray]:
+    """(Δ⁺, Δ⁻) column-index arrays for row ``x`` under ``tree``.
+
+    Rows are sorted-unique in CSR, so both differences are exact set
+    operations.  Primarily a test/debug helper; bulk construction goes
+    through :func:`build_delta_matrix`.
+    """
+    row_x = np.asarray(a.row(x))
+    p = int(tree.parent[x])
+    if p == VIRTUAL:
+        return row_x.copy(), np.empty(0, dtype=np.int64)
+    row_p = np.asarray(a.row(p))
+    plus = np.setdiff1d(row_x, row_p, assume_unique=True)
+    minus = np.setdiff1d(row_p, row_x, assume_unique=True)
+    return plus, minus
+
+
+def build_delta_matrix(a: CSRMatrix, tree: CompressionTree) -> CSRMatrix:
+    """Construct the CSR matrix of deltas A′ for ``a`` under ``tree``.
+
+    Row x holds +1 at Δ⁺ columns and −1 at Δ⁻ columns, with column indices
+    sorted — ready for the sparse-dense multiplication stage.  Also
+    verifies the per-row delta counts against ``tree.weight`` (they were
+    computed from overlaps during construction; a mismatch means the
+    distance graph lied).
+    """
+    n = a.shape[0]
+    if tree.n != n:
+        raise CompressionError(
+            f"tree has {tree.n} rows but the matrix has {n}"
+        )
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    chunks_idx: list[np.ndarray] = []
+    chunks_val: list[np.ndarray] = []
+    for x in range(n):
+        p = int(tree.parent[x])
+        row_x = np.asarray(a.row(x))
+        if p == VIRTUAL:
+            idx = row_x
+            val = np.ones(len(idx), dtype=np.float32)
+        else:
+            row_p = np.asarray(a.row(p))
+            plus = np.setdiff1d(row_x, row_p, assume_unique=True)
+            minus = np.setdiff1d(row_p, row_x, assume_unique=True)
+            idx = np.concatenate([plus, minus])
+            val = np.concatenate(
+                [
+                    np.ones(len(plus), dtype=np.float32),
+                    -np.ones(len(minus), dtype=np.float32),
+                ]
+            )
+            order = np.argsort(idx, kind="stable")
+            idx, val = idx[order], val[order]
+        if tree.weight[x] and len(idx) != tree.weight[x]:
+            raise CompressionError(
+                f"row {x}: expected {tree.weight[x]} deltas, extracted {len(idx)}"
+            )
+        indptr[x + 1] = indptr[x] + len(idx)
+        chunks_idx.append(idx)
+        chunks_val.append(val)
+    indices = (
+        np.concatenate(chunks_idx) if chunks_idx else np.empty(0, dtype=np.int64)
+    )
+    values = (
+        np.concatenate(chunks_val) if chunks_val else np.empty(0, dtype=np.float32)
+    )
+    return CSRMatrix(indptr, indices, values, a.shape, check=False)
+
+
+def scale_delta_matrix(delta: CSRMatrix, d: np.ndarray) -> CSRMatrix:
+    """Column-scale A′ by the diagonal vector: the (AD)′ matrix of Section V-A.
+
+    Same sparsity pattern as A′ — the paper leans on this to predict (and
+    we confirm) that AX and ADX kernels cost the same.
+    """
+    return delta.scale_columns(np.asarray(d, dtype=delta.data.dtype))
+
+
+def reconstruct_rows(delta: CSRMatrix, tree: CompressionTree) -> CSRMatrix:
+    """Invert the compression: rebuild the original binary CSR from A′.
+
+    Walks the tree in topological order applying delta sets to the parent's
+    reconstructed column set.  Used by round-trip tests and by
+    :meth:`repro.core.cbm.CBMMatrix.tocsr`.
+    """
+    n = tree.n
+    rows: list[np.ndarray | None] = [None] * n
+    for x in tree.topological_order():
+        x = int(x)
+        lo, hi = delta.indptr[x], delta.indptr[x + 1]
+        idx = delta.indices[lo:hi]
+        val = delta.data[lo:hi]
+        plus = idx[val > 0]
+        minus = idx[val < 0]
+        p = int(tree.parent[x])
+        if p == VIRTUAL:
+            if len(minus):
+                raise CompressionError(f"virtual-parent row {x} has negative deltas")
+            rows[x] = plus.copy()
+        else:
+            base = rows[p]
+            if base is None:
+                raise CompressionError(f"row {x} visited before its parent {p}")
+            merged = np.setdiff1d(
+                np.union1d(base, plus), minus, assume_unique=False
+            )
+            rows[x] = merged
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    for x in range(n):
+        indptr[x + 1] = indptr[x] + len(rows[x])  # type: ignore[arg-type]
+    indices = np.concatenate(rows) if n else np.empty(0, dtype=np.int64)
+    data = np.ones(len(indices), dtype=np.float32)
+    return CSRMatrix(indptr, indices, data, delta.shape, check=False)

@@ -1,0 +1,140 @@
+"""Post-hoc compression-tree rebalancing: trade compression for parallelism.
+
+The paper's alpha knob shapes the tree *at construction time*: larger
+alpha prunes marginal edges, raising the virtual root's out-degree and
+shortening dependency chains (Section V-C).  Rebalancing applies the same
+trade-off *after* construction, without re-running the distance graph or
+the spanning algorithm:
+
+* :func:`cut_depth` bounds the tree depth to ``max_depth`` by re-rooting
+  every row at a deeper level onto the virtual node (it simply stores its
+  adjacency list again);
+* :func:`split_branches` caps the largest branch size, cutting the
+  shallowest rows of oversized branches first.
+
+Both return a *new* :class:`CBMMatrix` whose delta matrix is patched only
+on the cut rows, so rebalancing costs O(deltas of the cut rows) — cheap
+enough to tune per deployment (e.g. per core count) from one stored
+archive.  Property 1 is preserved: a cut row's new cost is exactly its
+nnz, which the virtual edge already guaranteed as the worst case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix
+from repro.core.deltas import reconstruct_rows
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_positive
+
+
+def _rebuild_with_cuts(cbm: CBMMatrix, cut: np.ndarray) -> CBMMatrix:
+    """Return a copy of ``cbm`` with the given rows re-rooted at virtual.
+
+    The original binary rows are recovered by decompressing once; cut rows
+    then store their full adjacency list (+1 values), everything else
+    keeps its delta row verbatim.
+    """
+    if not cut.any():
+        return cbm
+    binary = reconstruct_rows(cbm.delta, cbm.tree)
+    n = cbm.n
+    new_parent = cbm.tree.parent.copy()
+    new_weight = cbm.tree.weight.copy()
+    new_parent[cut] = VIRTUAL
+    new_weight[cut] = binary.row_nnz()[cut]
+
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    chunks_idx = []
+    chunks_val = []
+    for x in range(n):
+        if cut[x]:
+            idx = np.asarray(binary.row(x))
+            val = np.ones(len(idx), dtype=np.float32)
+        else:
+            lo, hi = cbm.delta.indptr[x], cbm.delta.indptr[x + 1]
+            idx = cbm.delta.indices[lo:hi]
+            val = cbm.delta.data[lo:hi]
+        indptr[x + 1] = indptr[x] + len(idx)
+        chunks_idx.append(idx)
+        chunks_val.append(val)
+    delta = CSRMatrix(
+        indptr,
+        np.concatenate(chunks_idx) if chunks_idx else np.empty(0, dtype=np.int64),
+        np.concatenate(chunks_val) if chunks_val else np.empty(0, dtype=np.float32),
+        cbm.shape,
+        check=False,
+    )
+    tree = CompressionTree(parent=new_parent, weight=new_weight)
+    return CBMMatrix(
+        tree=tree,
+        delta=delta,
+        variant=cbm.variant,
+        diag=cbm.diag,
+        diag_left=cbm.diag_left,
+        source_nnz=cbm.source_nnz,
+        alpha=cbm.alpha,
+    )
+
+
+def cut_depth(cbm: CBMMatrix, max_depth: int) -> CBMMatrix:
+    """Bound the compression-tree depth to ``max_depth``.
+
+    Rows at depth exactly ``max_depth + 1`` become virtual roots (storing
+    their adjacency lists); their subtrees keep their delta encoding but
+    are now rooted one level higher, so the cut repeats down the tree
+    until every row sits within the bound.
+    """
+    check_positive(max_depth, "max_depth")
+    out = cbm
+    # Each pass promotes one layer of violators; depth shrinks geometrically.
+    while True:
+        depth = out.tree.depth()
+        over = depth > max_depth
+        if not over.any():
+            return out
+        # Cut the shallowest violating layer: their subtrees re-root under them.
+        cut = depth == max_depth + 1
+        out = _rebuild_with_cuts(out, cut)
+
+
+def split_branches(cbm: CBMMatrix, max_branch: int) -> CBMMatrix:
+    """Cap the largest branch (virtual-root subtree) at ``max_branch`` rows.
+
+    One bottom-up pass over the tree: subtree sizes are accumulated in
+    reverse topological order, and whenever a node's subtree would exceed
+    ``max_branch`` its largest child subtrees are promoted to virtual
+    roots until it fits.  Every resulting branch has at most
+    ``max_branch`` rows, and only the promoted rows pay their full
+    adjacency list (Property 1 still holds).  This is the load-balancing
+    analogue of the paper's observation that alpha raises parallelism:
+    the update stage's critical path is bounded by the largest branch.
+    """
+    check_positive(max_branch, "max_branch")
+    tree = cbm.tree
+    n = tree.n
+    parent = tree.parent
+    children: list[list[int]] = [[] for _ in range(n)]
+    for x in range(n):
+        p = parent[x]
+        if p != VIRTUAL:
+            children[p].append(x)
+    size = np.ones(n, dtype=np.int64)
+    cut = np.zeros(n, dtype=bool)
+    for x in tree.topological_order()[::-1]:
+        x = int(x)
+        kids = children[x]
+        total = 1 + sum(int(size[c]) for c in kids if not cut[c])
+        if total > max_branch:
+            # Promote the largest child subtrees until this one fits.
+            for c in sorted(
+                (c for c in kids if not cut[c]), key=lambda c: -int(size[c])
+            ):
+                cut[c] = True
+                total -= int(size[c])
+                if total <= max_branch:
+                    break
+        size[x] = total
+    return _rebuild_with_cuts(cbm, cut)

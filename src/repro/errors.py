@@ -1,0 +1,62 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one base class.  Subclasses are grouped by the subsystem
+that raises them; the messages are written to be actionable (they name the
+offending argument and the constraint that was violated).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operand has an incompatible or malformed shape."""
+
+    @classmethod
+    def mismatch(cls, op: str, left: tuple, right: tuple) -> "ShapeError":
+        return cls(f"{op}: incompatible shapes {left} and {right}")
+
+
+class DTypeError(ReproError, TypeError):
+    """An operand has an unsupported dtype."""
+
+
+class NotBinaryError(ReproError, ValueError):
+    """A matrix expected to be binary contains values outside {0, 1}."""
+
+
+class FormatError(ReproError, ValueError):
+    """A sparse container's internal arrays violate a format invariant.
+
+    Raised by the ``check_format`` validators of the COO/CSR/CSC containers,
+    e.g. out-of-range indices, non-monotone index pointers, or mismatched
+    array lengths.
+    """
+
+
+class CompressionError(ReproError, RuntimeError):
+    """The CBM compression pipeline could not produce a valid tree."""
+
+
+class TreeError(ReproError, ValueError):
+    """A compression tree is structurally invalid (cycle, bad root, ...)."""
+
+
+class DatasetError(ReproError, KeyError):
+    """An unknown dataset name was requested from the registry."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure (e.g. generator calibration) failed to converge."""
+
+
+class ParallelError(ReproError, RuntimeError):
+    """The parallel executor or schedule simulator hit an inconsistent state."""
+
+
+class GNNError(ReproError, ValueError):
+    """Invalid GNN model configuration or input."""

@@ -1,0 +1,53 @@
+"""Minimal NumPy GNN stack (the paper's PyTorch substitute).
+
+Implements exactly what the paper's evaluation needs — and the
+architectures it cites:
+
+* :mod:`repro.gnn.layers` — dense linear layers, activations, dropout.
+* :mod:`repro.gnn.adjacency` — the pluggable adjacency operator: the same
+  GCN runs on a CSR baseline or a CBM-compressed Â without code changes.
+* :mod:`repro.gnn.gcn` — the two-layer GCN of Eq. 1 (inference and
+  manual-backprop training).
+* :mod:`repro.gnn.gin`, :mod:`repro.gnn.sage` — GIN and GraphSAGE
+  (paper Section II / future work).
+* :mod:`repro.gnn.data` — synthetic node-classification tasks.
+"""
+
+from repro.gnn.adjacency import AdjacencyOp, CBMAdjacency, CSRAdjacency, make_operator
+from repro.gnn.layers import Dropout, Linear, relu, softmax
+from repro.gnn.gcn import GCN, GCNLayer
+from repro.gnn.gin import GIN, GINLayer
+from repro.gnn.sage import GraphSAGE, SAGELayer
+from repro.gnn.sgc import SGC, propagate
+from repro.gnn.appnp import APPNP
+from repro.gnn.sampling import induced_subgraph, k_hop_neighborhood, minibatch_inference
+from repro.gnn.train import Adam, accuracy, cross_entropy, train_gcn
+from repro.gnn.data import synthetic_node_classification
+
+__all__ = [
+    "AdjacencyOp",
+    "CBMAdjacency",
+    "CSRAdjacency",
+    "make_operator",
+    "Dropout",
+    "Linear",
+    "relu",
+    "softmax",
+    "GCN",
+    "GCNLayer",
+    "GIN",
+    "GINLayer",
+    "GraphSAGE",
+    "SAGELayer",
+    "SGC",
+    "propagate",
+    "APPNP",
+    "induced_subgraph",
+    "k_hop_neighborhood",
+    "minibatch_inference",
+    "Adam",
+    "accuracy",
+    "cross_entropy",
+    "train_gcn",
+    "synthetic_node_classification",
+]

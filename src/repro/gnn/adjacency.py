@@ -1,0 +1,96 @@
+"""Pluggable adjacency operators for GNN layers.
+
+A GNN layer only needs ``Â @ X``; which format holds Â is an
+implementation detail.  :class:`CSRAdjacency` materialises the normalised
+adjacency as a weighted CSR matrix and multiplies with the compiled
+backend (the paper's MKL baseline).  :class:`CBMAdjacency` keeps the
+factorised form ``D^{-1/2} (A+I) D^{-1/2}`` as a CBM(DAD) matrix — the
+paper's contribution.  Both expose the same two methods, so every model in
+:mod:`repro.gnn` is format-agnostic.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.builder import build_cbm
+from repro.core.cbm import CBMMatrix, Variant
+from repro.graphs.laplacian import gcn_normalization, normalized_adjacency
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm
+
+
+@runtime_checkable
+class AdjacencyOp(Protocol):
+    """What a GNN layer requires of an adjacency representation."""
+
+    @property
+    def n(self) -> int: ...
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``Â @ x`` for a dense feature matrix ``x``."""
+        ...
+
+
+class CSRAdjacency:
+    """Baseline operator: Â held as one weighted CSR matrix."""
+
+    def __init__(self, a_hat: CSRMatrix):
+        self.a_hat = a_hat
+
+    @classmethod
+    def from_graph(cls, a: CSRMatrix) -> "CSRAdjacency":
+        """Build from a raw binary adjacency matrix (adds self-loops,
+        applies the symmetric GCN normalisation)."""
+        return cls(normalized_adjacency(a))
+
+    @property
+    def n(self) -> int:
+        return self.a_hat.shape[0]
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        return spmm(self.a_hat, x.astype(np.float32, copy=False))
+
+    def memory_bytes(self) -> int:
+        return self.a_hat.memory_bytes()
+
+
+class CBMAdjacency:
+    """CBM operator: Â kept factorised as CBM(DAD) (paper Section VI-G)."""
+
+    def __init__(self, cbm: CBMMatrix):
+        if cbm.variant is not Variant.DAD:
+            raise ValueError(
+                f"CBMAdjacency expects a DAD-variant matrix, got {cbm.variant.value}"
+            )
+        self.cbm = cbm
+
+    @classmethod
+    def from_graph(cls, a: CSRMatrix, *, alpha: int = 0) -> "CBMAdjacency":
+        """Compress the normalised adjacency of a binary graph into CBM."""
+        binary, diag = gcn_normalization(a)
+        cbm, _ = build_cbm(binary, alpha=alpha, variant=Variant.DAD, diag=diag)
+        return cls(cbm)
+
+    @property
+    def n(self) -> int:
+        return self.cbm.n
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        return self.cbm.matmul(x.astype(np.float32, copy=False))
+
+    def memory_bytes(self) -> int:
+        return self.cbm.memory_bytes()
+
+
+def make_operator(
+    a: CSRMatrix, kind: Literal["csr", "cbm"], *, alpha: int = 0
+) -> AdjacencyOp:
+    """Factory used by benchmarks: same graph, either representation."""
+    if kind == "csr":
+        return CSRAdjacency.from_graph(a)
+    if kind == "cbm":
+        return CBMAdjacency.from_graph(a, alpha=alpha)
+    raise ValueError(f"unknown adjacency kind {kind!r}; expected 'csr' or 'cbm'")

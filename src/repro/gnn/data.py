@@ -1,0 +1,85 @@
+"""Synthetic node-classification tasks for the GNN examples and tests.
+
+Generates a planted-partition graph whose communities are the class
+labels, plus noisy class-indicative features — a task where a GCN
+genuinely beats a features-only classifier, so the training example has
+something real to learn.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.generators import sbm_graph
+from repro.sparse.csr import CSRMatrix
+from repro.utils.rng import as_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class NodeClassificationTask:
+    """A transductive node-classification problem."""
+
+    adjacency: CSRMatrix
+    features: np.ndarray  # (n, d) float32
+    labels: np.ndarray  # (n,) int64
+    train_mask: np.ndarray  # boolean masks over nodes
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.adjacency.shape[0]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+def synthetic_node_classification(
+    n: int = 600,
+    *,
+    classes: int = 4,
+    feature_dim: int = 32,
+    p_in: float = 0.05,
+    p_out: float = 0.005,
+    feature_noise: float = 2.0,
+    train_fraction: float = 0.1,
+    seed: int = 0,
+) -> NodeClassificationTask:
+    """Planted-partition graph + noisy features, split train/val/test.
+
+    Each class has a random mean feature vector; node features are the
+    class mean plus Gaussian noise of scale ``feature_noise`` (high noise
+    makes the graph structure informative).  ``train_fraction`` of nodes
+    are labelled for training; the rest split evenly into val/test.
+    """
+    check_positive(n, "n")
+    check_positive(classes, "classes")
+    rng = as_rng(seed)
+    base = n // classes
+    sizes = [base] * classes
+    sizes[-1] += n - base * classes
+    adj = sbm_graph(sizes, p_in, p_out, seed=rng)
+    labels = np.repeat(np.arange(classes, dtype=np.int64), sizes)
+    means = rng.normal(0.0, 1.0, size=(classes, feature_dim))
+    feats = means[labels] + rng.normal(0.0, feature_noise, size=(n, feature_dim))
+    order = rng.permutation(n)
+    n_train = max(1, int(n * train_fraction))
+    n_val = (n - n_train) // 2
+    train_mask = np.zeros(n, dtype=bool)
+    val_mask = np.zeros(n, dtype=bool)
+    test_mask = np.zeros(n, dtype=bool)
+    train_mask[order[:n_train]] = True
+    val_mask[order[n_train : n_train + n_val]] = True
+    test_mask[order[n_train + n_val :]] = True
+    return NodeClassificationTask(
+        adjacency=adj,
+        features=feats.astype(np.float32),
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+    )

@@ -1,0 +1,140 @@
+"""Graph Convolutional Network (Kipf & Welling) — the paper's Eq. 1.
+
+The two-layer inference pipeline is exactly the expression the paper
+benchmarks::
+
+    Z = Â · ReLU(Â X W⁰) · W¹
+
+with Â supplied by any :class:`~repro.gnn.adjacency.AdjacencyOp` — the CSR
+baseline or the CBM-compressed form.  The model also supports manual
+backpropagation for the training-stage extension: since Â is symmetric,
+the backward pass reuses the same operator (``Âᵀ = Â``), which is how the
+paper's future-work plan for accelerating training applies CBM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.layers import Dropout, Linear, relu, relu_grad
+
+
+class GCNLayer:
+    """One graph convolution: ``H' = act(Â H W)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        activation: bool = True,
+        seed=None,
+        requires_grad: bool = False,
+    ):
+        self.linear = Linear(
+            in_features, out_features, bias=False, seed=seed, requires_grad=requires_grad
+        )
+        self.activation = activation
+        self.requires_grad = requires_grad
+        self._pre_activation: np.ndarray | None = None
+
+    def forward(self, adj: AdjacencyOp, h: np.ndarray) -> np.ndarray:
+        # Aggregate first, transform second: (Â H) W costs n·p·d + n·d·d'
+        # and matches the paper's operation order (Â is multiplied by the
+        # current embedding, then by the dense weight).
+        agg = adj.matmul(h)
+        z = self.linear(agg)
+        if self.requires_grad:
+            self._pre_activation = z
+        return relu(z) if self.activation else z
+
+    def backward(self, adj: AdjacencyOp, grad_out: np.ndarray) -> np.ndarray:
+        """Backprop through act → W → Â (Â symmetric, so Âᵀ@g = Â@g)."""
+        if self.activation:
+            if self._pre_activation is None:
+                raise GNNError("backward before forward")
+            grad_out = grad_out * relu_grad(self._pre_activation)
+        grad_agg = self.linear.backward(grad_out)
+        return adj.matmul(grad_agg)
+
+
+class GCN:
+    """Multi-layer GCN; the paper's configuration is two layers.
+
+    ``dims`` is ``[in, hidden..., out]``; the last layer has no ReLU
+    (logits).  ``dropout`` applies between layers during training only.
+    """
+
+    def __init__(
+        self,
+        dims: list[int],
+        *,
+        dropout: float = 0.0,
+        seed: int = 0,
+        requires_grad: bool = False,
+    ):
+        if len(dims) < 2:
+            raise GNNError(f"GCN needs at least [in, out] dims, got {dims}")
+        self.layers = [
+            GCNLayer(
+                dims[i],
+                dims[i + 1],
+                activation=(i < len(dims) - 2),
+                seed=seed + i,
+                requires_grad=requires_grad,
+            )
+            for i in range(len(dims) - 1)
+        ]
+        self.dropouts = [
+            Dropout(dropout, seed=seed + 100 + i) for i in range(len(dims) - 2)
+        ]
+        self.requires_grad = requires_grad
+
+    def forward(
+        self, adj: AdjacencyOp, x: np.ndarray, *, training: bool = False
+    ) -> np.ndarray:
+        h = np.asarray(x, dtype=np.float32)
+        if h.shape[0] != adj.n:
+            raise GNNError(
+                f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
+            )
+        for i, layer in enumerate(self.layers):
+            h = layer.forward(adj, h)
+            if i < len(self.dropouts):
+                h = self.dropouts[i](h, training=training)
+        return h
+
+    __call__ = forward
+
+    def backward(self, adj: AdjacencyOp, grad_out: np.ndarray) -> np.ndarray:
+        """Full backward pass; parameter grads land in each layer's Linear."""
+        g = grad_out
+        for i in reversed(range(len(self.layers))):
+            if i < len(self.dropouts):
+                g = self.dropouts[i].backward(g)
+            g = self.layers[i].backward(adj, g)
+        return g
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.linear.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.linear.gradients()]
+
+
+def two_layer_gcn_inference(
+    adj: AdjacencyOp,
+    x: np.ndarray,
+    w0: np.ndarray,
+    w1: np.ndarray,
+) -> np.ndarray:
+    """The paper's exact benchmark expression: ``Â σ(Â X W⁰) W¹``.
+
+    A standalone functional form (fixed weights, no model object) used by
+    the Table IV benchmark so the measured pipeline is precisely two
+    sparse products, two GEMMs, and one ReLU.
+    """
+    h = relu(adj.matmul(np.asarray(x, dtype=np.float32)) @ np.asarray(w0, dtype=np.float32))
+    return adj.matmul(h) @ np.asarray(w1, dtype=np.float32)

@@ -1,0 +1,63 @@
+"""Graph Isomorphism Network (Xu et al.) — paper Section II.
+
+A GIN layer computes ``h' = MLP((1 + eps) · h + A · h)`` where ``A`` is
+the *raw binary* adjacency (no normalisation) — which is precisely the
+``AX`` product the CBM format accelerates.  The adjacency operator is
+pluggable exactly as in :mod:`repro.gnn.gcn`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.layers import Linear, relu
+
+
+class GINLayer:
+    """One GIN convolution with a two-layer MLP."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        out_features: int,
+        *,
+        eps: float = 0.0,
+        seed=None,
+    ):
+        self.eps = float(eps)
+        self.mlp1 = Linear(in_features, hidden, seed=seed)
+        self.mlp2 = Linear(hidden, out_features, seed=None if seed is None else seed + 1)
+
+    def forward(self, adj: AdjacencyOp, h: np.ndarray) -> np.ndarray:
+        h = np.asarray(h, dtype=np.float32)
+        agg = adj.matmul(h) + (1.0 + self.eps) * h
+        return self.mlp2(relu(self.mlp1(agg)))
+
+
+class GIN:
+    """Stack of GIN layers with a final linear readout."""
+
+    def __init__(self, dims: list[int], *, eps: float = 0.0, seed: int = 0):
+        if len(dims) < 2:
+            raise GNNError(f"GIN needs at least [in, out] dims, got {dims}")
+        self.layers = [
+            GINLayer(dims[i], dims[i + 1], dims[i + 1], eps=eps, seed=seed + 10 * i)
+            for i in range(len(dims) - 1)
+        ]
+
+    def forward(self, adj: AdjacencyOp, x: np.ndarray) -> np.ndarray:
+        h = np.asarray(x, dtype=np.float32)
+        if h.shape[0] != adj.n:
+            raise GNNError(
+                f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
+            )
+        for i, layer in enumerate(self.layers):
+            h = layer.forward(adj, h)
+            if i < len(self.layers) - 1:
+                h = relu(h)
+        return h
+
+    __call__ = forward

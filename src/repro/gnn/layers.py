@@ -1,0 +1,133 @@
+"""Dense building blocks: linear layers, activations, dropout.
+
+Everything runs in float32 on NumPy, whose GEMM goes through the same
+class of BLAS backend PyTorch CPU uses — so the dense part of the GCN
+pipeline has the same performance character as the paper's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.utils.rng import as_rng
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Element-wise ReLU (the sigma of the paper's Eq. 1)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    """Derivative of ReLU evaluated at the pre-activation ``x``."""
+    return (x > 0.0).astype(x.dtype)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+class Linear:
+    """Fully connected layer ``y = x @ W + b`` with He/Glorot init.
+
+    Weights are float32.  The layer stores its last input when
+    ``requires_grad`` so :meth:`backward` can produce parameter gradients
+    for the manual-backprop training loop.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        init: str = "glorot",
+        seed=None,
+        requires_grad: bool = False,
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise GNNError(
+                f"Linear dimensions must be positive, got {in_features}x{out_features}"
+            )
+        rng = as_rng(seed)
+        if init == "glorot":
+            limit = np.sqrt(6.0 / (in_features + out_features))
+            w = rng.uniform(-limit, limit, size=(in_features, out_features))
+        elif init == "he":
+            w = rng.normal(0.0, np.sqrt(2.0 / in_features), size=(in_features, out_features))
+        else:
+            raise GNNError(f"unknown init {init!r}; expected 'glorot' or 'he'")
+        self.weight = w.astype(np.float32)
+        self.bias = np.zeros(out_features, dtype=np.float32) if bias else None
+        self.requires_grad = requires_grad
+        self._last_input: np.ndarray | None = None
+        self.grad_weight: np.ndarray | None = None
+        self.grad_bias: np.ndarray | None = None
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.weight.shape
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape[-1] != self.weight.shape[0]:
+            raise GNNError(
+                f"Linear expected input dim {self.weight.shape[0]}, got {x.shape[-1]}"
+            )
+        if self.requires_grad:
+            self._last_input = x
+        y = x @ self.weight
+        if self.bias is not None:
+            y += self.bias
+        return y
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Accumulate parameter grads; return gradient w.r.t. the input."""
+        if self._last_input is None:
+            raise GNNError("backward called before forward (requires_grad must be set)")
+        self.grad_weight = self._last_input.T @ grad_out
+        if self.bias is not None:
+            self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weight.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weight] + ([self.bias] if self.bias is not None else [])
+
+    def gradients(self) -> list[np.ndarray]:
+        grads = [self.grad_weight]
+        if self.bias is not None:
+            grads.append(self.grad_bias)
+        if any(g is None for g in grads):
+            raise GNNError("gradients requested before backward")
+        return grads  # type: ignore[return-value]
+
+
+class Dropout:
+    """Inverted dropout; identity when ``training`` is False."""
+
+    def __init__(self, p: float = 0.5, *, seed=None):
+        if not 0.0 <= p < 1.0:
+            raise GNNError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self.rng = as_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, *, training: bool = False) -> np.ndarray:
+        if not training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / keep
+        return x * self._mask
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask

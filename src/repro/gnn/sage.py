@@ -1,0 +1,82 @@
+"""GraphSAGE (Hamilton et al.) with the mean aggregator — paper Section II.
+
+The mean aggregator is ``D⁻¹ A h`` — a row-scaled binary product, i.e. the
+"DA" factorisation the CBM format supports (the paper notes its format
+extends to ``D₁ A D₂``; row-only scaling is the special case D₂ = I, and
+we realise it by scaling the rows of the plain ``A @ h`` product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.layers import Linear, relu
+
+
+class SAGELayer:
+    """``h' = act(W_self h + W_neigh · mean_{u∈N(v)} h_u)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        activation: bool = True,
+        seed=None,
+    ):
+        self.w_self = Linear(in_features, out_features, seed=seed)
+        self.w_neigh = Linear(
+            in_features, out_features, bias=False, seed=None if seed is None else seed + 1
+        )
+        self.activation = activation
+
+    def forward(
+        self, adj: AdjacencyOp, h: np.ndarray, inv_degree: np.ndarray
+    ) -> np.ndarray:
+        h = np.asarray(h, dtype=np.float32)
+        mean_agg = adj.matmul(h) * inv_degree[:, None]
+        z = self.w_self(h) + self.w_neigh(mean_agg)
+        return relu(z) if self.activation else z
+
+
+class GraphSAGE:
+    """Stack of mean-aggregator SAGE layers.
+
+    ``inv_degree`` is precomputed once from the adjacency operator's
+    degree vector (isolated nodes get 0, i.e. an empty mean).
+    """
+
+    def __init__(self, dims: list[int], *, seed: int = 0):
+        if len(dims) < 2:
+            raise GNNError(f"GraphSAGE needs at least [in, out] dims, got {dims}")
+        self.layers = [
+            SAGELayer(
+                dims[i],
+                dims[i + 1],
+                activation=(i < len(dims) - 2),
+                seed=seed + 10 * i,
+            )
+            for i in range(len(dims) - 1)
+        ]
+
+    def forward(
+        self, adj: AdjacencyOp, x: np.ndarray, degrees: np.ndarray
+    ) -> np.ndarray:
+        h = np.asarray(x, dtype=np.float32)
+        if h.shape[0] != adj.n:
+            raise GNNError(
+                f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
+            )
+        deg = np.asarray(degrees, dtype=np.float32)
+        if deg.shape != (adj.n,):
+            raise GNNError(f"degrees must have shape ({adj.n},), got {deg.shape}")
+        inv_degree = np.zeros_like(deg)
+        nz = deg > 0
+        inv_degree[nz] = 1.0 / deg[nz]
+        for layer in self.layers:
+            h = layer.forward(adj, h, inv_degree)
+        return h
+
+    __call__ = forward

@@ -1,0 +1,64 @@
+"""Simple Graph Convolution (SGC, Wu et al. 2019) — an SpMM-dominated GNN.
+
+SGC removes the nonlinearities of a k-layer GCN: ``Z = Âᵏ X W``.  The
+pre-computation ``Âᵏ X`` is k back-to-back sparse-dense products with the
+*same* Â — the best-case workload for the CBM format, since the one-off
+compression cost amortises over k products (and over every retraining of
+W).  Included as the showcase extension of the paper's "other GNN
+architectures" future work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.layers import Linear
+
+
+def propagate(adj: AdjacencyOp, x: np.ndarray, k: int) -> np.ndarray:
+    """``Âᵏ @ x`` by repeated application of the adjacency operator."""
+    if k < 0:
+        raise GNNError(f"propagation depth k must be >= 0, got {k}")
+    h = np.asarray(x, dtype=np.float32)
+    if h.shape[0] != adj.n:
+        raise GNNError(
+            f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
+        )
+    for _ in range(k):
+        h = adj.matmul(h)
+    return h
+
+
+class SGC:
+    """k-hop simple graph convolution with a single linear readout.
+
+    ``precompute`` caches ``Âᵏ X`` so repeated forward calls (e.g. during
+    the linear model's training) skip the sparse products entirely —
+    mirroring how SGC is deployed in practice.
+    """
+
+    def __init__(self, in_features: int, out_features: int, *, k: int = 2, seed=None):
+        if k < 1:
+            raise GNNError(f"SGC needs k >= 1, got {k}")
+        self.k = k
+        self.linear = Linear(in_features, out_features, seed=seed)
+        self._cached: np.ndarray | None = None
+
+    def precompute(self, adj: AdjacencyOp, x: np.ndarray) -> np.ndarray:
+        """Run and cache the k-hop propagation; returns ``Âᵏ X``."""
+        self._cached = propagate(adj, x, self.k)
+        return self._cached
+
+    def forward(
+        self, adj: AdjacencyOp | None = None, x: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Logits from the cached propagation, or from (adj, x) directly."""
+        if self._cached is None:
+            if adj is None or x is None:
+                raise GNNError("forward needs precompute() first, or (adj, x)")
+            self.precompute(adj, x)
+        return self.linear(self._cached)
+
+    __call__ = forward

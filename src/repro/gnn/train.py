@@ -1,0 +1,137 @@
+"""Training loop for the GCN (the paper's future-work training stage).
+
+During training the normalised adjacency is multiplied both with
+activations (forward) and with gradients (backward) — the paper's
+Section II points at exactly this sequence of sparse-dense products.
+Because Â is symmetric the CBM operator serves both directions unchanged,
+so a CBM-compressed graph accelerates the whole loop.
+
+Loss is softmax cross-entropy over a labelled node subset (transductive
+node classification, the GCN paper's setting).  Gradients are derived by
+hand; :func:`numeric_grad_check` in the test suite validates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.gcn import GCN
+from repro.gnn.layers import softmax
+
+
+def cross_entropy(
+    logits: np.ndarray, labels: np.ndarray, mask: np.ndarray | None = None
+) -> tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy and its gradient w.r.t. the logits.
+
+    ``mask`` selects the labelled nodes (boolean, length n); gradient rows
+    of unlabelled nodes are zero, as in transductive training.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    n = logits.shape[0]
+    labels = np.asarray(labels)
+    if labels.shape[0] != n:
+        raise GNNError(f"labels length {labels.shape[0]} != logits rows {n}")
+    if mask is None:
+        mask = np.ones(n, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        raise GNNError("cross_entropy: empty mask")
+    probs = softmax(logits, axis=1)
+    eps = 1e-12
+    loss = -np.log(probs[mask, labels[mask]] + eps).mean()
+    grad = np.zeros_like(probs)
+    grad[mask] = probs[mask]
+    grad[mask, labels[mask]] -= 1.0
+    grad /= count
+    return float(loss), grad.astype(np.float32)
+
+
+def accuracy(logits: np.ndarray, labels: np.ndarray, mask: np.ndarray | None = None) -> float:
+    """Fraction of (masked) nodes whose argmax matches the label."""
+    pred = np.argmax(logits, axis=1)
+    if mask is None:
+        return float((pred == labels).mean())
+    if not mask.any():
+        raise GNNError("accuracy: empty mask")
+    return float((pred[mask] == labels[mask]).mean())
+
+
+class Adam:
+    """Standard Adam over a flat parameter list (updates in place)."""
+
+    def __init__(self, params: list[np.ndarray], lr: float = 0.01, betas=(0.9, 0.999), eps: float = 1e-8):
+        if lr <= 0:
+            raise GNNError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.m = [np.zeros_like(p, dtype=np.float64) for p in params]
+        self.v = [np.zeros_like(p, dtype=np.float64) for p in params]
+        self.t = 0
+
+    def step(self, grads: list[np.ndarray]) -> None:
+        if len(grads) != len(self.params):
+            raise GNNError(
+                f"got {len(grads)} gradients for {len(self.params)} parameters"
+            )
+        self.t += 1
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * (g.astype(np.float64) ** 2)
+            mhat = m / (1 - self.b1**self.t)
+            vhat = v / (1 - self.b2**self.t)
+            p -= (self.lr * mhat / (np.sqrt(vhat) + self.eps)).astype(p.dtype)
+
+
+@dataclass
+class TrainResult:
+    """Loss/accuracy trajectory of one training run."""
+
+    losses: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+
+def train_gcn(
+    model: GCN,
+    adj: AdjacencyOp,
+    x: np.ndarray,
+    labels: np.ndarray,
+    *,
+    train_mask: np.ndarray,
+    val_mask: np.ndarray | None = None,
+    epochs: int = 100,
+    lr: float = 0.01,
+) -> TrainResult:
+    """Full-batch transductive training of a GCN with Adam.
+
+    The model must have been constructed with ``requires_grad=True``.
+    Every epoch runs one forward pass, one hand-derived backward pass
+    (each involving products with Â), and one Adam step.
+    """
+    if not model.requires_grad:
+        raise GNNError("train_gcn requires a model built with requires_grad=True")
+    opt = Adam(model.parameters(), lr=lr)
+    out = TrainResult()
+    for _ in range(epochs):
+        logits = model.forward(adj, x, training=True)
+        loss, grad = cross_entropy(logits, labels, train_mask)
+        model.backward(adj, grad)
+        opt.step(model.gradients())
+        out.losses.append(loss)
+        out.train_accuracy.append(accuracy(logits, labels, train_mask))
+        if val_mask is not None:
+            out.val_accuracy.append(accuracy(logits, labels, val_mask))
+    return out

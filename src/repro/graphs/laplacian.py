@@ -1,0 +1,55 @@
+"""GCN normalisation: Â = D^{-1/2} (A + I) D^{-1/2}.
+
+The paper factorises Â as a DAD product where the inner binary matrix is
+``A + I`` and the diagonal is the inverse square root of the self-loop
+degree.  :func:`gcn_normalization` returns exactly that factorisation so
+the binary part can be handed to the CBM compressor and the diagonal kept
+as a vector.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.graphs.adjacency import add_self_loops
+from repro.sparse.csr import CSRMatrix
+
+
+class DADFactors(NamedTuple):
+    """Factorisation Â = diag(d) · B · diag(d) with binary B."""
+
+    binary: CSRMatrix
+    diag: np.ndarray
+
+
+def degree_vector(a: CSRMatrix) -> np.ndarray:
+    """Row-degree vector of an adjacency matrix (float64)."""
+    return a.row_nnz().astype(np.float64)
+
+
+def gcn_normalization(a: CSRMatrix) -> DADFactors:
+    """Factors of the normalised Laplacian adjacency of a binary graph.
+
+    Returns ``(A + I, d)`` with ``d = (deg + 1)^{-1/2}``; the full Â is
+    ``diag(d) @ (A+I) @ diag(d)``.  Every degree is at least 1 after the
+    self-loop, so ``d`` is always finite.
+    """
+    if a.shape[0] != a.shape[1]:
+        raise ShapeError(f"gcn_normalization requires a square matrix, got {a.shape}")
+    a_loop = add_self_loops(a)
+    deg = degree_vector(a_loop)
+    d = 1.0 / np.sqrt(deg)
+    return DADFactors(binary=a_loop, diag=d.astype(np.float64))
+
+
+def normalized_adjacency(a: CSRMatrix) -> CSRMatrix:
+    """Materialised Â = D^{-1/2} (A + I) D^{-1/2} as a weighted CSR matrix.
+
+    This is what the CSR baseline multiplies with; the CBM path keeps the
+    factorisation instead (see :class:`repro.core.cbm.CBMMatrix`).
+    """
+    binary, d = gcn_normalization(a)
+    return binary.scale_rows(d).scale_columns(d)

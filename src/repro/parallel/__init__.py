@@ -1,0 +1,52 @@
+"""Parallel execution substrate (paper Section V-B and VI).
+
+The paper evaluates on a 16-core Intel Xeon Gold 6130 with OpenMP thread
+pinning.  This container has one CPU, so this package provides two layers:
+
+* :mod:`repro.parallel.executor` — a *real* thread-pool execution of the
+  CBM update stage over compression-tree branches.  Correct on any core
+  count (verified by tests); it simply cannot show 16-way scaling here.
+* :mod:`repro.parallel.machine`, :mod:`repro.parallel.cache`,
+  :mod:`repro.parallel.schedule`, :mod:`repro.parallel.simulate` — a
+  shared-memory machine model (cores, cache hierarchy, bandwidth) and a
+  dynamic branch scheduler that *predict* sequential and 16-core execution
+  times for the CSR baseline and the CBM kernels from their operation and
+  traffic counts.  The simulator reproduces the paper's parallel shape:
+  alpha raising the virtual root's out-degree raises parallelism, and
+  cache capacity effects let the baseline scale better on graphs whose
+  CSR form fits the combined private caches (Section VI-E.1).
+"""
+
+from repro.parallel.machine import CacheLevel, MachineSpec, XEON_GOLD_6130
+from repro.parallel.cache import CacheModel, WorkingSet
+from repro.parallel.schedule import ScheduleResult, simulate_dynamic_schedule
+from repro.parallel.executor import ThreadedUpdateExecutor, parallel_matmul
+from repro.parallel.simulate import KernelCost, predict_cbm_spmm, predict_csr_spmm
+from repro.parallel.trace import ScheduleTrace, TaskEvent, render_gantt, traced_schedule
+from repro.parallel.report import cost_breakdown, render_breakdown
+from repro.parallel.scaling import ScalingPoint, parallel_efficiency, saturation_cores, strong_scaling_curve
+
+__all__ = [
+    "CacheLevel",
+    "MachineSpec",
+    "XEON_GOLD_6130",
+    "CacheModel",
+    "WorkingSet",
+    "ScheduleResult",
+    "simulate_dynamic_schedule",
+    "ThreadedUpdateExecutor",
+    "parallel_matmul",
+    "KernelCost",
+    "predict_cbm_spmm",
+    "predict_csr_spmm",
+    "ScheduleTrace",
+    "TaskEvent",
+    "render_gantt",
+    "traced_schedule",
+    "cost_breakdown",
+    "render_breakdown",
+    "ScalingPoint",
+    "parallel_efficiency",
+    "saturation_cores",
+    "strong_scaling_curve",
+]

@@ -1,0 +1,119 @@
+"""Real thread-pool execution of the CBM update stage (Section V-B).
+
+The multiplication stage (sparse-dense product) is delegated to the
+compiled backend, as in the paper (MKL parallelises it internally).  The
+update stage is parallelised here the way the paper does it: each worker
+replays complete branches of the compression tree — lists of edges in
+topological order — taken from a shared queue (dynamic scheduling).
+Branches are data-independent, so no synchronisation is needed beyond the
+queue.
+
+NumPy releases the GIL inside the vectorised row operations, so on a
+multi-core host the workers genuinely overlap; on this reproduction's
+single-core container the executor is still exercised for correctness
+while the :mod:`repro.parallel.simulate` model predicts the 16-core
+behaviour.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Literal
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix, Variant
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import ParallelError
+from repro.sparse.ops import Engine, spmm
+from repro.utils.validation import check_dense, check_positive
+
+
+class ThreadedUpdateExecutor:
+    """Replays the update stage over tree branches with a worker pool.
+
+    Parameters
+    ----------
+    threads:
+        Worker count (the paper uses 16, one per physical core).
+    """
+
+    def __init__(self, threads: int):
+        check_positive(threads, "threads")
+        self.threads = threads
+
+    # ------------------------------------------------------------------
+    def run_update(self, tree: CompressionTree, c: np.ndarray, diag: np.ndarray | None = None) -> None:
+        """Apply the update stage to ``c`` in place, branch-parallel.
+
+        ``diag`` enables the DAD row scaling (deferred mode: scaling is
+        fused into the branch replay's final pass per row batch).
+        """
+        branches = tree.branches()
+        if not branches:
+            return
+        work: "queue.SimpleQueue[np.ndarray | None]" = queue.SimpleQueue()
+        for b in branches:
+            work.put(b)
+        errors: list[BaseException] = []
+        n_workers = min(self.threads, len(branches))
+        for _ in range(n_workers):
+            work.put(None)  # one poison pill per worker
+
+        parent = tree.parent
+
+        def worker() -> None:
+            try:
+                while True:
+                    item = work.get()
+                    if item is None:
+                        return
+                    self._replay_branch(item, parent, c)
+            except BaseException as exc:  # noqa: BLE001 - propagated below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if errors:
+            raise ParallelError(f"update-stage worker failed: {errors[0]!r}") from errors[0]
+        if diag is not None:
+            c *= np.asarray(diag)[:, None]
+
+    def _replay_branch(self, branch: np.ndarray, parent: np.ndarray, c: np.ndarray) -> None:
+        """Topological replay of one branch: c[x] += c[parent[x]] per edge.
+
+        The branch array is already in topological order (tree.branches()
+        guarantees it); the first entry is the branch root (no update).
+        Each iteration is one row axpy — exactly the paper's inner loop —
+        and NumPy releases the GIL inside it, so branches overlap across
+        workers on multi-core hosts.
+        """
+        for x in branch[1:]:
+            c[x] += c[parent[x]]
+
+    # ------------------------------------------------------------------
+
+
+def parallel_matmul(
+    cbm: CBMMatrix,
+    b: np.ndarray,
+    *,
+    threads: int,
+    engine: Engine | None = None,
+) -> np.ndarray:
+    """Full CBM SpMM with the branch-parallel update stage.
+
+    Multiplication stage runs on the compiled backend (internally
+    parallel, as MKL is in the paper); the update stage runs on a
+    :class:`ThreadedUpdateExecutor`.
+    """
+    b = check_dense(b, name="b", ndim=2)
+    c = spmm(cbm._multiply_operand(), b, engine=engine)
+    executor = ThreadedUpdateExecutor(threads)
+    diag = cbm.diag if cbm.variant is Variant.DAD else None
+    executor.run_update(cbm.tree, c, diag)
+    return c

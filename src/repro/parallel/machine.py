@@ -1,0 +1,113 @@
+"""Shared-memory machine specification for the performance model.
+
+:data:`XEON_GOLD_6130` models the paper's testbed (Section VI-A): 16
+physical Skylake cores at a fixed 2.1 GHz, 32 KiB private L1d, 1 MiB
+private L2, 22 MiB shared L3.  Throughput numbers are deliberately coarse
+— the simulator predicts *ratios* (CBM vs CSR, 1 vs 16 cores), which are
+insensitive to the absolute constants as long as compute and memory terms
+are balanced like real SpMM kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the cache hierarchy."""
+
+    name: str
+    size_bytes: int
+    shared: bool  # shared across all cores (True) or private per core
+    bandwidth_bytes_per_s: float  # sustained per-core stream bandwidth
+
+    def __post_init__(self) -> None:
+        check_positive(self.size_bytes, f"{self.name} size_bytes")
+        check_positive(self.bandwidth_bytes_per_s, f"{self.name} bandwidth")
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Core counts, clock, cache hierarchy, and memory bandwidth."""
+
+    name: str
+    cores: int
+    clock_hz: float
+    flops_per_cycle: float  # sustained scalar-equivalent FLOPs per cycle/core
+    caches: tuple[CacheLevel, ...] = field(default_factory=tuple)
+    dram_bandwidth_bytes_per_s: float = 80e9  # socket-level
+    sync_overhead_s: float = 2e-6  # per parallel region (fork/join + barrier)
+
+    def __post_init__(self) -> None:
+        check_positive(self.cores, "cores")
+        check_positive(self.clock_hz, "clock_hz")
+        check_positive(self.flops_per_cycle, "flops_per_cycle")
+        check_positive(self.dram_bandwidth_bytes_per_s, "dram_bandwidth")
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        return self.clock_hz * self.flops_per_cycle
+
+    def private_cache_bytes(self, cores_used: int = 1) -> int:
+        """Combined private (non-shared) cache capacity of ``cores_used`` cores.
+
+        The paper's Section VI-E.1 observation — baselines scaling
+        super-linearly when the matrix fits across 16 private caches but
+        not in one — falls out of this quantity.
+        """
+        if not 1 <= cores_used <= self.cores:
+            raise ValueError(f"cores_used must be in [1, {self.cores}], got {cores_used}")
+        private = sum(c.size_bytes for c in self.caches if not c.shared)
+        return private * cores_used
+
+    def shared_cache_bytes(self) -> int:
+        return sum(c.size_bytes for c in self.caches if c.shared)
+
+    def effective_bandwidth(self, working_set_bytes: int, cores_used: int) -> float:
+        """Aggregate sustainable bandwidth for a working set of a given size.
+
+        Picks the slowest level that still has to be traversed: if the set
+        fits in private caches it streams at cache bandwidth × cores; if it
+        fits in the shared L3 it streams at L3 bandwidth (shared, scaling
+        ~sqrt with cores); otherwise it is DRAM-bound (barely scales).
+        """
+        check_positive(working_set_bytes, "working_set_bytes")
+        private = [c for c in self.caches if not c.shared]
+        if private and working_set_bytes <= self.private_cache_bytes(cores_used):
+            # Streams from the innermost private level large enough on one core.
+            per_core = working_set_bytes / cores_used
+            for level in private:
+                if per_core <= level.size_bytes:
+                    return level.bandwidth_bytes_per_s * cores_used
+            return private[-1].bandwidth_bytes_per_s * cores_used
+        shared = [c for c in self.caches if c.shared]
+        if shared and working_set_bytes <= self.shared_cache_bytes():
+            # Shared L3: bandwidth grows sub-linearly with contending cores.
+            lvl = shared[-1]
+            return lvl.bandwidth_bytes_per_s * (1 + 0.35 * (cores_used - 1))
+        # DRAM-bound: one core cannot saturate the socket; many cores gain
+        # only the remaining headroom.
+        single = self.dram_bandwidth_bytes_per_s * 0.35
+        return min(
+            self.dram_bandwidth_bytes_per_s,
+            single * (1 + 0.14 * (cores_used - 1)),
+        )
+
+
+XEON_GOLD_6130 = MachineSpec(
+    name="Intel Xeon Gold 6130 (Skylake, 16 cores @ 2.1 GHz)",
+    cores=16,
+    clock_hz=2.1e9,
+    flops_per_cycle=16.0,  # sustained AVX-512 single-precision for MKL SpMM
+    # (peak is 64 FLOPs/cycle with two FMA units; sparse kernels sustain ~1/4)
+    caches=(
+        CacheLevel("L1d", 32 * 1024, shared=False, bandwidth_bytes_per_s=150e9),
+        CacheLevel("L2", 1024 * 1024, shared=False, bandwidth_bytes_per_s=75e9),
+        CacheLevel("L3", 22 * 1024 * 1024, shared=True, bandwidth_bytes_per_s=40e9),
+    ),
+    dram_bandwidth_bytes_per_s=85e9,
+    sync_overhead_s=2e-6,
+)

@@ -1,0 +1,107 @@
+"""Execution traces of the simulated dynamic schedule.
+
+:func:`traced_schedule` replays the same greedy list-scheduling policy as
+:func:`repro.parallel.schedule.simulate_dynamic_schedule` but records the
+per-thread timeline — which branch ran where, when — so load imbalance
+can be *seen*.  :func:`render_gantt` draws the timeline as an ASCII Gantt
+chart (one row per thread), used by the scheduling ablation and handy
+when tuning alpha or :func:`repro.core.rebalance.split_branches` caps.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class TaskEvent:
+    """One task execution on one thread."""
+
+    task: int
+    thread: int
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class ScheduleTrace:
+    """Full timeline of a simulated schedule."""
+
+    events: list[TaskEvent]
+    threads: int
+    makespan: float
+
+    def thread_busy(self) -> np.ndarray:
+        """Total busy time per thread."""
+        busy = np.zeros(self.threads, dtype=np.float64)
+        for e in self.events:
+            busy[e.thread] += e.duration
+        return busy
+
+    @property
+    def utilisation(self) -> float:
+        if self.makespan == 0:
+            return 1.0
+        return float(self.thread_busy().sum() / (self.threads * self.makespan))
+
+
+def traced_schedule(costs, threads: int) -> ScheduleTrace:
+    """Greedy dynamic schedule with a recorded timeline.
+
+    Matches ``simulate_dynamic_schedule`` exactly (same task order, same
+    idle-thread-first policy), so its makespan equals the untraced one —
+    a property the test suite pins.
+    """
+    check_positive(threads, "threads")
+    costs = np.asarray(costs, dtype=np.float64).ravel()
+    if np.any(costs < 0):
+        raise ParallelError("task costs must be non-negative")
+    events: list[TaskEvent] = []
+    if len(costs) == 0:
+        return ScheduleTrace(events=[], threads=threads, makespan=0.0)
+    heap = [(0.0, t) for t in range(min(threads, len(costs)))]
+    heapq.heapify(heap)
+    for task, c in enumerate(costs):
+        free_at, thread = heapq.heappop(heap)
+        events.append(TaskEvent(task=task, thread=thread, start=free_at, end=free_at + float(c)))
+        heapq.heappush(heap, (free_at + float(c), thread))
+    makespan = max(t for t, _ in heap)
+    return ScheduleTrace(events=events, threads=threads, makespan=makespan)
+
+
+def render_gantt(trace: ScheduleTrace, *, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per thread, task ids in their slots."""
+    check_positive(width, "width")
+    if trace.makespan == 0:
+        return "(empty schedule)"
+    scale = width / trace.makespan
+    lines = []
+    per_thread: dict[int, list[TaskEvent]] = {}
+    for e in trace.events:
+        per_thread.setdefault(e.thread, []).append(e)
+    for t in range(trace.threads):
+        row = [" "] * width
+        for e in per_thread.get(t, []):
+            lo = int(e.start * scale)
+            hi = max(int(e.end * scale), lo + 1)
+            label = str(e.task)
+            for k in range(lo, min(hi, width)):
+                off = k - lo
+                row[k] = label[off] if off < len(label) else "="
+        lines.append(f"T{t:02d} |{''.join(row)}|")
+    busy = trace.thread_busy()
+    lines.append(
+        f"makespan={trace.makespan:.1f}  utilisation={trace.utilisation:.2f}  "
+        f"busiest/idlest={busy.max():.1f}/{busy.min():.1f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Sparse-matrix substrate.
+
+The paper's kernels are built on Intel MKL's CSR sparse-dense multiplication
+and ``axpy``.  This package is the stand-in: from-scratch COO/CSR/CSC
+containers (:mod:`repro.sparse.coo`, :mod:`repro.sparse.csr`,
+:mod:`repro.sparse.csc`) plus multiplication kernels
+(:mod:`repro.sparse.ops`) that run either on a pure-NumPy reference engine
+or on SciPy's compiled sparse kernels — the latter plays the role MKL plays
+in the paper, giving both the CSR baseline and the CBM kernels the same
+high-performance backend.
+"""
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.ops import (
+    Engine,
+    axpy,
+    get_default_engine,
+    set_default_engine,
+    spmm,
+    spmv,
+)
+from repro.sparse.convert import (
+    from_dense,
+    from_scipy,
+    to_scipy_csr,
+)
+from repro.sparse.io import load_matrix_market, save_matrix_market
+
+__all__ = [
+    "COOMatrix",
+    "CSRMatrix",
+    "CSCMatrix",
+    "Engine",
+    "axpy",
+    "spmm",
+    "spmv",
+    "get_default_engine",
+    "set_default_engine",
+    "from_dense",
+    "from_scipy",
+    "to_scipy_csr",
+    "load_matrix_market",
+    "save_matrix_market",
+]

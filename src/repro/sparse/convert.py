@@ -1,0 +1,44 @@
+"""Conversions between repro containers, SciPy sparse, and dense arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ShapeError
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import ensure_array
+
+
+def from_dense(a, *, dtype=np.float32) -> CSRMatrix:
+    """Build a :class:`CSRMatrix` holding the non-zero pattern of dense ``a``."""
+    arr = ensure_array(a, name="a")
+    if arr.ndim != 2:
+        raise ShapeError(f"expected a 2-D array, got {arr.ndim}-D")
+    rows, cols = np.nonzero(arr)
+    vals = arr[rows, cols].astype(dtype)
+    return COOMatrix(rows, cols, vals, arr.shape).tocsr()
+
+
+def from_scipy(a: sp.spmatrix) -> CSRMatrix:
+    """Convert any SciPy sparse matrix to our CSR container."""
+    csr = sp.csr_matrix(a)
+    csr.sort_indices()
+    csr.sum_duplicates()
+    return CSRMatrix(
+        csr.indptr.astype(np.int64),
+        csr.indices.astype(np.int64),
+        csr.data,
+        csr.shape,
+        check=False,
+    )
+
+
+def to_scipy_csr(a: CSRMatrix) -> sp.csr_matrix:
+    """View a :class:`CSRMatrix` as a SciPy csr_matrix.
+
+    SciPy may downcast the 64-bit index arrays (copying them); the value
+    array is reused when possible.
+    """
+    return sp.csr_matrix((a.data, a.indices, a.indptr), shape=a.shape)

@@ -1,0 +1,128 @@
+"""Coordinate-list (COO) sparse matrix.
+
+COO is the assembly format: cheap to build incrementally, trivially
+convertible to CSR/CSC.  All kernels in this library operate on CSR; COO
+exists to collect triplets and to mirror how graph edge lists arrive.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.utils.validation import ensure_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+
+class COOMatrix:
+    """Sparse matrix in coordinate format: parallel (row, col, value) arrays.
+
+    Duplicate coordinates are allowed at construction and are summed by
+    :meth:`sum_duplicates` (or implicitly by :meth:`tocsr`), matching the
+    semantics of every mainstream sparse library.
+    """
+
+    __slots__ = ("rows", "cols", "data", "shape")
+
+    def __init__(self, rows, cols, data, shape: tuple[int, int]):
+        self.rows = ensure_array(rows, dtype=np.int64, name="rows").ravel()
+        self.cols = ensure_array(cols, dtype=np.int64, name="cols").ravel()
+        self.data = ensure_array(data, name="data").ravel()
+        if not (len(self.rows) == len(self.cols) == len(self.data)):
+            raise FormatError(
+                f"COO triplet arrays must have equal length, got "
+                f"{len(self.rows)}/{len(self.cols)}/{len(self.data)}"
+            )
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ShapeError(f"invalid COO shape {shape}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        self.check_format()
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of stored entries (duplicates counted separately)."""
+        return len(self.data)
+
+    def check_format(self) -> None:
+        """Validate index ranges; raises :class:`FormatError` on violation."""
+        n, m = self.shape
+        if self.nnz == 0:
+            return
+        if self.rows.min(initial=0) < 0 or (self.nnz and self.rows.max() >= n):
+            raise FormatError(f"COO row index out of range for {self.shape}")
+        if self.cols.min(initial=0) < 0 or (self.nnz and self.cols.max() >= m):
+            raise FormatError(f"COO col index out of range for {self.shape}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges,
+        shape: tuple[int, int],
+        *,
+        symmetric: bool = False,
+        dtype=np.float32,
+    ) -> "COOMatrix":
+        """Build a binary COO matrix from an (E, 2) edge array.
+
+        With ``symmetric=True`` each edge (u, v) also stores (v, u), which is
+        how undirected graphs become adjacency matrices.  Self-loops are kept
+        once.  Duplicates are *not* removed here; convert to CSR (which sums
+        them) and re-binarise if needed, or use
+        :meth:`repro.graphs.adjacency.adjacency_from_edges` which handles
+        deduplication.
+        """
+        e = ensure_array(edges, dtype=np.int64, name="edges")
+        if e.ndim != 2 or e.shape[1] != 2:
+            raise ShapeError(f"edges must be (E, 2), got {e.shape}")
+        rows, cols = e[:, 0], e[:, 1]
+        if symmetric:
+            off = rows != cols
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, e[:, 0][off]])
+        data = np.ones(len(rows), dtype=dtype)
+        return cls(rows, cols, data, shape)
+
+    def sum_duplicates(self) -> "COOMatrix":
+        """Return an equivalent COO with unique, lexicographically sorted coords."""
+        if self.nnz == 0:
+            return COOMatrix(self.rows, self.cols, self.data, self.shape)
+        order = np.lexsort((self.cols, self.rows))
+        r, c, d = self.rows[order], self.cols[order], self.data[order]
+        # Boundaries where either coordinate changes start a new group.
+        new_group = np.empty(len(r), dtype=bool)
+        new_group[0] = True
+        new_group[1:] = (r[1:] != r[:-1]) | (c[1:] != c[:-1])
+        idx = np.flatnonzero(new_group)
+        summed = np.add.reduceat(d, idx)
+        return COOMatrix(r[idx], c[idx], summed.astype(d.dtype, copy=False), self.shape)
+
+    # ------------------------------------------------------------------
+    def tocsr(self) -> "CSRMatrix":
+        """Convert to CSR, summing duplicate entries."""
+        from repro.sparse.csr import CSRMatrix
+
+        dedup = self.sum_duplicates()
+        n = self.shape[0]
+        counts = np.bincount(dedup.rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        # sum_duplicates already sorted by (row, col): columns are in order.
+        return CSRMatrix(indptr, dedup.cols, dedup.data, self.shape, check=False)
+
+    def toarray(self) -> np.ndarray:
+        """Materialise as a dense ndarray (test/debug helper)."""
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        np.add.at(out, (self.rows, self.cols), self.data)
+        return out
+
+    def transpose(self) -> "COOMatrix":
+        return COOMatrix(self.cols, self.rows, self.data, (self.shape[1], self.shape[0]))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.data.dtype})"

@@ -1,0 +1,90 @@
+"""Compressed Sparse Column (CSC) matrix.
+
+CSC mirrors CSR with the roles of rows and columns swapped.  The library
+uses it for transposes and for the column-major access pattern of the
+training-stage kernels (``Aᵀ`` products).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import FormatError, ShapeError
+from repro.utils.validation import ensure_array
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+
+class CSCMatrix:
+    """Sparse matrix in CSC format: column pointers + row indices + values."""
+
+    __slots__ = ("indptr", "indices", "data", "shape")
+
+    def __init__(self, indptr, indices, data, shape: tuple[int, int], *, check: bool = True):
+        self.indptr = ensure_array(indptr, dtype=np.int64, name="indptr").ravel()
+        self.indices = ensure_array(indices, dtype=np.int64, name="indices").ravel()
+        self.data = ensure_array(data, name="data").ravel()
+        if len(shape) != 2 or shape[0] < 0 or shape[1] < 0:
+            raise ShapeError(f"invalid CSC shape {shape}")
+        self.shape = (int(shape[0]), int(shape[1]))
+        if check:
+            self.check_format()
+
+    @property
+    def nnz(self) -> int:
+        return len(self.data)
+
+    def check_format(self) -> None:
+        n, m = self.shape
+        if len(self.indptr) != m + 1:
+            raise FormatError(f"indptr has length {len(self.indptr)}, expected {m + 1}")
+        if len(self.indices) != len(self.data):
+            raise FormatError("indices and data differ in length")
+        if self.indptr[0] != 0 or self.indptr[-1] != len(self.indices):
+            raise FormatError("indptr must start at 0 and end at nnz")
+        if np.any(np.diff(self.indptr) < 0):
+            raise FormatError("indptr must be non-decreasing")
+        if self.nnz and (self.indices.min() < 0 or self.indices.max() >= n):
+            raise FormatError(f"row index out of range for {self.shape}")
+
+    def col(self, j: int) -> np.ndarray:
+        """Row indices of column ``j`` (a view, do not mutate)."""
+        return self.indices[self.indptr[j] : self.indptr[j + 1]]
+
+    def col_nnz(self) -> np.ndarray:
+        return np.diff(self.indptr)
+
+    def tocsr(self) -> "CSRMatrix":
+        from repro.sparse.csr import CSRMatrix
+
+        cols = np.repeat(np.arange(self.shape[1], dtype=np.int64), self.col_nnz())
+        order = np.lexsort((cols, self.indices))
+        rows, cols2, data = self.indices[order], cols[order], self.data[order]
+        n = self.shape[0]
+        counts = np.bincount(rows, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRMatrix(indptr, cols2, data, self.shape, check=False)
+
+    def toarray(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=self.data.dtype)
+        cols = np.repeat(np.arange(self.shape[1]), self.col_nnz())
+        out[self.indices, cols] = self.data
+        return out
+
+    def transpose(self) -> "CSCMatrix":
+        """Transpose by reinterpreting the CSR form of the flipped matrix."""
+        csr = self.tocsr()
+        return CSCMatrix(
+            csr.indptr, csr.indices, csr.data, (self.shape[1], self.shape[0]), check=False
+        )
+
+    def memory_bytes(self, *, value_bytes: int = 4, index_bytes: int = 4) -> int:
+        m = self.shape[1]
+        return value_bytes * self.nnz + index_bytes * self.nnz + index_bytes * (m + 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz}, dtype={self.data.dtype})"

@@ -1,0 +1,17 @@
+"""Single Tree Adjacency Forest (STAF) — related-work comparator.
+
+STAF (Nishino et al., SDM 2014) is the closest prior computation-friendly
+binary-matrix compression scheme the paper compares against conceptually
+(Section VII): reversed adjacency lists are inserted into a trie so rows
+sharing *suffixes* of their sorted column lists share trie paths, and the
+matrix-dense product is computed by accumulating partial sums down the
+trie — at most one scalar addition per trie node per output column.
+
+CBM generalises this by exploiting similarity across *entire* rows (not
+just common suffixes); having both formats in one repo lets the
+benchmarks quantify that difference on the same graphs.
+"""
+
+from repro.staf.trie import STAFMatrix, build_staf
+
+__all__ = ["STAFMatrix", "build_staf"]

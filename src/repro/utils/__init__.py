@@ -1,0 +1,30 @@
+"""Shared utilities: validation, RNG handling, timing, formatting."""
+
+from repro.utils.validation import (
+    check_axis_index,
+    check_dense,
+    check_nonnegative,
+    check_positive,
+    check_square,
+    ensure_array,
+)
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import Timer, measure, MeasuredTime
+from repro.utils.fmt import human_bytes, human_time, format_table
+
+__all__ = [
+    "check_axis_index",
+    "check_dense",
+    "check_nonnegative",
+    "check_positive",
+    "check_square",
+    "ensure_array",
+    "as_rng",
+    "spawn_rngs",
+    "Timer",
+    "measure",
+    "MeasuredTime",
+    "human_bytes",
+    "human_time",
+    "format_table",
+]

@@ -1,0 +1,90 @@
+"""Human-readable formatting of sizes, durations, and result tables.
+
+Benchmarks print plain-text tables shaped like the ones in the paper; this
+module owns the rendering so every table looks the same.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count using binary units, e.g. ``human_bytes(3_240_000)``.
+
+    Matches the paper's MiB convention for anything at or above one KiB.
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    units = ["B", "KiB", "MiB", "GiB", "TiB"]
+    value = float(n)
+    for unit in units:
+        if value < 1024.0 or unit == units[-1]:
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def human_time(seconds: float) -> str:
+    """Format a duration with a sensible unit (ns/us/ms/s)."""
+    if seconds != seconds:  # NaN
+        return "nan"
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds >= 1.0:
+        return f"{seconds:.4f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    if seconds >= 1e-6:
+        return f"{seconds * 1e6:.2f} us"
+    return f"{seconds * 1e9:.1f} ns"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table.
+
+    Cells are stringified with ``str``; numeric alignment is right,
+    everything else is left.  Returns the table as one string (no trailing
+    newline) so callers can print or log it.
+    """
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def is_numeric(s: str) -> bool:
+        try:
+            float(s.replace("x", "").replace("%", ""))
+            return True
+        except ValueError:
+            return False
+
+    def render_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if is_numeric(cell):
+                parts.append(cell.rjust(widths[i]))
+            else:
+                parts.append(cell.ljust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Argument validation helpers.
+
+These are deliberately small and allocation-free on the happy path: hot
+kernels call them once per *operation*, never per element.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import DTypeError, ShapeError
+
+
+def ensure_array(x: Any, dtype=None, name: str = "array") -> np.ndarray:
+    """Coerce ``x`` to an ndarray, raising a library error on failure.
+
+    Unlike ``np.asarray`` this rejects object dtype, which silently
+    destroys performance in numeric kernels.
+    """
+    try:
+        arr = np.asarray(x, dtype=dtype)
+    except (TypeError, ValueError) as exc:  # pragma: no cover - defensive
+        raise DTypeError(f"{name}: cannot convert to ndarray: {exc}") from exc
+    if arr.dtype == object:
+        raise DTypeError(f"{name}: object dtype is not supported in numeric kernels")
+    return arr
+
+
+def check_dense(x: np.ndarray, name: str = "operand", ndim: int | None = None) -> np.ndarray:
+    """Validate a dense numeric operand and return it as a float array."""
+    arr = ensure_array(x, name=name)
+    if not np.issubdtype(arr.dtype, np.number):
+        raise DTypeError(f"{name}: expected a numeric array, got dtype {arr.dtype}")
+    if ndim is not None and arr.ndim != ndim:
+        raise ShapeError(f"{name}: expected {ndim} dimensions, got {arr.ndim}")
+    return arr
+
+
+def check_square(shape: tuple[int, int], name: str = "matrix") -> None:
+    if len(shape) != 2 or shape[0] != shape[1]:
+        raise ShapeError(f"{name}: expected a square matrix, got shape {shape}")
+
+
+def check_positive(value: float, name: str) -> None:
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(value: float, name: str) -> None:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_axis_index(index: int, size: int, name: str = "index") -> None:
+    if not 0 <= index < size:
+        raise IndexError(f"{name} {index} out of range for size {size}")

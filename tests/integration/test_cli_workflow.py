@@ -1,0 +1,79 @@
+"""Integration tests: full CLI workflow and example-script entry points."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graphs.io import save_edge_list
+from repro.sparse.io import save_matrix_market
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestCliWorkflow:
+    def test_compress_save_inspect_verify_bench(self, tmp_path, capsys):
+        """The end-to-end preprocessing story the paper assumes: compress
+        once, persist, reuse."""
+        archive = tmp_path / "cora.npz"
+        assert main(["compress", "Cora", "-a", "2", "-o", str(archive)]) == 0
+        assert archive.exists()
+        assert main(["inspect", str(archive)]) == 0
+        assert main(["verify", "Cora", "-a", "2", "--runs", "2", "--columns", "16"]) == 0
+        assert main(["bench", "Cora", "-a", "2", "-p", "16", "--repeats", "3"]) == 0
+        assert main(["model", "Cora", "-a", "2", "-p", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "CacheTier" in out
+
+    def test_mtx_file_pipeline(self, tmp_path, capsys):
+        """External matrices (not in the registry) flow through the same CLI."""
+        a = random_adjacency_csr(30, density=0.3, seed=1)
+        mtx = tmp_path / "external.mtx"
+        save_matrix_market(mtx, a, field="pattern")
+        assert main(["stats", str(mtx), "--no-clustering"]) == 0
+        archive = tmp_path / "external.npz"
+        assert main(["compress", str(mtx), "-o", str(archive)]) == 0
+        assert main(["inspect", str(archive)]) == 0
+        out = capsys.readouterr().out
+        assert "30 nodes" in out
+
+    def test_verify_fails_loudly_on_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["verify", "NotAGraph"])
+
+
+class TestExamplesEntryPoints:
+    """Each example's main() runs end to end (smallest datasets)."""
+
+    @pytest.fixture(autouse=True)
+    def _examples_on_path(self, monkeypatch):
+        import pathlib
+        import sys
+
+        examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
+        monkeypatch.syspath_prepend(str(examples))
+
+    def test_quickstart_main(self, capsys):
+        import quickstart
+
+        quickstart.main()
+        out = capsys.readouterr().out
+        assert "compression ratio" in out
+
+    def test_gcn_inference_main(self, capsys):
+        import gcn_inference
+
+        gcn_inference.main("Cora")
+        assert "speedup" in capsys.readouterr().out
+
+    def test_alpha_tuning_main(self, capsys):
+        import alpha_tuning
+
+        alpha_tuning.main("Cora")
+        assert "best alpha" in capsys.readouterr().out
+
+    def test_related_work_main(self, capsys):
+        import related_work_comparison
+
+        related_work_comparison.main("Cora")
+        assert "STAF" in capsys.readouterr().out

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: GCN pipelines, experiments, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.bench.experiments import (
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+)
+from repro.core.builder import build_cbm
+from repro.gnn.adjacency import make_operator
+from repro.gnn.data import synthetic_node_classification
+from repro.gnn.gcn import GCN, two_layer_gcn_inference
+from repro.gnn.train import accuracy, train_gcn
+from repro.graphs.datasets import load_dataset
+
+FAST = ("Cora", "ca-HepPh")
+
+
+class TestGcnEndToEnd:
+    def test_inference_formats_agree_on_dataset(self):
+        a = load_dataset("Cora")
+        rng = np.random.default_rng(0)
+        x = rng.random((a.shape[0], 64), dtype=np.float64).astype(np.float32)
+        w0 = rng.random((64, 64), dtype=np.float64).astype(np.float32) - 0.5
+        w1 = rng.random((64, 16), dtype=np.float64).astype(np.float32) - 0.5
+        y_csr = two_layer_gcn_inference(make_operator(a, "csr"), x, w0, w1)
+        y_cbm = two_layer_gcn_inference(make_operator(a, "cbm", alpha=2), x, w0, w1)
+        assert np.allclose(y_csr, y_cbm, rtol=1e-3, atol=1e-3)
+
+    def test_training_learns_community_structure(self):
+        """The GCN must beat a features-only baseline on a noisy task."""
+        task = synthetic_node_classification(
+            300, classes=3, feature_dim=16, feature_noise=3.0, seed=42
+        )
+        op = make_operator(task.adjacency, "cbm", alpha=0)
+        model = GCN([16, 16, 3], seed=0, requires_grad=True)
+        train_gcn(
+            model,
+            op,
+            task.features,
+            task.labels,
+            train_mask=task.train_mask,
+            epochs=120,
+            lr=0.02,
+        )
+        logits = model.forward(op, task.features)
+        test_acc = accuracy(logits, task.labels, task.test_mask)
+        assert test_acc > 0.7
+
+
+class TestExperimentRunners:
+    def test_table1_all_rows(self):
+        rows, text = run_table1()
+        assert len(rows) == 8
+        assert "Table I" in text
+
+    def test_table2_subset(self):
+        rows, text = run_table2(datasets=FAST, alphas=(0, 32))
+        assert len(rows) == 4
+        # alpha=32 never compresses better than alpha=0
+        by_graph = {}
+        for r in rows:
+            by_graph.setdefault(r["Graph"], {})[r["Alpha"]] = float(r["Ratio"])
+        for g, d in by_graph.items():
+            assert d[32] <= d[0] + 1e-9, g
+
+    def test_figure2_subset(self):
+        rows, text = run_figure2(datasets=("ca-HepPh",), alphas=(0, 8), p=64, measure_wall=False)
+        assert len(rows) == 2
+        assert "Figure 2" in text
+
+    def test_table3_subset(self):
+        rows, _ = run_table3(datasets=("Cora",), p=64, variants=("A", "DAD"), measure_wall=False)
+        assert {r["Kernel"] for r in rows} == {"AX", "DADX"}
+
+    def test_table4_subset(self):
+        rows, _ = run_table4(datasets=("Cora",), p=64, measure_wall=False)
+        assert len(rows) == 1
+        assert float(rows[0]["ModelSeq"]) > 0
+
+    def test_table5_sorted_by_ratio(self):
+        rows, _ = run_table5(datasets=FAST)
+        ratios = [float(r["Ratio"]) for r in rows]
+        assert ratios == sorted(ratios)
+
+
+class TestPaperShapes:
+    """The qualitative claims of the paper's evaluation, as assertions."""
+
+    def test_clique_families_compress_better_than_citation(self):
+        r_cit = build_cbm(load_dataset("Cora"), alpha=0)[1].compression_ratio
+        r_col = build_cbm(load_dataset("COLLAB"), alpha=0)[1].compression_ratio
+        assert r_col > 3 * r_cit
+
+    def test_compression_ratio_tracks_clustering(self):
+        """Spearman-style check: ranking by clustering is positively
+        correlated with ranking by compression ratio (Table V)."""
+        from repro.graphs.stats import average_clustering_coefficient
+
+        names = ["PubMed", "ca-HepPh", "COLLAB"]
+        cc = []
+        ratio = []
+        for n in names:
+            a = load_dataset(n)
+            cc.append(average_clustering_coefficient(a))
+            ratio.append(build_cbm(a, alpha=0)[1].compression_ratio)
+        assert np.argsort(cc).tolist() == np.argsort(ratio).tolist()
+
+    def test_alpha_raises_parallelism(self):
+        """Larger alpha -> more virtual-root branches (Section V-C)."""
+        a = load_dataset("ca-HepPh")
+        b0 = len(build_cbm(a, alpha=0)[0].tree.branches())
+        b32 = len(build_cbm(a, alpha=32)[0].tree.branches())
+        assert b32 > b0
+
+    def test_alpha_speeds_up_construction(self):
+        """Table II: construction is never slower at alpha=32 by much —
+        the candidate set shrinks."""
+        from repro.core.distance import candidate_edges
+
+        a = load_dataset("ca-HepPh")
+        e0 = candidate_edges(a, 0).num_edges
+        e32 = candidate_edges(a, 32).num_edges
+        assert e32 < e0

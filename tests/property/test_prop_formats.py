@@ -1,0 +1,141 @@
+"""Property-based tests across formats: STAF, BL, blocked kernels,
+orderings, and rebalancing all agree with the dense ground truth."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bl2001 import build_bl2001
+from repro.core.builder import build_cbm
+from repro.core.rebalance import cut_depth, split_branches
+from repro.graphs.ordering import (
+    bfs_order,
+    degree_order,
+    permute_symmetric,
+    rcm_order,
+    signature_order,
+)
+from repro.sparse.blocked import cbm_matmul_blocked, spmm_blocked
+from repro.sparse.convert import from_dense
+from repro.staf import build_staf
+
+
+@st.composite
+def binary_square(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    return draw(arrays(np.float32, (n, n), elements=st.sampled_from([0.0, 1.0])))
+
+
+@st.composite
+def symmetric_adjacency(draw, max_n=14):
+    d = draw(binary_square(max_n))
+    d = np.maximum(d, d.T)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+class TestStafProperties:
+    @given(binary_square(), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_matmul_correct(self, d, p):
+        a = from_dense(d)
+        staf = build_staf(a)
+        x = np.random.default_rng(0).random((d.shape[0], p)).astype(np.float32)
+        assert np.allclose(staf.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)
+
+    @given(binary_square())
+    @settings(max_examples=50, deadline=None)
+    def test_node_count_bounded(self, d):
+        a = from_dense(d)
+        assert build_staf(a).num_nodes <= a.nnz
+
+
+class TestBLProperties:
+    @given(symmetric_adjacency())
+    @settings(max_examples=40, deadline=None)
+    def test_matmul_correct(self, d):
+        a = from_dense(d)
+        bl, _ = build_bl2001(a)
+        x = np.random.default_rng(1).random((d.shape[0], 3)).astype(np.float32)
+        assert np.allclose(bl.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)
+
+    @given(symmetric_adjacency())
+    @settings(max_examples=40, deadline=None)
+    def test_cbm_never_more_deltas(self, d):
+        a = from_dense(d)
+        _, rep_cbm = build_cbm(a, alpha=0)
+        _, rep_bl = build_bl2001(a)
+        assert rep_cbm.total_deltas <= rep_bl.total_deltas
+
+
+class TestBlockedProperties:
+    @given(binary_square(), st.integers(1, 6), st.integers(1, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_spmm_blocked_equivalence(self, d, p, panel):
+        a = from_dense(d)
+        x = np.random.default_rng(2).random((d.shape[0], p)).astype(np.float32)
+        from repro.sparse.ops import spmm
+
+        assert np.allclose(spmm_blocked(a, x, panel=panel), spmm(a, x), rtol=1e-5)
+
+    @given(symmetric_adjacency(), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_cbm_blocked_equivalence(self, d, panel):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        x = np.random.default_rng(3).random((d.shape[0], 4)).astype(np.float32)
+        assert np.allclose(
+            cbm_matmul_blocked(cbm, x, panel=panel), cbm.matmul(x), rtol=1e-5
+        )
+
+
+class TestOrderingProperties:
+    @given(symmetric_adjacency())
+    @settings(max_examples=40, deadline=None)
+    def test_all_orders_are_permutations(self, d):
+        a = from_dense(d)
+        n = d.shape[0]
+        for fn in (bfs_order, rcm_order, degree_order, signature_order):
+            assert sorted(fn(a).tolist()) == list(range(n))
+
+    @given(symmetric_adjacency(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_permutation_preserves_spectrum_of_degrees(self, d, seed):
+        a = from_dense(d)
+        order = np.random.default_rng(seed).permutation(d.shape[0])
+        b = permute_symmetric(a, order)
+        assert sorted(a.row_nnz().tolist()) == sorted(b.row_nnz().tolist())
+
+    @given(symmetric_adjacency(), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_cbm_total_deltas_order_invariant(self, d, seed):
+        a = from_dense(d)
+        order = np.random.default_rng(seed).permutation(d.shape[0])
+        b = permute_symmetric(a, order)
+        _, rep_a = build_cbm(a, alpha=0)
+        _, rep_b = build_cbm(b, alpha=0)
+        assert rep_a.total_deltas == rep_b.total_deltas
+
+
+class TestRebalanceProperties:
+    @given(symmetric_adjacency(), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_cut_depth_correct_and_bounded(self, d, max_depth):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        cut = cut_depth(cbm, max_depth)
+        assert cut.tree.depth().max(initial=0) <= max_depth
+        x = np.random.default_rng(4).random((d.shape[0], 3)).astype(np.float32)
+        assert np.allclose(cut.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)
+        assert cut.num_deltas <= a.nnz  # Property 1 survives cutting
+
+    @given(symmetric_adjacency(), st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_split_branches_correct_and_bounded(self, d, max_branch):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        split = split_branches(cbm, max_branch)
+        assert max((len(b) for b in split.tree.branches()), default=0) <= max_branch
+        x = np.random.default_rng(5).random((d.shape[0], 3)).astype(np.float32)
+        assert np.allclose(split.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)

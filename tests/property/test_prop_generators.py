@@ -1,0 +1,78 @@
+"""Property-based tests for the graph generators (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.adjacency import is_undirected_simple
+from repro.graphs.generators import (
+    citation_graph,
+    coauthor_graph,
+    copapers_graph,
+    erdos_renyi_graph,
+    ppi_graph,
+    rmat_graph,
+    sbm_graph,
+)
+
+
+class TestGeneratorInvariants:
+    @given(st.integers(10, 150), st.floats(1.0, 12.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_erdos_renyi_simple(self, n, deg, seed):
+        a = erdos_renyi_graph(n, deg, seed=seed)
+        assert a.shape == (n, n)
+        assert is_undirected_simple(a)
+
+    @given(st.integers(10, 120), st.floats(2.0, 8.0), st.floats(0.0, 0.9), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_citation_simple(self, n, deg, closure, seed):
+        a = citation_graph(n, deg, closure=closure, seed=seed)
+        assert is_undirected_simple(a)
+        # preferential attachment guarantees connectivity to the core:
+        # every non-seed node has at least one edge.
+        m = max(1, int(round(deg / 2)))
+        assert np.all(a.row_nnz()[m:] >= 1)
+
+    @given(st.integers(20, 120), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_coauthor_simple(self, n, seed):
+        a = coauthor_graph(n, seed=seed)
+        assert is_undirected_simple(a)
+
+    @given(st.integers(20, 120), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_copapers_simple(self, n, seed):
+        assert is_undirected_simple(copapers_graph(n, seed=seed))
+
+    @given(st.integers(30, 120), st.floats(4.0, 20.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_ppi_simple(self, n, deg, seed):
+        assert is_undirected_simple(ppi_graph(n, deg, communities=3, seed=seed))
+
+    @given(st.integers(4, 8), st.floats(2.0, 10.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_rmat_simple(self, scale, deg, seed):
+        a = rmat_graph(scale, deg, seed=seed)
+        assert a.shape == (1 << scale, 1 << scale)
+        assert is_undirected_simple(a)
+
+    @given(
+        st.lists(st.integers(5, 40), min_size=1, max_size=4),
+        st.floats(0.0, 0.5),
+        st.floats(0.0, 0.1),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_sbm_simple(self, sizes, p_in, p_out, seed):
+        a = sbm_graph(sizes, p_in, p_out, seed=seed)
+        assert a.shape[0] == sum(sizes)
+        assert is_undirected_simple(a)
+
+    @given(st.integers(10, 80), st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_same_seed_same_graph(self, n, seed):
+        a = erdos_renyi_graph(n, 6.0, seed=seed)
+        b = erdos_renyi_graph(n, 6.0, seed=seed)
+        assert np.array_equal(a.indptr, b.indptr)
+        assert np.array_equal(a.indices, b.indices)

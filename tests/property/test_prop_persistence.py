@@ -1,0 +1,102 @@
+"""Property-based round-trip tests for persistence layers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.builder import build_cbm
+from repro.core.io import load_cbm, save_cbm
+from repro.graphs.io import load_edge_list, save_edge_list
+from repro.sparse.convert import from_dense
+from repro.sparse.io import load_matrix_market, save_matrix_market
+
+
+@st.composite
+def symmetric_adjacency(draw, max_n=12):
+    n = draw(st.integers(1, max_n))
+    d = draw(arrays(np.float32, (n, n), elements=st.sampled_from([0.0, 1.0])))
+    d = np.maximum(d, d.T)
+    np.fill_diagonal(d, 0)
+    return d
+
+
+@st.composite
+def sparse_dense(draw, max_n=10):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_n))
+    vals = draw(
+        arrays(np.float32, (n, m), elements=st.floats(-8, 8, width=32, allow_nan=False))
+    )
+    mask = draw(arrays(np.bool_, (n, m)))
+    return np.where(mask, vals, 0.0).astype(np.float32)
+
+
+class TestCbmArchiveRoundTrip:
+    @given(symmetric_adjacency(), st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_products_preserved(self, d, alpha):
+        import tempfile
+        import pathlib
+
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=alpha)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "m.npz"
+            save_cbm(path, cbm)
+            back = load_cbm(path)
+        x = np.random.default_rng(0).random((d.shape[0], 3)).astype(np.float32)
+        assert np.allclose(back.matmul(x), cbm.matmul(x), rtol=1e-6)
+        assert back.alpha == cbm.alpha
+        assert back.num_deltas == cbm.num_deltas
+
+    @given(symmetric_adjacency(max_n=10))
+    @settings(max_examples=20, deadline=None)
+    def test_double_roundtrip_stable(self, d):
+        import tempfile
+        import pathlib
+
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        with tempfile.TemporaryDirectory() as tmp:
+            p1 = pathlib.Path(tmp) / "1.npz"
+            p2 = pathlib.Path(tmp) / "2.npz"
+            save_cbm(p1, cbm)
+            once = load_cbm(p1)
+            save_cbm(p2, once)
+            twice = load_cbm(p2)
+        assert np.array_equal(once.tree.parent, twice.tree.parent)
+        assert np.array_equal(once.delta.indices, twice.delta.indices)
+
+
+class TestFileFormats:
+    @given(sparse_dense())
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_market_roundtrip(self, d):
+        import tempfile
+        import pathlib
+
+        a = from_dense(d)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "m.mtx"
+            save_matrix_market(path, a, field="real")
+            b = load_matrix_market(path)
+        assert np.allclose(b.toarray(), d, rtol=1e-5, atol=1e-6)
+
+    @given(symmetric_adjacency())
+    @settings(max_examples=25, deadline=None)
+    def test_edge_list_roundtrip_on_support(self, d):
+        import tempfile
+        import pathlib
+
+        a = from_dense(d)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = pathlib.Path(tmp) / "g.txt"
+            save_edge_list(path, a)
+            b, ids = load_edge_list(path)
+        # Nodes with edges survive; the induced dense blocks must match.
+        if len(ids):
+            assert np.allclose(b.toarray(), d[np.ix_(ids, ids)])
+        else:
+            assert a.nnz == 0

@@ -1,0 +1,67 @@
+"""Property-based tests for rectangular (bipartite incidence) CBM."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.builder import build_cbm, build_clustered
+from repro.core.opcount import csr_spmm_ops
+from repro.sparse.convert import from_dense
+
+
+@st.composite
+def rectangular_binary(draw, max_n=12, max_m=14):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_m))
+    return draw(arrays(np.float32, (n, m), elements=st.sampled_from([0.0, 1.0])))
+
+
+class TestRectangularCBM:
+    @given(rectangular_binary(), st.integers(0, 4), st.integers(1, 4))
+    @settings(max_examples=50, deadline=None)
+    def test_matmul_correct(self, d, alpha, p):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=alpha)
+        x = np.random.default_rng(0).random((d.shape[1], p)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)
+
+    @given(rectangular_binary(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_property1_holds(self, d, alpha):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=alpha)
+        assert cbm.num_deltas <= a.nnz
+
+    @given(rectangular_binary())
+    @settings(max_examples=40, deadline=None)
+    def test_property2_holds(self, d):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        assert cbm.scalar_ops(4).multiply_stage <= csr_spmm_ops(a, 4).total
+
+    @given(rectangular_binary())
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip(self, d):
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        assert np.allclose(cbm.tocsr().toarray(), d)
+
+    @given(rectangular_binary(max_n=10), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_clustered_build_rectangular(self, d, cluster_size):
+        a = from_dense(d)
+        cbm, _ = build_clustered(a, cluster_size=cluster_size)
+        x = np.random.default_rng(1).random((d.shape[1], 2)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), d.astype(np.float64) @ x, rtol=1e-3, atol=1e-4)
+
+    @given(rectangular_binary(max_n=10))
+    @settings(max_examples=25, deadline=None)
+    def test_ad_variant_rectangular(self, d):
+        rng = np.random.default_rng(2)
+        a = from_dense(d)
+        diag = rng.random(d.shape[1]) + 0.5
+        cbm, _ = build_cbm(a, alpha=1, variant="AD", diag=diag)
+        x = rng.random((d.shape[1], 2)).astype(np.float32)
+        ref = (d.astype(np.float64) * diag) @ x
+        assert np.allclose(cbm.matmul(x), ref, rtol=1e-3, atol=1e-4)

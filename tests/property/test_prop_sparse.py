@@ -1,0 +1,115 @@
+"""Property-based tests for the sparse containers (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.sparse.convert import from_dense
+from repro.sparse.coo import COOMatrix
+
+
+@st.composite
+def dense_matrices(draw, max_dim=12, binary=False):
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    if binary:
+        return draw(
+            arrays(np.float32, (n, m), elements=st.sampled_from([0.0, 1.0]))
+        )
+    vals = draw(
+        arrays(
+            np.float32,
+            (n, m),
+            elements=st.floats(-10, 10, width=32, allow_nan=False),
+        )
+    )
+    mask = draw(arrays(np.bool_, (n, m)))
+    return np.where(mask, vals, 0.0).astype(np.float32)
+
+
+@st.composite
+def coo_triplets(draw, max_dim=10, max_nnz=30):
+    n = draw(st.integers(1, max_dim))
+    m = draw(st.integers(1, max_dim))
+    k = draw(st.integers(0, max_nnz))
+    rows = draw(st.lists(st.integers(0, n - 1), min_size=k, max_size=k))
+    cols = draw(st.lists(st.integers(0, m - 1), min_size=k, max_size=k))
+    vals = draw(
+        st.lists(
+            st.floats(-5, 5, width=32, allow_nan=False), min_size=k, max_size=k
+        )
+    )
+    return rows, cols, np.asarray(vals, dtype=np.float32), (n, m)
+
+
+class TestRoundTrips:
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_csr_roundtrip(self, d):
+        assert np.allclose(from_dense(d).toarray(), d)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_coo_csr(self, d):
+        a = from_dense(d)
+        assert np.allclose(a.tocoo().tocsr().toarray(), d)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_csr_csc_roundtrip(self, d):
+        a = from_dense(d)
+        assert np.allclose(a.tocsc().tocsr().toarray(), d)
+
+    @given(dense_matrices())
+    @settings(max_examples=60, deadline=None)
+    def test_double_transpose(self, d):
+        a = from_dense(d)
+        assert np.allclose(a.transpose().transpose().toarray(), d)
+
+
+class TestCOOInvariants:
+    @given(coo_triplets())
+    @settings(max_examples=60, deadline=None)
+    def test_sum_duplicates_preserves_dense(self, triplet):
+        rows, cols, vals, shape = triplet
+        m = COOMatrix(rows, cols, vals, shape)
+        assert np.allclose(m.sum_duplicates().toarray(), m.toarray(), atol=1e-4)
+
+    @given(coo_triplets())
+    @settings(max_examples=60, deadline=None)
+    def test_tocsr_preserves_dense(self, triplet):
+        rows, cols, vals, shape = triplet
+        m = COOMatrix(rows, cols, vals, shape)
+        assert np.allclose(m.tocsr().toarray(), m.toarray(), atol=1e-4)
+
+    @given(coo_triplets())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_format_valid_after_conversion(self, triplet):
+        rows, cols, vals, shape = triplet
+        COOMatrix(rows, cols, vals, shape).tocsr().check_format()
+
+
+class TestKernels:
+    @given(dense_matrices(max_dim=10), st.integers(1, 6), st.integers(0, 2**32 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_spmm_matches_dense(self, d, p, seed):
+        from repro.sparse.ops import Engine, spmm
+
+        a = from_dense(d)
+        b = np.random.default_rng(seed).random((d.shape[1], p)).astype(np.float32)
+        ref = d.astype(np.float64) @ b.astype(np.float64)
+        assert np.allclose(spmm(a, b, engine=Engine.REFERENCE), ref, rtol=1e-3, atol=1e-4)
+        assert np.allclose(spmm(a, b, engine=Engine.SCIPY), ref, rtol=1e-3, atol=1e-4)
+
+    @given(dense_matrices(max_dim=8), dense_matrices(max_dim=8))
+    @settings(max_examples=40, deadline=None)
+    def test_scale_rows_cols_commute_with_dense(self, d, _other):
+        a = from_dense(d)
+        r = np.arange(1, d.shape[0] + 1, dtype=np.float64)
+        c = np.arange(1, d.shape[1] + 1, dtype=np.float64)
+        assert np.allclose(
+            a.scale_rows(r).scale_columns(c).toarray(),
+            d * r[:, None] * c,
+            rtol=1e-5,
+        )

@@ -1,0 +1,88 @@
+"""Property-based tests for compression-tree structure (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree import VIRTUAL, CompressionTree
+
+
+@st.composite
+def random_forests(draw, max_n=30):
+    """Parent arrays that are guaranteed acyclic: parent[x] < x or VIRTUAL."""
+    n = draw(st.integers(1, max_n))
+    parent = []
+    for x in range(n):
+        if x == 0 or draw(st.booleans()):
+            parent.append(VIRTUAL)
+        else:
+            parent.append(draw(st.integers(0, x - 1)))
+    return CompressionTree(parent=np.asarray(parent, dtype=np.int64))
+
+
+class TestTreeProperties:
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_topological_order_is_permutation(self, tree):
+        order = tree.topological_order()
+        assert sorted(order.tolist()) == list(range(tree.n))
+
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_parents_precede_children(self, tree):
+        pos = np.empty(tree.n, dtype=int)
+        pos[tree.topological_order()] = np.arange(tree.n)
+        for x in range(tree.n):
+            p = tree.parent[x]
+            if p != VIRTUAL:
+                assert pos[p] < pos[x]
+
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_levels_partition_non_roots(self, tree):
+        levels = tree.levels()
+        rows = [int(x) for lv in levels for x in lv]
+        non_roots = [x for x in range(tree.n) if tree.parent[x] != VIRTUAL]
+        assert sorted(rows) == sorted(non_roots)
+
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_level_k_parents_at_level_k_minus_1(self, tree):
+        depth = tree.depth()
+        for k, lv in enumerate(tree.levels(), start=1):
+            assert np.all(depth[lv] == k)
+            parents = tree.parent[lv]
+            assert np.all(depth[parents] == k - 1)
+
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_branches_partition_all_rows(self, tree):
+        rows = [int(x) for b in tree.branches() for x in b]
+        assert sorted(rows) == list(range(tree.n))
+
+    @given(random_forests())
+    @settings(max_examples=80, deadline=None)
+    def test_branch_count_equals_roots(self, tree):
+        assert len(tree.branches()) == len(tree.roots)
+
+    @given(random_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_branch_members_share_root_ancestor(self, tree):
+        def root_of(x):
+            while tree.parent[x] != VIRTUAL:
+                x = int(tree.parent[x])
+            return x
+
+        for b in tree.branches():
+            roots = {root_of(int(x)) for x in b}
+            assert len(roots) == 1
+
+    @given(random_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_children_counts_sum_to_edges(self, tree):
+        assert tree.children_counts().sum() == tree.num_tree_edges
+
+    @given(random_forests())
+    @settings(max_examples=60, deadline=None)
+    def test_depth_bounded_by_n(self, tree):
+        assert tree.depth().max(initial=0) < tree.n

@@ -1,0 +1,101 @@
+"""Unit tests for the blocked kernels and the roofline report."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.errors import ShapeError
+from repro.parallel.report import cost_breakdown, render_breakdown
+from repro.sparse.blocked import (
+    cbm_matmul_blocked,
+    panel_bounds,
+    spmm_blocked,
+    sweep_panel_sizes,
+)
+from repro.sparse.ops import spmm
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestPanelBounds:
+    def test_exact_division(self):
+        assert panel_bounds(8, 4) == [(0, 4), (4, 8)]
+
+    def test_remainder(self):
+        assert panel_bounds(10, 4) == [(0, 4), (4, 8), (8, 10)]
+
+    def test_panel_larger_than_total(self):
+        assert panel_bounds(3, 100) == [(0, 3)]
+
+    def test_invalid_panel(self):
+        with pytest.raises(ValueError):
+            panel_bounds(10, 0)
+
+
+class TestBlockedKernels:
+    @pytest.mark.parametrize("panel", [1, 3, 16, 64, 1000])
+    def test_spmm_blocked_matches_unblocked(self, panel):
+        a = random_adjacency_csr(30, seed=0)
+        x = np.random.default_rng(0).random((30, 17)).astype(np.float32)
+        assert np.allclose(spmm_blocked(a, x, panel=panel), spmm(a, x), rtol=1e-6)
+
+    @pytest.mark.parametrize("panel", [1, 7, 32])
+    def test_cbm_blocked_matches_unblocked(self, panel):
+        a = random_adjacency_csr(30, seed=1)
+        cbm, _ = build_cbm(a, alpha=0)
+        x = np.random.default_rng(1).random((30, 19)).astype(np.float32)
+        assert np.allclose(
+            cbm_matmul_blocked(cbm, x, panel=panel), cbm.matmul(x), rtol=1e-5
+        )
+
+    def test_cbm_blocked_dad_variant(self):
+        rng = np.random.default_rng(2)
+        a = random_adjacency_csr(25, seed=2)
+        d = rng.random(25) + 0.5
+        cbm, _ = build_cbm(a, alpha=2, variant="DAD", diag=d)
+        x = rng.random((25, 11)).astype(np.float32)
+        assert np.allclose(cbm_matmul_blocked(cbm, x, panel=4), cbm.matmul(x), rtol=1e-5)
+
+    def test_shape_mismatch(self):
+        a = random_adjacency_csr(10, seed=3)
+        with pytest.raises(ShapeError):
+            spmm_blocked(a, np.ones((3, 4), dtype=np.float32))
+        cbm, _ = build_cbm(a)
+        with pytest.raises(ShapeError):
+            cbm_matmul_blocked(cbm, np.ones((3, 4), dtype=np.float32))
+
+    def test_sweep_returns_all_panels(self):
+        a = random_adjacency_csr(20, seed=4)
+        x = np.random.default_rng(3).random((20, 8)).astype(np.float32)
+        results = sweep_panel_sizes(
+            lambda panel: spmm_blocked(a, x, panel=panel), 8, panels=(4, 8, 64)
+        )
+        assert [p for p, _ in results] == [4, 8, 64]
+        assert all(t > 0 for _, t in results)
+
+
+class TestCostBreakdown:
+    def test_rows_and_fields(self):
+        a = random_adjacency_csr(40, density=0.3, seed=5)
+        cbm, _ = build_cbm(a, alpha=0)
+        rows = cost_breakdown(a, cbm, 100, core_counts=(1, 16))
+        assert len(rows) == 4
+        kernels = {(r.kernel, r.cores) for r in rows}
+        assert kernels == {("CSR", 1), ("CBM", 1), ("CSR", 16), ("CBM", 16)}
+        for r in rows:
+            assert r.total_s > 0
+            assert r.tier in ("private", "shared", "dram")
+            assert r.bound in ("compute", "memory")
+
+    def test_csr_has_no_update_term(self):
+        a = random_adjacency_csr(30, seed=6)
+        cbm, _ = build_cbm(a, alpha=0)
+        for r in cost_breakdown(a, cbm, 64):
+            if r.kernel == "CSR":
+                assert r.update_s == 0.0
+
+    def test_render(self):
+        a = random_adjacency_csr(30, seed=7)
+        cbm, _ = build_cbm(a, alpha=0)
+        text = render_breakdown(cost_breakdown(a, cbm, 64), "T")
+        assert "CacheTier" in text and "CSR" in text and "CBM" in text

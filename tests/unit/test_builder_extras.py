@@ -1,0 +1,45 @@
+"""Unit tests for builder extras: stage timings and parallel clustered build."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm, build_clustered
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestStageTimings:
+    def test_stages_present_and_sum(self):
+        a = random_adjacency_csr(40, seed=0)
+        _, rep = build_cbm(a, alpha=0)
+        assert rep.stage_seconds is not None
+        assert set(rep.stage_seconds) == {"candidates", "spanning", "deltas"}
+        assert all(v >= 0 for v in rep.stage_seconds.values())
+        assert sum(rep.stage_seconds.values()) == pytest.approx(rep.seconds, rel=0.05)
+
+    def test_stages_for_mca_path(self):
+        a = random_adjacency_csr(40, seed=1)
+        _, rep = build_cbm(a, alpha=4)
+        assert rep.stage_seconds["spanning"] >= 0
+
+
+class TestParallelClusteredBuild:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_workers_equal_results(self, workers):
+        a = random_adjacency_csr(60, density=0.3, seed=2)
+        cbm, rep = build_clustered(a, cluster_size=16, workers=workers)
+        base, base_rep = build_clustered(a, cluster_size=16, workers=1)
+        assert rep.total_deltas == base_rep.total_deltas
+        assert np.array_equal(cbm.tree.parent, base.tree.parent)
+
+    def test_workers_correct_product(self):
+        a = random_adjacency_csr(60, density=0.3, seed=3)
+        cbm, _ = build_clustered(a, cluster_size=16, workers=3)
+        x = np.random.default_rng(0).random((60, 5)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_single_cluster_short_circuits(self):
+        a = random_adjacency_csr(20, seed=4)
+        cbm, _ = build_clustered(a, cluster_size=1000, workers=8)
+        x = np.random.default_rng(1).random((20, 3)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)

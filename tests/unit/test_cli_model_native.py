@@ -1,0 +1,51 @@
+"""CLI coverage: the model command on non-registry graphs, and inspect
+of every variant archive."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.builder import build_cbm
+from repro.core.io import save_cbm
+from repro.sparse.io import save_matrix_market
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestModelNativeScale:
+    def test_model_on_mtx_file(self, tmp_path, capsys):
+        a = random_adjacency_csr(25, density=0.3, seed=0)
+        path = tmp_path / "g.mtx"
+        save_matrix_market(path, a, field="pattern")
+        assert main(["model", str(path), "-p", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "native scale" in out
+        assert "CSR" in out and "CBM" in out
+
+    def test_model_on_registry_uses_paper_scale(self, capsys):
+        assert main(["model", "Cora", "-p", "32"]) == 0
+        assert "paper scale" in capsys.readouterr().out
+
+
+class TestInspectVariants:
+    @pytest.mark.parametrize("variant", ["AD", "DAD"])
+    def test_inspect_scaled_archive(self, tmp_path, capsys, variant):
+        rng = np.random.default_rng(1)
+        a = random_adjacency_csr(15, seed=2)
+        d = rng.random(15) + 0.5
+        cbm, _ = build_cbm(a, alpha=1, variant=variant, diag=d)
+        path = tmp_path / f"{variant}.npz"
+        save_cbm(path, cbm)
+        assert main(["inspect", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert variant in out
+
+    def test_inspect_d1ad2_archive(self, tmp_path, capsys):
+        rng = np.random.default_rng(3)
+        a = random_adjacency_csr(15, seed=4)
+        d1, d2 = rng.random(15) + 0.5, rng.random(15) + 0.5
+        cbm, _ = build_cbm(a, alpha=0, variant="D1AD2", diag=d2, diag_left=d1)
+        path = tmp_path / "g.npz"
+        save_cbm(path, cbm)
+        assert main(["inspect", str(path)]) == 0
+        assert "D1AD2" in capsys.readouterr().out

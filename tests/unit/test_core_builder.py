@@ -1,0 +1,123 @@
+"""Unit tests for the compression pipeline and the clustered variant."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm, build_clustered, cluster_rows
+from repro.errors import NotBinaryError, ShapeError
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestBuildCbm:
+    def test_accepts_rectangular(self):
+        """Bipartite incidence matrices compress like adjacencies: the
+        tree relates rows, so square-ness is not required."""
+        a = from_dense(np.ones((3, 4), dtype=np.float32))
+        cbm, rep = build_cbm(a)
+        x = np.ones((4, 2), dtype=np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x)
+        # identical rows: two of three compress to zero deltas
+        assert rep.total_deltas == 4
+
+    def test_rejects_non_binary(self):
+        a = from_dense(np.array([[0, 2.0], [2.0, 0]], dtype=np.float32))
+        with pytest.raises(NotBinaryError):
+            build_cbm(a)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            build_cbm(random_adjacency_csr(10, seed=0), alpha=-1)
+
+    def test_report_fields_consistent(self):
+        a = random_adjacency_csr(25, seed=1)
+        cbm, rep = build_cbm(a, alpha=0)
+        assert rep.source_nnz == a.nnz
+        assert rep.total_deltas == cbm.num_deltas
+        assert rep.tree_edges == cbm.tree.num_tree_edges
+        assert rep.roots + rep.tree_edges == a.shape[0]
+        assert rep.memory_bytes == cbm.memory_bytes()
+        assert rep.seconds >= 0
+
+    def test_alpha_zero_uses_mst_method(self):
+        a = random_adjacency_csr(20, seed=2)
+        via_mst, _ = build_cbm(a, alpha=0, method="mst")
+        via_mca, _ = build_cbm(a, alpha=0, method="mca")
+        assert via_mst.delta.nnz == via_mca.delta.nnz
+
+    def test_paper_figure_matrix(self, paper_figure_matrix):
+        """Rows 0 and 3 are identical: one must compress to zero deltas."""
+        cbm, rep = build_cbm(paper_figure_matrix, alpha=0)
+        tree = cbm.tree
+        pair = {int(tree.parent[0]), int(tree.parent[3])}
+        assert 0 in pair or 3 in pair
+        zero_rows = [x for x in (0, 3) if tree.weight[x] == 0]
+        assert len(zero_rows) == 1
+
+    def test_compression_monotone_in_alpha(self):
+        a = random_adjacency_csr(40, density=0.4, seed=3)
+        ratios = [build_cbm(a, alpha=al)[1].compression_ratio for al in (0, 2, 8, 32)]
+        assert all(r1 >= r2 - 1e-9 for r1, r2 in zip(ratios, ratios[1:]))
+
+    def test_roots_monotone_in_alpha(self):
+        a = random_adjacency_csr(40, density=0.4, seed=4)
+        roots = [build_cbm(a, alpha=al)[1].roots for al in (0, 2, 8, 32)]
+        assert roots == sorted(roots)
+
+
+class TestClusterRows:
+    def test_labels_cover_all_rows(self):
+        a = random_adjacency_csr(30, seed=5)
+        labels = cluster_rows(a, 8)
+        assert labels.shape == (30,)
+        counts = np.bincount(labels)
+        assert counts.max() <= 8
+
+    def test_invalid_cluster_size(self):
+        with pytest.raises(ValueError):
+            cluster_rows(random_adjacency_csr(10, seed=6), 0)
+
+    def test_handles_empty_rows(self):
+        d = np.zeros((5, 5), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 1
+        labels = cluster_rows(from_dense(d), 2)
+        assert labels.shape == (5,)
+
+
+class TestBuildClustered:
+    @pytest.mark.parametrize("cluster_size", [4, 16, 64])
+    def test_correct_product(self, cluster_size):
+        a = random_adjacency_csr(40, density=0.3, seed=7)
+        cbm, _ = build_clustered(a, cluster_size=cluster_size)
+        x = np.random.default_rng(0).random((40, 6)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_compression_not_better_than_global(self):
+        a = random_adjacency_csr(50, density=0.35, seed=8)
+        _, global_rep = build_cbm(a, alpha=0)
+        _, clustered_rep = build_clustered(a, cluster_size=10)
+        assert clustered_rep.compression_ratio <= global_rep.compression_ratio + 1e-9
+
+    def test_more_roots_than_global(self):
+        a = random_adjacency_csr(50, density=0.35, seed=9)
+        _, global_rep = build_cbm(a, alpha=0)
+        _, clustered_rep = build_clustered(a, cluster_size=10)
+        assert clustered_rep.roots >= global_rep.roots
+
+    def test_fewer_candidates_than_global(self):
+        a = random_adjacency_csr(50, density=0.35, seed=10)
+        _, global_rep = build_cbm(a, alpha=0)
+        _, clustered_rep = build_clustered(a, cluster_size=10)
+        assert clustered_rep.candidate_edges <= global_rep.candidate_edges
+
+    def test_property1_still_holds(self):
+        a = random_adjacency_csr(40, seed=11)
+        cbm, _ = build_clustered(a, cluster_size=8)
+        assert cbm.num_deltas <= a.nnz
+
+    def test_with_alpha(self):
+        a = random_adjacency_csr(40, density=0.3, seed=12)
+        cbm, _ = build_clustered(a, alpha=4, cluster_size=16)
+        x = np.random.default_rng(1).random((40, 4)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)

@@ -1,0 +1,126 @@
+"""Unit tests for delta extraction and the delta matrix."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.core.deltas import (
+    build_delta_matrix,
+    delta_sets,
+    reconstruct_rows,
+    scale_delta_matrix,
+)
+from repro.core.distance import candidate_edges
+from repro.core.mst import kruskal_mst
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import CompressionError
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr, random_binary_csr
+
+
+def tree_for(a):
+    return kruskal_mst(candidate_edges(a, None))
+
+
+class TestDeltaSets:
+    def test_virtual_parent_is_full_row(self):
+        a = random_binary_csr(10, seed=0)
+        tree = CompressionTree(parent=np.full(10, VIRTUAL), weight=a.row_nnz())
+        for x in range(10):
+            plus, minus = delta_sets(a, tree, x)
+            assert np.array_equal(plus, a.row(x))
+            assert minus.size == 0
+
+    def test_real_parent_set_semantics(self):
+        d = np.array([[1, 1, 0, 0], [1, 0, 1, 0]], dtype=np.float32)
+        a = from_dense(d)
+        tree = CompressionTree(parent=np.array([VIRTUAL, 0]), weight=np.array([2, 2]))
+        plus, minus = delta_sets(a, tree, 1)
+        assert plus.tolist() == [2]
+        assert minus.tolist() == [1]
+
+
+class TestBuildDeltaMatrix:
+    def test_row_semantics(self):
+        a = random_binary_csr(15, density=0.4, seed=1)
+        tree = tree_for(a)
+        delta = build_delta_matrix(a, tree)
+        dense = a.toarray()
+        dd = delta.toarray()
+        for x in range(15):
+            p = tree.parent[x]
+            ref = dense[x] - (dense[p] if p != VIRTUAL else 0)
+            assert np.allclose(dd[x], ref)
+
+    def test_delta_count_matches_tree_weight(self):
+        a = random_adjacency_csr(20, seed=2)
+        tree = tree_for(a)
+        delta = build_delta_matrix(a, tree)
+        assert delta.nnz == tree.total_weight()
+
+    def test_property1_nnz_bound(self):
+        """Property 1: nnz(A') <= nnz(A)."""
+        for seed in range(5):
+            a = random_adjacency_csr(25, density=0.3, seed=seed)
+            delta = build_delta_matrix(a, tree_for(a))
+            assert delta.nnz <= a.nnz
+
+    def test_mismatched_tree_rejected(self):
+        a = random_binary_csr(10, seed=3)
+        tree = CompressionTree(parent=np.full(5, VIRTUAL))
+        with pytest.raises(CompressionError):
+            build_delta_matrix(a, tree)
+
+    def test_weight_mismatch_detected(self):
+        a = random_binary_csr(8, density=0.5, seed=4)
+        bad = CompressionTree(
+            parent=np.full(8, VIRTUAL), weight=np.full(8, 999, dtype=np.int64)
+        )
+        with pytest.raises(CompressionError):
+            build_delta_matrix(a, bad)
+
+    def test_columns_sorted(self):
+        a = random_adjacency_csr(20, seed=5)
+        delta = build_delta_matrix(a, tree_for(a))
+        for x in range(20):
+            row = delta.row(x)
+            assert np.all(np.diff(row) > 0)
+
+
+class TestScaleDeltaMatrix:
+    def test_same_sparsity(self):
+        a = random_adjacency_csr(15, seed=6)
+        delta = build_delta_matrix(a, tree_for(a))
+        d = np.random.default_rng(0).random(15) + 0.5
+        scaled = scale_delta_matrix(delta, d)
+        assert np.array_equal(scaled.indices, delta.indices)
+        assert np.array_equal(scaled.indptr, delta.indptr)
+
+    def test_values_scaled_by_column(self):
+        a = random_adjacency_csr(12, seed=7)
+        delta = build_delta_matrix(a, tree_for(a))
+        d = np.arange(1, 13, dtype=np.float32)
+        scaled = scale_delta_matrix(delta, d)
+        assert np.allclose(scaled.toarray(), delta.toarray() * d, rtol=1e-6)
+
+
+class TestReconstruct:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_roundtrip(self, seed):
+        a = random_adjacency_csr(20, density=0.35, seed=seed)
+        tree = tree_for(a)
+        delta = build_delta_matrix(a, tree)
+        back = reconstruct_rows(delta, tree)
+        assert np.allclose(back.toarray(), a.toarray())
+
+    def test_roundtrip_via_builder(self):
+        a = random_adjacency_csr(25, seed=11)
+        cbm, _ = build_cbm(a, alpha=2)
+        assert np.allclose(cbm.tocsr().toarray(), a.toarray())
+
+    def test_virtual_row_with_negative_delta_rejected(self):
+        delta = from_dense(np.array([[-1.0, 1.0]], dtype=np.float32))
+        tree = CompressionTree(parent=np.array([VIRTUAL]), weight=np.array([2]))
+        with pytest.raises(CompressionError):
+            reconstruct_rows(delta, tree)

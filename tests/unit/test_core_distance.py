@@ -1,0 +1,81 @@
+"""Unit tests for distance-graph construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.distance import brute_force_distance_graph, candidate_edges
+from repro.errors import NotBinaryError
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr, random_binary_csr
+
+
+def edge_set(g):
+    return {(int(s), int(d), int(w)) for s, d, w in zip(g.src, g.dst, g.weight)}
+
+
+class TestCandidateEdges:
+    def test_rejects_non_binary(self):
+        a = from_dense(np.array([[0.0, 2.0], [1.0, 0.0]], dtype=np.float32))
+        with pytest.raises(NotBinaryError):
+            candidate_edges(a, 0)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            candidate_edges(random_binary_csr(10, seed=1), -1)
+
+    def test_weights_are_hamming_distances(self):
+        a = random_binary_csr(15, density=0.4, seed=2)
+        dense = a.toarray()
+        g = candidate_edges(a, None)
+        for s, d, w in zip(g.src, g.dst, g.weight):
+            assert w == np.sum(dense[s] != dense[d])
+
+    def test_matches_brute_force_undirected(self):
+        a = random_binary_csr(20, density=0.35, seed=3)
+        fast = candidate_edges(a, None)
+        slow = brute_force_distance_graph(a, None)
+        assert edge_set(fast) == edge_set(slow)
+
+    @pytest.mark.parametrize("alpha", [0, 1, 2, 4, 8])
+    def test_matches_brute_force_directed(self, alpha):
+        a = random_binary_csr(18, density=0.4, seed=4)
+        fast = candidate_edges(a, alpha)
+        slow = brute_force_distance_graph(a, alpha)
+        assert edge_set(fast) == edge_set(slow)
+
+    def test_larger_alpha_prunes_more(self):
+        a = random_adjacency_csr(30, density=0.4, seed=5)
+        sizes = [candidate_edges(a, alpha).num_edges for alpha in (0, 2, 8, 32)]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_pruned_edges_save_more_than_alpha(self):
+        a = random_adjacency_csr(25, density=0.4, seed=6)
+        alpha = 3
+        g = candidate_edges(a, alpha)
+        for d, w in zip(g.dst, g.weight):
+            assert g.row_nnz[d] - w > alpha
+
+    def test_undirected_no_duplicate_pairs(self):
+        g = candidate_edges(random_adjacency_csr(25, density=0.4, seed=7), None)
+        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        assert len(pairs) == g.num_edges
+        assert all(s > d for s, d in pairs)
+
+    def test_zero_overlap_pairs_excluded(self):
+        # Block-diagonal matrix: rows of different blocks never overlap.
+        d = np.zeros((6, 6), dtype=np.float32)
+        d[:3, :3] = 1 - np.eye(3)
+        d[3:, 3:] = 1 - np.eye(3)
+        g = candidate_edges(from_dense(d), None)
+        for s, dd in zip(g.src, g.dst):
+            assert (s < 3) == (dd < 3)
+
+    def test_validate_passes(self):
+        g = candidate_edges(random_adjacency_csr(20, seed=8), 2)
+        g.validate()
+
+    def test_empty_matrix(self):
+        a = from_dense(np.zeros((4, 4), dtype=np.float32))
+        g = candidate_edges(a, 0)
+        assert g.num_edges == 0

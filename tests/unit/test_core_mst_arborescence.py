@@ -1,0 +1,158 @@
+"""Unit tests for the MST and arborescence constructions."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.core.arborescence import minimum_arborescence
+from repro.core.distance import DistanceGraph, candidate_edges
+from repro.core.mst import UnionFind, kruskal_mst, prim_mst
+from repro.core.tree import VIRTUAL
+from repro.errors import CompressionError
+
+from tests.conftest import random_adjacency_csr, random_binary_csr
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(4)
+        assert uf.find(0) != uf.find(1)
+
+    def test_union_merges(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.find(0) == uf.find(1)
+
+    def test_union_idempotent(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(2) == uf.find(0)
+
+
+def _mst_weight_networkx(g: DistanceGraph) -> int:
+    """Oracle: networkx MST weight of the virtual-extended graph."""
+    G = nx.Graph()
+    n = g.n
+    for x in range(n):
+        G.add_edge(n, x, weight=int(g.row_nnz[x]))
+    for s, d, w in zip(g.src, g.dst, g.weight):
+        u, v, w = int(s), int(d), int(w)
+        if not G.has_edge(u, v) or G[u][v]["weight"] > w:
+            G.add_edge(u, v, weight=w)
+    return sum(d["weight"] for _, _, d in nx.minimum_spanning_tree(G).edges(data=True))
+
+
+class TestMST:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_kruskal_matches_networkx_weight(self, seed):
+        a = random_adjacency_csr(25, density=0.3, seed=seed)
+        g = candidate_edges(a, None)
+        tree = kruskal_mst(g)
+        assert tree.total_weight() == _mst_weight_networkx(g)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_prim_and_kruskal_agree(self, seed):
+        a = random_binary_csr(30, density=0.3, seed=seed)
+        g = candidate_edges(a, None)
+        assert prim_mst(g).total_weight() == kruskal_mst(g).total_weight()
+
+    def test_rejects_directed_graph(self):
+        a = random_adjacency_csr(10, seed=8)
+        g = candidate_edges(a, 2)
+        with pytest.raises(CompressionError):
+            kruskal_mst(g)
+        with pytest.raises(CompressionError):
+            prim_mst(g)
+
+    def test_all_rows_get_parents(self):
+        a = random_adjacency_csr(20, seed=9)
+        tree = kruskal_mst(candidate_edges(a, None))
+        assert tree.n == 20
+        # depth defined everywhere = spanning
+        assert tree.depth().max() < 20
+
+    def test_empty_graph_all_virtual(self):
+        from repro.sparse.convert import from_dense
+
+        a = from_dense(np.zeros((5, 5), dtype=np.float32))
+        tree = kruskal_mst(candidate_edges(a, None))
+        assert np.all(tree.parent == VIRTUAL)
+        assert tree.total_weight() == 0
+
+
+class TestArborescence:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_alpha0_matches_mst_weight(self, seed):
+        """At alpha=0 the pruned MCA has the same total cost as the MST."""
+        a = random_adjacency_csr(24, density=0.35, seed=seed)
+        mst = kruskal_mst(candidate_edges(a, None))
+        mca = minimum_arborescence(candidate_edges(a, 0))
+        assert mca.total_weight() == mst.total_weight()
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_matches_networkx_edmonds(self, seed):
+        a = random_adjacency_csr(18, density=0.4, seed=seed)
+        g = candidate_edges(a, 2)
+        ours = minimum_arborescence(g)
+        # networkx oracle on the same directed graph + virtual edges.
+        G = nx.MultiDiGraph()
+        n = g.n
+        for x in range(n):
+            G.add_edge(n, x, weight=int(g.row_nnz[x]))
+        for s, d, w in zip(g.src, g.dst, g.weight):
+            G.add_edge(int(s), int(d), weight=int(w))
+        arb = nx.algorithms.tree.branchings.minimum_spanning_arborescence(G)
+        oracle = sum(d["weight"] for _, _, d in arb.edges(data=True))
+        assert ours.total_weight() == oracle
+
+    def test_undirected_input_accepted(self):
+        a = random_adjacency_csr(15, seed=6)
+        g = candidate_edges(a, None)
+        tree = minimum_arborescence(g)
+        assert tree.n == 15
+
+    def test_monotone_in_alpha(self):
+        """Total weight can only grow as alpha prunes more edges."""
+        a = random_adjacency_csr(30, density=0.4, seed=7)
+        weights = [
+            minimum_arborescence(candidate_edges(a, alpha)).total_weight()
+            for alpha in (0, 1, 2, 4, 8)
+        ]
+        assert weights == sorted(weights)
+
+    def test_weight_never_exceeds_nnz(self):
+        """Property 1: total deltas <= nnz(A)."""
+        for seed in (8, 9):
+            a = random_adjacency_csr(25, density=0.3, seed=seed)
+            for alpha in (0, 4):
+                tree = minimum_arborescence(candidate_edges(a, alpha))
+                assert tree.total_weight() <= a.nnz
+
+    def test_forced_cycle_contraction(self):
+        """Two nearly identical rows prefer each other; contraction must
+        resolve the 2-cycle through the virtual node."""
+        from repro.sparse.convert import from_dense
+
+        d = np.zeros((4, 8), dtype=np.float32)
+        d[0, :6] = 1
+        d[1, :6] = 1
+        d[1, 6] = 1  # rows 0,1 differ by one delta
+        d[2, 7] = 1
+        d[3, 0] = 1
+        a = from_dense(d)
+        tree = minimum_arborescence(candidate_edges(a, 0))
+        # The 2-cycle must be broken: exactly one of rows 0/1 is compressed
+        # against the other (the remaining one enters from outside the pair).
+        pair_parents = {int(tree.parent[0]), int(tree.parent[1])}
+        assert len(pair_parents & {0, 1}) == 1
+        # Optimal cost: row 3 (nnz 1) + edge 3->0 (5 deltas) + edge 0->1
+        # (1 delta) + row 2 (nnz 1) = 8, cheaper than the virtual edge to 0.
+        assert tree.total_weight() == 8
+        assert tree.total_weight() <= a.nnz

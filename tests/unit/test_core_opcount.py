@@ -1,0 +1,92 @@
+"""Unit tests for scalar-operation and memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.core.opcount import (
+    OpCount,
+    cbm_memory_bytes,
+    cbm_spmm_ops,
+    compression_ratio,
+    csr_memory_bytes,
+    csr_spmm_ops,
+)
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestOpCount:
+    def test_total(self):
+        oc = OpCount(multiply_stage=10, update_stage=5)
+        assert oc.total == 15
+
+    def test_add(self):
+        a = OpCount(1, 2) + OpCount(3, 4)
+        assert a.multiply_stage == 4 and a.update_stage == 6
+
+
+class TestCsrOps:
+    def test_formula(self):
+        a = random_adjacency_csr(20, seed=0)
+        assert csr_spmm_ops(a, 10).total == 2 * a.nnz * 10
+
+    def test_zero_columns(self):
+        a = random_adjacency_csr(20, seed=1)
+        assert csr_spmm_ops(a, 0).total == 0
+
+    def test_negative_p_rejected(self):
+        with pytest.raises(ValueError):
+            csr_spmm_ops(random_adjacency_csr(5, seed=2), -1)
+
+
+class TestCbmOps:
+    def test_variants_a_ad_equal(self):
+        a = random_adjacency_csr(20, seed=3)
+        cbm, _ = build_cbm(a, alpha=0)
+        assert (
+            cbm_spmm_ops(cbm.delta, cbm.tree, 8, variant="A").total
+            == cbm_spmm_ops(cbm.delta, cbm.tree, 8, variant="AD").total
+        )
+
+    def test_dad_costs_more(self):
+        a = random_adjacency_csr(20, seed=4)
+        cbm, _ = build_cbm(a, alpha=0)
+        plain = cbm_spmm_ops(cbm.delta, cbm.tree, 8, variant="A").total
+        dad = cbm_spmm_ops(cbm.delta, cbm.tree, 8, variant="DAD").total
+        if cbm.tree.num_tree_edges > 0:
+            assert dad > plain
+
+    def test_unknown_variant(self):
+        a = random_adjacency_csr(10, seed=5)
+        cbm, _ = build_cbm(a, alpha=0)
+        with pytest.raises(ValueError):
+            cbm_spmm_ops(cbm.delta, cbm.tree, 4, variant="XYZ")
+
+    def test_property2(self):
+        """multiply-stage ops of CBM never exceed the CSR ops (Property 2)."""
+        for seed in range(4):
+            a = random_adjacency_csr(30, density=0.3, seed=seed)
+            cbm, _ = build_cbm(a, alpha=0)
+            p = 16
+            assert cbm_spmm_ops(cbm.delta, cbm.tree, p).multiply_stage <= csr_spmm_ops(a, p).total
+
+
+class TestMemory:
+    def test_csr_matches_paper_formula(self):
+        a = random_adjacency_csr(20, seed=6)
+        assert csr_memory_bytes(a) == 8 * a.nnz + 4 * (a.shape[0] + 1)
+
+    def test_cbm_includes_tree(self):
+        a = random_adjacency_csr(20, seed=7)
+        cbm, _ = build_cbm(a, alpha=0)
+        base = cbm.delta.memory_bytes()
+        assert cbm_memory_bytes(cbm.delta, cbm.tree) == base + 8 * cbm.tree.num_tree_edges
+
+    def test_compression_ratio_identity_for_star_tree(self):
+        """alpha huge -> all rows virtual -> A' == A -> ratio exactly 1."""
+        a = random_adjacency_csr(20, seed=8)
+        cbm, rep = build_cbm(a, alpha=10_000)
+        assert cbm.tree.num_tree_edges == 0
+        assert rep.compression_ratio == pytest.approx(1.0)
+        assert compression_ratio(a, cbm.delta, cbm.tree) == pytest.approx(1.0)

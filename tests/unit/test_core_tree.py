@@ -1,0 +1,116 @@
+"""Unit tests for the CompressionTree container."""
+
+import numpy as np
+import pytest
+
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.errors import TreeError
+
+
+def chain_tree(n):
+    """0 <- 1 <- 2 <- ... (0 hangs off the virtual node)."""
+    parent = np.arange(-1, n - 1)
+    return CompressionTree(parent=parent, weight=np.ones(n, dtype=np.int64))
+
+
+def star_tree(n):
+    """All rows hang off the virtual node."""
+    return CompressionTree(parent=np.full(n, VIRTUAL), weight=np.ones(n, dtype=np.int64))
+
+
+class TestValidation:
+    def test_self_parent_rejected(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([0]))
+
+    def test_out_of_range_parent_rejected(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([5, VIRTUAL]))
+
+    def test_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([1, 0]))
+
+    def test_long_cycle_rejected(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([2, 0, 1, VIRTUAL]))
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([VIRTUAL]), weight=np.array([1, 2]))
+
+    def test_empty_tree(self):
+        t = CompressionTree(parent=np.array([], dtype=np.int64))
+        assert t.n == 0
+        assert t.topological_order().size == 0
+
+
+class TestStructure:
+    def test_depth_chain(self):
+        t = chain_tree(5)
+        assert np.array_equal(t.depth(), np.arange(5))
+
+    def test_depth_star(self):
+        t = star_tree(4)
+        assert np.array_equal(t.depth(), np.zeros(4))
+
+    def test_roots(self):
+        t = CompressionTree(parent=np.array([VIRTUAL, 0, VIRTUAL, 2]))
+        assert np.array_equal(t.roots, [0, 2])
+
+    def test_tree_edges_count(self):
+        t = CompressionTree(parent=np.array([VIRTUAL, 0, VIRTUAL, 2]))
+        assert t.num_tree_edges == 2
+
+    def test_topological_order_parents_first(self):
+        parent = np.array([VIRTUAL, 0, 1, 0, VIRTUAL, 4])
+        t = CompressionTree(parent=parent)
+        pos = np.empty(t.n, dtype=int)
+        pos[t.topological_order()] = np.arange(t.n)
+        for x in range(t.n):
+            if parent[x] != VIRTUAL:
+                assert pos[parent[x]] < pos[x]
+
+    def test_levels_partition_non_roots(self):
+        t = chain_tree(6)
+        levels = t.levels()
+        assert len(levels) == 5
+        all_rows = np.concatenate(levels)
+        assert sorted(all_rows.tolist()) == list(range(1, 6))
+
+    def test_levels_parents_at_previous_level(self):
+        parent = np.array([VIRTUAL, 0, 0, 1, 2, VIRTUAL, 5])
+        t = CompressionTree(parent=parent)
+        depth = t.depth()
+        for k, lv in enumerate(t.levels(), start=1):
+            assert np.all(depth[lv] == k)
+            assert np.all(depth[parent[lv]] == k - 1)
+
+    def test_branches_are_root_subtrees(self):
+        parent = np.array([VIRTUAL, 0, 0, VIRTUAL, 3, 4])
+        t = CompressionTree(parent=parent)
+        branches = {tuple(sorted(b.tolist())) for b in t.branches()}
+        assert branches == {(0, 1, 2), (3, 4, 5)}
+
+    def test_branches_topological_within(self):
+        parent = np.array([VIRTUAL, 0, 1, 2, 3])
+        t = CompressionTree(parent=parent)
+        (b,) = t.branches()
+        assert b.tolist() == [0, 1, 2, 3, 4]
+
+    def test_children_counts(self):
+        parent = np.array([VIRTUAL, 0, 0, 1])
+        t = CompressionTree(parent=parent)
+        assert np.array_equal(t.children_counts(), [2, 1, 0, 0])
+
+    def test_total_weight(self):
+        t = CompressionTree(parent=np.array([VIRTUAL, 0]), weight=np.array([3, 2]))
+        assert t.total_weight() == 5
+
+    def test_stats_keys(self):
+        st = chain_tree(4).stats()
+        for key in ("rows", "roots", "tree_edges", "max_depth", "branches", "largest_branch"):
+            assert key in st
+        assert st["roots"] == 1
+        assert st["branches"] == 1
+        assert st["largest_branch"] == 4

@@ -1,0 +1,59 @@
+"""Unit tests for the experiment runners' measured paths and options."""
+
+import pytest
+
+from repro.bench.experiments import (
+    run_figure2,
+    run_table2,
+    run_table3,
+    run_table4,
+    _scales,
+)
+from repro.graphs.datasets import load_dataset, paper_stats
+
+
+class TestScales:
+    def test_scales_reflect_paper_ratios(self):
+        a = load_dataset("Cora")
+        s_nnz, s_rows = _scales("Cora", a)
+        ps = paper_stats("Cora")
+        assert s_nnz == pytest.approx(ps.edges / a.nnz)
+        assert s_rows == pytest.approx(ps.nodes / a.shape[0])
+
+
+class TestMeasuredPaths:
+    def test_figure2_with_wall_clock(self):
+        rows, _ = run_figure2(datasets=("Cora",), alphas=(0,), p=32, measure_wall=True)
+        assert len(rows) == 1
+        assert float(rows[0]["WallSeq"]) > 0
+        assert float(rows[0]["OpsRatio"]) > 0
+
+    def test_table3_with_wall_clock(self):
+        rows, _ = run_table3(
+            datasets=("Cora",), p=32, variants=("A",), measure_wall=True
+        )
+        assert float(rows[0]["WallSeq"]) > 0
+
+    def test_table4_with_wall_clock(self):
+        rows, _ = run_table4(datasets=("Cora",), p=32, measure_wall=True)
+        assert float(rows[0]["WallSeq"]) > 0
+
+    def test_table2_custom_alphas(self):
+        rows, _ = run_table2(datasets=("Cora",), alphas=(1, 2, 4))
+        assert [r["Alpha"] for r in rows] == [1, 2, 4]
+        # Non-paper alphas have no published ratio to show.
+        assert all(r["Ratio(paper)"] == "-" for r in rows)
+
+
+class TestRowShapes:
+    def test_figure2_ops_ratio_close_to_wall_free_mode(self):
+        """measure_wall=False must still report the ops ratio."""
+        rows, _ = run_figure2(datasets=("Cora",), alphas=(0,), p=32, measure_wall=False)
+        assert rows[0]["WallSeq"] == "-"
+        assert float(rows[0]["OpsRatio"]) > 0
+
+    def test_table3_variant_labels(self):
+        rows, _ = run_table3(
+            datasets=("Cora",), p=32, variants=("A", "AD", "DAD"), measure_wall=False
+        )
+        assert [r["Kernel"] for r in rows] == ["AX", "ADX", "DADX"]

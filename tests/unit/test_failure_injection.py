@@ -1,0 +1,111 @@
+"""Failure-injection tests: corrupted structures fail loudly, not wrongly.
+
+A compression format that silently produces wrong products is worse than
+one that crashes.  These tests corrupt each structure the kernels trust
+and assert the library either raises a library error or reports the
+corruption — never returns a quietly wrong answer that validation
+wouldn't catch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.core.cbm import CBMMatrix
+from repro.core.tree import CompressionTree, VIRTUAL
+from repro.core.verify import verify_cbm
+from repro.errors import (
+    CompressionError,
+    FormatError,
+    ParallelError,
+    ReproError,
+    TreeError,
+)
+from repro.sparse.csr import CSRMatrix
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestCorruptCSR:
+    def test_truncated_indices(self):
+        a = random_adjacency_csr(10, seed=0)
+        with pytest.raises(FormatError):
+            CSRMatrix(a.indptr, a.indices[:-1], a.data, a.shape)
+
+    def test_indptr_overflow(self):
+        a = random_adjacency_csr(10, seed=1)
+        bad = a.indptr.copy()
+        bad[-1] += 5
+        with pytest.raises(FormatError):
+            CSRMatrix(bad, a.indices, a.data, a.shape)
+
+    def test_shuffled_columns_detected(self):
+        a = random_adjacency_csr(10, seed=2)
+        if a.row_nnz().max() < 2:
+            pytest.skip("need a row with 2+ entries")
+        bad = a.indices.copy()
+        # Reverse the first multi-entry row's columns.
+        x = int(np.argmax(a.row_nnz() >= 2))
+        lo, hi = a.indptr[x], a.indptr[x + 1]
+        bad[lo:hi] = bad[lo:hi][::-1]
+        with pytest.raises(FormatError):
+            CSRMatrix(a.indptr, bad, a.data, a.shape)
+
+
+class TestCorruptTree:
+    def test_two_cycle(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([1, 0]))
+
+    def test_mixed_forest_with_cycle(self):
+        with pytest.raises(TreeError):
+            CompressionTree(parent=np.array([VIRTUAL, 2, 1, 0]))
+
+    def test_tree_delta_size_mismatch(self):
+        a = random_adjacency_csr(10, seed=3)
+        cbm, _ = build_cbm(a, alpha=0)
+        small_tree = CompressionTree(parent=np.full(5, VIRTUAL))
+        with pytest.raises(ReproError):
+            CBMMatrix(tree=small_tree, delta=cbm.delta)
+
+
+class TestCorruptDeltas:
+    def test_wrong_sign_caught_by_verify(self):
+        a = random_adjacency_csr(20, seed=4)
+        cbm, _ = build_cbm(a, alpha=0)
+        cbm.delta.data[:] = np.abs(cbm.delta.data)  # erase all negatives
+        report = verify_cbm(cbm, a, runs=2, columns=8)
+        # Either numerically wrong or structurally unreconstructable.
+        if cbm.tree.num_tree_edges > 0 and (cbm.delta.data < 0).sum() == 0:
+            assert not report.passed or cbm.num_deltas == a.nnz
+
+    def test_reconstruction_rejects_orphan_negative(self):
+        from repro.core.deltas import reconstruct_rows
+        from repro.sparse.convert import from_dense
+
+        delta = from_dense(np.array([[-1.0, 0.0], [0.0, 1.0]], dtype=np.float32))
+        tree = CompressionTree(parent=np.array([VIRTUAL, VIRTUAL]), weight=np.array([1, 1]))
+        with pytest.raises(CompressionError):
+            reconstruct_rows(delta, tree)
+
+
+class TestExecutorFailures:
+    def test_worker_exception_propagates(self):
+        """A failure inside a worker thread surfaces as ParallelError."""
+        from repro.parallel.executor import ThreadedUpdateExecutor
+
+        a = random_adjacency_csr(20, seed=5)
+        cbm, _ = build_cbm(a, alpha=0)
+        if cbm.tree.num_tree_edges == 0:
+            pytest.skip("no update work on this graph")
+        c = np.zeros((5, 3), dtype=np.float32)  # too few rows -> IndexError
+        with pytest.raises(ParallelError):
+            ThreadedUpdateExecutor(2).run_update(cbm.tree, c)
+
+
+class TestScheduleGuards:
+    def test_nan_cost_rejected(self):
+        from repro.parallel.schedule import simulate_dynamic_schedule
+
+        with pytest.raises(ParallelError):
+            simulate_dynamic_schedule(np.array([1.0, -2.0]), 2)

@@ -1,0 +1,68 @@
+"""Final polish tests: idempotence, glyph cycling, renderer edges."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import ascii_chart
+from repro.core.builder import build_cbm
+from repro.core.rebalance import cut_depth, split_branches
+from repro.parallel.trace import render_gantt, traced_schedule
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestRebalanceIdempotence:
+    def test_cut_depth_idempotent(self):
+        a = random_adjacency_csr(50, density=0.35, seed=0)
+        cbm, _ = build_cbm(a, alpha=0)
+        once = cut_depth(cbm, 2)
+        twice = cut_depth(once, 2)
+        assert np.array_equal(once.tree.parent, twice.tree.parent)
+
+    def test_split_branches_idempotent(self):
+        a = random_adjacency_csr(50, density=0.35, seed=1)
+        cbm, _ = build_cbm(a, alpha=0)
+        once = split_branches(cbm, 6)
+        twice = split_branches(once, 6)
+        assert np.array_equal(once.tree.parent, twice.tree.parent)
+
+    def test_composed_rebalance(self):
+        """Depth cut after branch split keeps both bounds and correctness."""
+        a = random_adjacency_csr(60, density=0.35, seed=2)
+        cbm, _ = build_cbm(a, alpha=0)
+        out = cut_depth(split_branches(cbm, 8), 3)
+        assert out.tree.depth().max(initial=0) <= 3
+        assert max((len(b) for b in out.tree.branches()), default=0) <= 8
+        x = np.random.default_rng(0).random((60, 4)).astype(np.float32)
+        assert np.allclose(out.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+
+class TestChartGlyphs:
+    def test_many_series_cycle_glyphs(self):
+        series = {f"s{i}": [float(i), float(i + 1)] for i in range(10)}
+        text = ascii_chart([0, 1], series)
+        assert "legend" in text
+        # ten series render without raising; glyphs wrap around
+        assert "s9" in text
+
+    def test_negative_values_supported(self):
+        text = ascii_chart([0, 1, 2], {"a": [-2.0, 0.0, 2.0]})
+        assert "-2" in text
+
+
+class TestGanttEdges:
+    def test_width_one(self):
+        trace = traced_schedule([1.0, 1.0], 1)
+        text = render_gantt(trace, width=1)
+        assert "T00" in text
+
+    def test_invalid_width(self):
+        trace = traced_schedule([1.0], 1)
+        with pytest.raises(ValueError):
+            render_gantt(trace, width=0)
+
+    def test_more_threads_than_tasks(self):
+        trace = traced_schedule([2.0], 8)
+        assert trace.threads == 8
+        assert len(trace.events) == 1
+        assert trace.utilisation < 1.0

@@ -1,0 +1,106 @@
+"""Unit tests for the dense GNN building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GNNError
+from repro.gnn.layers import Dropout, Linear, relu, relu_grad, softmax
+
+
+class TestActivations:
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(relu(x), [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        assert np.array_equal(relu_grad(x), [0.0, 0.0, 1.0])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = np.random.default_rng(0).random((5, 7))
+        s = softmax(x, axis=1)
+        assert np.allclose(s.sum(axis=1), 1.0)
+
+    def test_softmax_stable_for_large_inputs(self):
+        s = softmax(np.array([[1e4, 1e4 + 1.0]]))
+        assert np.all(np.isfinite(s))
+        assert s[0, 1] > s[0, 0]
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, seed=0)
+        y = layer(np.ones((5, 4), dtype=np.float32))
+        assert y.shape == (5, 3)
+
+    def test_bias_toggle(self):
+        layer = Linear(4, 3, bias=False, seed=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_he_init(self):
+        layer = Linear(100, 50, init="he", seed=1)
+        assert abs(layer.weight.std() - np.sqrt(2.0 / 100)) < 0.02
+
+    def test_unknown_init(self):
+        with pytest.raises(GNNError):
+            Linear(2, 2, init="magic")
+
+    def test_bad_dims(self):
+        with pytest.raises(GNNError):
+            Linear(0, 3)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(GNNError):
+            Linear(4, 3, seed=0)(np.ones((5, 7)))
+
+    def test_backward_gradients(self):
+        """Analytic gradients match finite differences."""
+        rng = np.random.default_rng(2)
+        layer = Linear(3, 2, seed=3, requires_grad=True)
+        x = rng.random((4, 3)).astype(np.float32)
+        g_out = rng.random((4, 2)).astype(np.float32)
+        y = layer(x)
+        g_in = layer.backward(g_out)
+        # loss = sum(y * g_out): dL/dW = x.T @ g_out, dL/dx = g_out @ W.T
+        assert np.allclose(layer.grad_weight, x.T @ g_out, rtol=1e-5)
+        assert np.allclose(layer.grad_bias, g_out.sum(axis=0), rtol=1e-5)
+        assert np.allclose(g_in, g_out @ layer.weight.T, rtol=1e-5)
+
+    def test_backward_without_forward(self):
+        layer = Linear(3, 2, requires_grad=True)
+        with pytest.raises(GNNError):
+            layer.backward(np.ones((1, 2)))
+
+    def test_gradients_before_backward(self):
+        layer = Linear(3, 2, requires_grad=True)
+        with pytest.raises(GNNError):
+            layer.gradients()
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        d = Dropout(0.5, seed=0)
+        x = np.ones((4, 4))
+        assert np.array_equal(d(x, training=False), x)
+
+    def test_scales_in_training(self):
+        d = Dropout(0.5, seed=1)
+        x = np.ones((1000, 10))
+        y = d(x, training=True)
+        # Inverted dropout keeps expectation ~1.
+        assert abs(y.mean() - 1.0) < 0.05
+        assert set(np.unique(y)) <= {0.0, 2.0}
+
+    def test_backward_uses_same_mask(self):
+        d = Dropout(0.5, seed=2)
+        x = np.ones((10, 10))
+        y = d(x, training=True)
+        g = d.backward(np.ones_like(x))
+        assert np.array_equal(g != 0, y != 0)
+
+    def test_invalid_probability(self):
+        with pytest.raises(GNNError):
+            Dropout(1.0)
+        with pytest.raises(GNNError):
+            Dropout(-0.1)

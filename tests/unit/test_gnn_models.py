@@ -1,0 +1,140 @@
+"""Unit tests for GCN / GIN / GraphSAGE and the adjacency operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GNNError
+from repro.gnn.adjacency import CBMAdjacency, CSRAdjacency, make_operator
+from repro.gnn.gcn import GCN, two_layer_gcn_inference
+from repro.gnn.gin import GIN
+from repro.gnn.sage import GraphSAGE
+from repro.graphs.laplacian import normalized_adjacency
+
+from tests.conftest import random_adjacency_csr
+
+
+@pytest.fixture
+def graph():
+    return random_adjacency_csr(35, density=0.25, seed=1)
+
+
+@pytest.fixture
+def features():
+    return np.random.default_rng(0).random((35, 12)).astype(np.float32)
+
+
+class TestAdjacencyOps:
+    def test_factory(self, graph):
+        assert isinstance(make_operator(graph, "csr"), CSRAdjacency)
+        assert isinstance(make_operator(graph, "cbm"), CBMAdjacency)
+        with pytest.raises(ValueError):
+            make_operator(graph, "dense")
+
+    def test_csr_and_cbm_agree(self, graph, features):
+        csr_op = make_operator(graph, "csr")
+        cbm_op = make_operator(graph, "cbm", alpha=2)
+        assert np.allclose(csr_op.matmul(features), cbm_op.matmul(features), rtol=1e-3, atol=1e-5)
+
+    def test_csr_matches_materialised(self, graph, features):
+        op = make_operator(graph, "csr")
+        ref = normalized_adjacency(graph).toarray() @ features
+        assert np.allclose(op.matmul(features), ref, rtol=1e-4)
+
+    def test_cbm_requires_dad(self, graph):
+        from repro.core.builder import build_cbm
+
+        cbm, _ = build_cbm(graph, alpha=0)  # plain A variant
+        with pytest.raises(ValueError):
+            CBMAdjacency(cbm)
+
+    def test_memory_accounting(self, graph):
+        csr_op = make_operator(graph, "csr")
+        cbm_op = make_operator(graph, "cbm")
+        assert csr_op.memory_bytes() > 0
+        assert cbm_op.memory_bytes() > 0
+
+
+class TestGCN:
+    def test_forward_shapes(self, graph, features):
+        model = GCN([12, 8, 3], seed=0)
+        out = model(make_operator(graph, "csr"), features)
+        assert out.shape == (35, 3)
+
+    def test_two_formats_agree(self, graph, features):
+        model = GCN([12, 8, 3], seed=0)
+        y1 = model(make_operator(graph, "csr"), features)
+        y2 = model(make_operator(graph, "cbm", alpha=1), features)
+        assert np.allclose(y1, y2, rtol=1e-3, atol=1e-4)
+
+    def test_functional_form_matches_model(self, graph, features):
+        """two_layer_gcn_inference == GCN([d, h, c]) without bias and dropout."""
+        model = GCN([12, 8, 3], seed=0)
+        op = make_operator(graph, "csr")
+        w0 = model.layers[0].linear.weight
+        w1 = model.layers[1].linear.weight
+        assert np.allclose(
+            two_layer_gcn_inference(op, features, w0, w1), model(op, features), rtol=1e-5
+        )
+
+    def test_wrong_node_count(self, graph):
+        model = GCN([12, 8, 3])
+        with pytest.raises(GNNError):
+            model(make_operator(graph, "csr"), np.ones((3, 12), dtype=np.float32))
+
+    def test_needs_two_dims(self):
+        with pytest.raises(GNNError):
+            GCN([5])
+
+    def test_dropout_only_in_training(self, graph, features):
+        model = GCN([12, 8, 3], dropout=0.5, seed=0)
+        op = make_operator(graph, "csr")
+        a = model(op, features, training=False)
+        b = model(op, features, training=False)
+        assert np.array_equal(a, b)
+
+    def test_deeper_stack(self, graph, features):
+        model = GCN([12, 10, 8, 3], seed=1)
+        assert model(make_operator(graph, "csr"), features).shape == (35, 3)
+
+
+class TestGINAndSage:
+    def test_gin_shapes(self, graph, features):
+        model = GIN([12, 8, 4])
+        out = model(make_operator(graph, "csr"), features)
+        assert out.shape == (35, 4)
+
+    def test_gin_needs_dims(self):
+        with pytest.raises(GNNError):
+            GIN([3])
+
+    def test_gin_wrong_nodes(self, graph):
+        with pytest.raises(GNNError):
+            GIN([12, 4])(make_operator(graph, "csr"), np.ones((2, 12), dtype=np.float32))
+
+    def test_gin_eps_changes_output(self, graph, features):
+        op = make_operator(graph, "csr")
+        a = GIN([12, 4], eps=0.0, seed=0)(op, features)
+        b = GIN([12, 4], eps=1.0, seed=0)(op, features)
+        assert not np.allclose(a, b)
+
+    def test_sage_shapes(self, graph, features):
+        model = GraphSAGE([12, 8, 4])
+        deg = graph.row_nnz().astype(np.float64)
+        out = model(make_operator(graph, "csr"), features, deg)
+        assert out.shape == (35, 4)
+
+    def test_sage_isolated_nodes(self, features):
+        import numpy as np
+        from repro.sparse.convert import from_dense
+
+        d = np.zeros((35, 35), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 1
+        a = from_dense(d)
+        model = GraphSAGE([12, 4])
+        out = model(make_operator(a, "csr"), features, a.row_nnz().astype(np.float64))
+        assert np.all(np.isfinite(out))
+
+    def test_sage_bad_degrees(self, graph, features):
+        model = GraphSAGE([12, 4])
+        with pytest.raises(GNNError):
+            model(make_operator(graph, "csr"), features, np.ones(3))

@@ -1,0 +1,117 @@
+"""Unit tests for edge-list I/O and compression diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    compression_profile,
+    row_savings,
+    savings_histogram,
+    top_savers,
+)
+from repro.core.builder import build_cbm
+from repro.errors import FormatError
+from repro.graphs.io import load_edge_list, save_edge_list
+
+from tests.conftest import clustered_adjacency, random_adjacency_csr
+
+
+class TestEdgeList:
+    def test_roundtrip(self, tmp_path):
+        a = random_adjacency_csr(20, seed=0)
+        path = tmp_path / "g.txt"
+        save_edge_list(path, a, header="test graph")
+        b, ids = load_edge_list(path)
+        assert np.array_equal(ids, np.arange(20)[np.isin(np.arange(20), ids)])
+        # Isolated nodes vanish from edge lists; compare on the support.
+        dense = a.toarray()[np.ix_(ids, ids)]
+        assert np.allclose(b.toarray(), dense)
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# header\n\n0 1\n# another\n1 2\n")
+        a, ids = load_edge_list(path)
+        assert a.shape == (3, 3)
+        assert a.nnz == 4
+
+    def test_non_contiguous_ids_compacted(self, tmp_path):
+        path = tmp_path / "ids.txt"
+        path.write_text("100 500\n500 90000\n")
+        a, ids = load_edge_list(path)
+        assert ids.tolist() == [100, 500, 90000]
+        assert a.shape == (3, 3)
+
+    def test_duplicate_and_self_loops_cleaned(self, tmp_path):
+        path = tmp_path / "d.txt"
+        path.write_text("0 1\n1 0\n0 1\n2 2\n2 0\n")
+        a, ids = load_edge_list(path)
+        dense = a.toarray()
+        assert dense[ids.tolist().index(2), ids.tolist().index(2)] == 0
+        assert a.is_binary()
+
+    def test_directed_mode(self, tmp_path):
+        path = tmp_path / "dir.txt"
+        path.write_text("0 1\n")
+        a, _ = load_edge_list(path, undirected=False)
+        assert a.nnz == 1
+
+    def test_gzip_support(self, tmp_path):
+        import gzip
+
+        path = tmp_path / "g.txt.gz"
+        with gzip.open(path, "wt") as fh:
+            fh.write("0 1\n1 2\n")
+        a, _ = load_edge_list(path)
+        assert a.nnz == 4
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(FormatError):
+            load_edge_list(path)
+
+    def test_non_integer_ids(self, tmp_path):
+        path = tmp_path / "alpha.txt"
+        path.write_text("a b\n")
+        with pytest.raises(FormatError):
+            load_edge_list(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        a, ids = load_edge_list(path)
+        assert a.shape == (0, 0)
+        assert len(ids) == 0
+
+
+class TestAnalysis:
+    def test_row_savings_consistent(self, clustered_adjacency):
+        cbm, rep = build_cbm(clustered_adjacency, alpha=0)
+        rows = row_savings(cbm, clustered_adjacency.row_nnz())
+        assert len(rows) == cbm.n
+        total_saved = sum(r.saved for r in rows)
+        assert total_saved == clustered_adjacency.nnz - cbm.num_deltas
+
+    def test_wrong_length_rejected(self, clustered_adjacency):
+        cbm, _ = build_cbm(clustered_adjacency, alpha=0)
+        with pytest.raises(ValueError):
+            row_savings(cbm, np.ones(3))
+
+    def test_histogram_counts_all_nonzero_rows(self, clustered_adjacency):
+        cbm, _ = build_cbm(clustered_adjacency, alpha=0)
+        hist = savings_histogram(cbm, clustered_adjacency.row_nnz())
+        nz_rows = int((clustered_adjacency.row_nnz() > 0).sum())
+        assert sum(c for _, c in hist) == nz_rows
+
+    def test_top_savers_sorted(self, clustered_adjacency):
+        cbm, _ = build_cbm(clustered_adjacency, alpha=0)
+        top = top_savers(cbm, clustered_adjacency.row_nnz(), k=5)
+        savings = [r.saved for r in top]
+        assert savings == sorted(savings, reverse=True)
+
+    def test_profile_fields(self, clustered_adjacency):
+        cbm, _ = build_cbm(clustered_adjacency, alpha=0)
+        prof = compression_profile(cbm, clustered_adjacency.row_nnz())
+        assert prof["rows_compressed"] + prof["rows_stored_plain"] == cbm.n
+        assert prof["total_saved_deltas"] >= 0
+        assert 0.0 <= prof["mean_relative_saving"] <= 1.0

@@ -1,0 +1,95 @@
+"""Unit tests for adjacency construction and checks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.graphs.adjacency import (
+    add_self_loops,
+    adjacency_from_edges,
+    is_symmetric,
+    is_undirected_simple,
+    overlap_matrix,
+)
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestAdjacencyFromEdges:
+    def test_undirected_stores_both(self):
+        a = adjacency_from_edges([[0, 1]], 3)
+        arr = a.toarray()
+        assert arr[0, 1] == 1 and arr[1, 0] == 1
+
+    def test_directed_mode(self):
+        a = adjacency_from_edges([[0, 1]], 3, undirected=False)
+        arr = a.toarray()
+        assert arr[0, 1] == 1 and arr[1, 0] == 0
+
+    def test_self_loops_removed(self):
+        a = adjacency_from_edges([[1, 1], [0, 1]], 3)
+        assert a.toarray()[1, 1] == 0
+
+    def test_self_loops_kept_when_requested(self):
+        a = adjacency_from_edges([[1, 1]], 3, remove_self_loops=False, undirected=False)
+        assert a.toarray()[1, 1] == 1
+
+    def test_duplicates_collapse_to_binary(self):
+        a = adjacency_from_edges([[0, 1], [0, 1], [1, 0]], 3)
+        assert a.is_binary()
+        assert a.nnz == 2
+
+    def test_empty_edges(self):
+        a = adjacency_from_edges(np.empty((0, 2)), 4)
+        assert a.nnz == 0
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            adjacency_from_edges([[0, 1, 2]], 3)
+
+
+class TestChecks:
+    def test_is_symmetric_true(self):
+        assert is_symmetric(random_adjacency_csr(15, seed=0))
+
+    def test_is_symmetric_false(self):
+        a = from_dense(np.array([[0, 1], [0, 0]], dtype=np.float32))
+        assert not is_symmetric(a)
+
+    def test_is_undirected_simple(self):
+        assert is_undirected_simple(random_adjacency_csr(15, seed=1))
+
+    def test_diagonal_breaks_simple(self):
+        d = np.zeros((3, 3), dtype=np.float32)
+        d[0, 0] = 1
+        assert not is_undirected_simple(from_dense(d))
+
+    def test_weighted_breaks_simple(self):
+        d = np.zeros((3, 3), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 2.0
+        assert not is_undirected_simple(from_dense(d))
+
+
+class TestSelfLoopsAndOverlap:
+    def test_add_self_loops_sets_diagonal(self):
+        a = random_adjacency_csr(10, seed=2)
+        loops = add_self_loops(a)
+        assert np.all(np.diag(loops.toarray()) == 1)
+        assert loops.is_binary()
+
+    def test_add_self_loops_idempotent(self):
+        a = random_adjacency_csr(10, seed=3)
+        once = add_self_loops(a)
+        twice = add_self_loops(once)
+        assert np.allclose(once.toarray(), twice.toarray())
+
+    def test_add_self_loops_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            add_self_loops(from_dense(np.ones((2, 3), dtype=np.float32)))
+
+    def test_overlap_matrix_counts_shared_neighbours(self):
+        a = random_adjacency_csr(12, seed=4)
+        dense = a.toarray()
+        ov = overlap_matrix(a).toarray()
+        assert np.allclose(ov, dense @ dense.T)

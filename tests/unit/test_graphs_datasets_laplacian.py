@@ -1,0 +1,88 @@
+"""Unit tests for the dataset registry and GCN normalisation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, ShapeError
+from repro.graphs.adjacency import is_undirected_simple
+from repro.graphs.datasets import REGISTRY, list_datasets, load_dataset, paper_stats
+from repro.graphs.laplacian import degree_vector, gcn_normalization, normalized_adjacency
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestRegistry:
+    def test_eight_datasets_registered(self):
+        assert len(REGISTRY) == 8
+
+    def test_list_all(self):
+        assert set(list_datasets()) == set(REGISTRY)
+
+    def test_list_by_family(self):
+        assert set(list_datasets("citation")) == {"Cora", "PubMed"}
+        assert "COLLAB" in list_datasets("coauthor")
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            load_dataset("Reddit")
+        with pytest.raises(DatasetError):
+            paper_stats("Reddit")
+
+    def test_paper_stats_fields(self):
+        ps = paper_stats("Cora")
+        assert ps.nodes == 2708
+        assert ps.edges == 10556
+        assert ps.compression_ratio_a0 == 1.04
+
+    def test_load_is_memoised(self):
+        a = load_dataset("Cora")
+        b = load_dataset("Cora")
+        assert a is b
+
+    def test_cora_standin_is_simple_graph(self):
+        assert is_undirected_simple(load_dataset("Cora"))
+
+    def test_standin_degree_within_2x_of_paper(self):
+        """Calibration guard: every stand-in's average degree is within a
+        factor 3 of the paper's (proteins is intentionally scaled down)."""
+        for name in REGISTRY:
+            a = load_dataset(name)
+            measured = a.nnz / a.shape[0]
+            target = paper_stats(name).average_degree
+            assert target / 3 <= measured <= target * 3, name
+
+
+class TestNormalization:
+    def test_degree_vector(self):
+        a = random_adjacency_csr(12, seed=0)
+        assert np.array_equal(degree_vector(a), a.row_nnz())
+
+    def test_factors_reconstruct_normalized(self):
+        a = random_adjacency_csr(12, seed=1)
+        binary, d = gcn_normalization(a)
+        assert binary.is_binary()
+        full = normalized_adjacency(a).toarray()
+        ref = d[:, None] * binary.toarray() * d
+        assert np.allclose(full, ref, rtol=1e-6)
+
+    def test_row_sums_of_walk_normalisation(self):
+        """D^{-1/2}(A+I)D^{-1/2} is symmetric with spectral radius <= 1."""
+        a = random_adjacency_csr(15, seed=2)
+        full = normalized_adjacency(a).toarray()
+        assert np.allclose(full, full.T, atol=1e-7)
+        eigs = np.linalg.eigvalsh(full.astype(np.float64))
+        assert eigs.max() <= 1.0 + 1e-6
+
+    def test_isolated_node_handled(self):
+        d = np.zeros((4, 4), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 1
+        binary, dv = gcn_normalization(from_dense(d))
+        assert np.all(np.isfinite(dv))
+        # isolated node's normalised self-loop is exactly 1
+        full = normalized_adjacency(from_dense(d)).toarray()
+        assert full[3, 3] == pytest.approx(1.0)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            gcn_normalization(from_dense(np.ones((2, 3), dtype=np.float32)))

@@ -1,0 +1,99 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.adjacency import is_undirected_simple
+from repro.graphs.generators import (
+    citation_graph,
+    coauthor_graph,
+    copapers_graph,
+    erdos_renyi_graph,
+    ppi_graph,
+    sbm_graph,
+)
+from repro.graphs.stats import average_clustering_coefficient, average_degree
+
+
+ALL_GENERATORS = [
+    lambda seed: erdos_renyi_graph(200, 8.0, seed=seed),
+    lambda seed: sbm_graph([60, 70, 70], 0.2, 0.01, seed=seed),
+    lambda seed: citation_graph(200, 5.0, closure=0.3, seed=seed),
+    lambda seed: coauthor_graph(200, seed=seed),
+    lambda seed: copapers_graph(200, seed=seed),
+    lambda seed: ppi_graph(200, 20.0, communities=4, seed=seed),
+]
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_undirected_simple(self, gen):
+        assert is_undirected_simple(gen(0))
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_deterministic_per_seed(self, gen):
+        a, b = gen(5), gen(5)
+        assert np.array_equal(a.indices, b.indices)
+        assert np.array_equal(a.indptr, b.indptr)
+
+    @pytest.mark.parametrize("gen", ALL_GENERATORS)
+    def test_different_seeds_differ(self, gen):
+        a, b = gen(1), gen(2)
+        assert a.nnz != b.nnz or not np.array_equal(a.indices, b.indices)
+
+
+class TestErdosRenyi:
+    def test_degree_close_to_target(self):
+        a = erdos_renyi_graph(2000, 10.0, seed=0)
+        assert 8.0 < average_degree(a) < 10.5
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(0, 5.0)
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(10, -1.0)
+
+
+class TestSbm:
+    def test_block_structure(self):
+        a = sbm_graph([50, 50], 0.4, 0.0, seed=1)
+        arr = a.toarray()
+        assert arr[:50, 50:].sum() == 0
+        assert arr[:50, :50].sum() > 0
+
+    def test_cross_block_edges_with_positive_pout(self):
+        a = sbm_graph([50, 50], 0.1, 0.1, seed=2)
+        assert a.toarray()[:50, 50:].sum() > 0
+
+
+class TestCitation:
+    def test_low_closure_low_clustering(self):
+        lo = citation_graph(800, 6.0, closure=0.02, seed=3)
+        hi = citation_graph(800, 6.0, closure=0.6, seed=3)
+        assert average_clustering_coefficient(lo) < average_clustering_coefficient(hi)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(ValueError):
+            citation_graph(2, 8.0)
+
+
+class TestCliqueFamilies:
+    def test_coauthor_high_clustering(self):
+        a = coauthor_graph(600, papers_per_author=4.0, authors_per_paper=5.0, seed=4)
+        assert average_clustering_coefficient(a) > 0.3
+
+    def test_copapers_high_clustering(self):
+        a = copapers_graph(600, seed=5)
+        assert average_clustering_coefficient(a) > 0.3
+
+    def test_mega_papers_boost_degree(self):
+        base = coauthor_graph(500, mega_papers=0, seed=6)
+        mega = coauthor_graph(500, mega_papers=4, mega_team_size=80, seed=6)
+        assert average_degree(mega) > average_degree(base)
+
+
+class TestPpi:
+    def test_high_degree_moderate_clustering(self):
+        a = ppi_graph(800, 60.0, communities=6, seed=7)
+        assert average_degree(a) > 30
+        assert average_clustering_coefficient(a) < 0.6

@@ -1,0 +1,111 @@
+"""Unit tests for graph statistics (validated against networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import NotBinaryError, ShapeError
+from repro.graphs.stats import (
+    average_clustering_coefficient,
+    average_degree,
+    compute_stats,
+    degree_histogram,
+    local_clustering,
+    triangle_counts,
+)
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr, random_adjacency_dense
+
+
+def to_nx(a):
+    return nx.from_numpy_array(a.toarray())
+
+
+class TestDegrees:
+    def test_average_degree(self):
+        a = random_adjacency_csr(20, seed=0)
+        assert average_degree(a) == pytest.approx(a.nnz / 20)
+
+    def test_degree_histogram_sums_to_n(self):
+        a = random_adjacency_csr(20, seed=1)
+        assert degree_histogram(a).sum() == 20
+
+    def test_empty_graph(self):
+        a = from_dense(np.zeros((5, 5), dtype=np.float32))
+        assert average_degree(a) == 0.0
+        assert average_clustering_coefficient(a) == 0.0
+
+
+class TestTriangles:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        a = random_adjacency_csr(25, density=0.25, seed=seed)
+        ours = triangle_counts(a)
+        theirs = nx.triangles(to_nx(a))
+        assert ours.tolist() == [theirs[i] for i in range(25)]
+
+    def test_triangle_free_graph(self):
+        # A star graph has no triangles.
+        d = np.zeros((6, 6), dtype=np.float32)
+        d[0, 1:] = 1
+        d[1:, 0] = 1
+        assert triangle_counts(from_dense(d)).sum() == 0
+
+    def test_complete_graph(self):
+        n = 6
+        d = (1 - np.eye(n)).astype(np.float32)
+        tri = triangle_counts(from_dense(d))
+        expected = (n - 1) * (n - 2) // 2
+        assert np.all(tri == expected)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ShapeError):
+            triangle_counts(from_dense(np.ones((2, 3), dtype=np.float32)))
+
+    def test_rejects_weighted(self):
+        d = np.zeros((3, 3), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 2.0
+        with pytest.raises(NotBinaryError):
+            triangle_counts(from_dense(d))
+
+
+class TestClustering:
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_local_matches_networkx(self, seed):
+        a = random_adjacency_csr(22, density=0.3, seed=seed)
+        ours = local_clustering(a)
+        theirs = nx.clustering(to_nx(a))
+        for i in range(22):
+            assert ours[i] == pytest.approx(theirs[i], abs=1e-12)
+
+    @pytest.mark.parametrize("seed", [6, 7])
+    def test_average_matches_networkx(self, seed):
+        a = random_adjacency_csr(20, density=0.3, seed=seed)
+        assert average_clustering_coefficient(a) == pytest.approx(
+            nx.average_clustering(to_nx(a)), abs=1e-12
+        )
+
+    def test_complete_graph_coefficient_one(self):
+        d = (1 - np.eye(5)).astype(np.float32)
+        assert average_clustering_coefficient(from_dense(d)) == pytest.approx(1.0)
+
+
+class TestComputeStats:
+    def test_fields(self):
+        a = random_adjacency_csr(15, seed=8)
+        st = compute_stats(a)
+        assert st.nodes == 15
+        assert st.edges == a.nnz // 2
+        assert st.csr_bytes == a.memory_bytes()
+        assert 0 <= st.average_clustering <= 1
+
+    def test_skip_clustering(self):
+        a = random_adjacency_csr(15, seed=9)
+        st = compute_stats(a, clustering=False)
+        assert np.isnan(st.average_clustering)
+
+    def test_csr_mib(self):
+        a = random_adjacency_csr(15, seed=10)
+        st = compute_stats(a, clustering=False)
+        assert st.csr_mib == pytest.approx(st.csr_bytes / 2**20)

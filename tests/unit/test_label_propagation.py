@@ -1,0 +1,90 @@
+"""Unit tests for label-propagation clustering in the clustered builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import (
+    build_clustered,
+    cluster_rows_label_propagation,
+)
+from repro.errors import ShapeError
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+def community_graph(blocks=3, size=20, seed=7):
+    rng = np.random.default_rng(seed)
+    n = blocks * size
+    d = np.zeros((n, n), dtype=np.float32)
+    for b in range(blocks):
+        d[b * size : (b + 1) * size, b * size : (b + 1) * size] = 1.0
+    for i, j in rng.integers(0, n, size=(10, 2)):
+        if i != j:
+            d[i, j] = d[j, i] = 1 - d[i, j]
+    np.fill_diagonal(d, 0)
+    return from_dense(d)
+
+
+class TestLabelPropagation:
+    def test_recovers_planted_communities(self):
+        a = community_graph()
+        labels = cluster_rows_label_propagation(a, cluster_size=25)
+        # Each planted block maps (almost entirely) to one cluster.
+        for b in range(3):
+            block_labels = labels[b * 20 : (b + 1) * 20]
+            values, counts = np.unique(block_labels, return_counts=True)
+            assert counts.max() >= 16
+
+    def test_cluster_size_cap_respected(self):
+        a = community_graph()
+        labels = cluster_rows_label_propagation(a, cluster_size=8)
+        assert np.bincount(labels).max() <= 8
+
+    def test_all_rows_labelled(self):
+        a = random_adjacency_csr(40, seed=1)
+        labels = cluster_rows_label_propagation(a, 10)
+        assert labels.shape == (40,)
+        assert labels.min() >= 0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            cluster_rows_label_propagation(random_adjacency_csr(10, seed=2), 0)
+
+    def test_deterministic(self):
+        a = random_adjacency_csr(30, seed=3)
+        l1 = cluster_rows_label_propagation(a, 8)
+        l2 = cluster_rows_label_propagation(a, 8)
+        assert np.array_equal(l1, l2)
+
+
+class TestBuilderIntegration:
+    def test_lp_beats_signature_on_communities(self):
+        """Community-aware clustering compresses community graphs better."""
+        a = community_graph(seed=9)
+        _, rep_sig = build_clustered(a, cluster_size=25, clustering="signature")
+        _, rep_lp = build_clustered(a, cluster_size=25, clustering="label_propagation")
+        assert rep_lp.compression_ratio >= rep_sig.compression_ratio - 1e-9
+
+    def test_lp_correct_product(self):
+        a = community_graph(seed=10)
+        cbm, _ = build_clustered(a, cluster_size=16, clustering="label_propagation")
+        x = np.random.default_rng(0).random((a.shape[0], 4)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_explicit_labels(self):
+        a = random_adjacency_csr(30, seed=11)
+        labels = np.arange(30) % 3
+        cbm, _ = build_clustered(a, labels=labels)
+        x = np.random.default_rng(1).random((30, 3)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_bad_labels_length(self):
+        a = random_adjacency_csr(10, seed=12)
+        with pytest.raises(ShapeError):
+            build_clustered(a, labels=np.zeros(3, dtype=np.int64))
+
+    def test_unknown_clustering(self):
+        a = random_adjacency_csr(10, seed=13)
+        with pytest.raises(ValueError):
+            build_clustered(a, clustering="metis")

@@ -1,0 +1,99 @@
+"""Numerical-robustness tests: accumulation depth, extreme scalings, dtypes.
+
+The CBM update stage accumulates partial sums along compression-tree
+paths, so float32 rounding grows with tree depth; these tests pin that
+the error stays within practical tolerances on the worst shapes (a chain
+tree) and under extreme diagonal scalings — the regimes the paper's
+rtol-1e-5 protocol never exercises.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.sparse.csr import CSRMatrix
+
+from tests.conftest import random_adjacency_csr
+
+
+def chain_matrix(n: int) -> CSRMatrix:
+    """Cumulative lower-triangular matrix: row i = columns {0..i}.
+
+    Compresses to a single n-deep chain (1 delta per row) — the maximum
+    accumulation depth per stored delta."""
+    indptr = np.cumsum(np.concatenate([[0], np.arange(1, n + 1)]))
+    indices = np.concatenate([np.arange(i + 1) for i in range(n)])
+    return CSRMatrix(indptr, indices, np.ones(len(indices), dtype=np.float32), (n, n))
+
+
+class TestDeepAccumulation:
+    def test_chain_tree_error_bounded(self):
+        n = 300
+        a = chain_matrix(n)
+        cbm, rep = build_cbm(a, alpha=0)
+        assert cbm.tree.depth().max() >= n - 2  # really is a chain
+        x = np.random.default_rng(0).random((n, 8)).astype(np.float32)
+        exact = a.toarray().astype(np.float64) @ x
+        got = cbm.matmul(x)
+        rel = np.max(np.abs(got - exact) / np.maximum(np.abs(exact), 1e-9))
+        assert rel < 1e-4  # float32 partial sums over a 300-deep chain
+
+    def test_chain_matches_csr_backend_not_just_truth(self):
+        """CBM and the CSR backend accumulate differently; both must land
+        within tolerance of each other, which is what the paper checks."""
+        from repro.sparse.ops import spmm
+
+        n = 200
+        a = chain_matrix(n)
+        cbm, _ = build_cbm(a, alpha=0)
+        x = np.random.default_rng(1).random((n, 4)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), spmm(a, x), rtol=1e-4, atol=1e-4)
+
+
+class TestExtremeScalings:
+    @pytest.mark.parametrize("scale", [1e-6, 1e6])
+    def test_dad_uniform_extreme_diag(self, scale):
+        a = random_adjacency_csr(30, seed=0)
+        d = np.full(30, scale)
+        cbm, _ = build_cbm(a, alpha=0, variant="DAD", diag=d)
+        x = np.random.default_rng(2).random((30, 4)).astype(np.float32)
+        ref = (d[:, None] * a.toarray().astype(np.float64) * d) @ x
+        got = cbm.matmul(x)
+        assert np.allclose(got, ref, rtol=1e-3)
+
+    def test_fused_mode_with_wide_diag_range(self):
+        """Fused Eq. 6 divides by the parent's diagonal; a 6-decade spread
+        must not blow up relative error."""
+        rng = np.random.default_rng(3)
+        a = random_adjacency_csr(40, density=0.3, seed=1)
+        d = 10.0 ** rng.uniform(-3, 3, size=40)
+        cbm, _ = build_cbm(a, alpha=0, variant="DAD", diag=d)
+        x = rng.random((40, 4)).astype(np.float32)
+        ref = (d[:, None] * a.toarray().astype(np.float64) * d) @ x
+        for scaling in ("deferred", "fused"):
+            got = cbm.matmul(x, scaling=scaling)
+            rel = np.max(np.abs(got - ref) / np.maximum(np.abs(ref), 1e-12))
+            assert rel < 1e-3, scaling
+
+
+class TestDtypes:
+    def test_float64_operand(self):
+        a = random_adjacency_csr(20, seed=2)
+        cbm, _ = build_cbm(a, alpha=0)
+        x = np.random.default_rng(4).random((20, 3))  # float64
+        ref = a.toarray().astype(np.float64) @ x
+        assert np.allclose(cbm.matmul(x), ref, rtol=1e-6)
+
+    def test_integer_operand_coerced(self):
+        a = random_adjacency_csr(15, seed=3)
+        cbm, _ = build_cbm(a, alpha=0)
+        x = np.arange(15 * 2).reshape(15, 2)
+        ref = a.toarray() @ x.astype(np.float64)
+        assert np.allclose(cbm.matmul(x), ref, rtol=1e-5)
+
+    def test_matvec_dtype_follows_operand(self):
+        a = random_adjacency_csr(15, seed=4)
+        cbm, _ = build_cbm(a, alpha=0)
+        v64 = np.random.default_rng(5).random(15)
+        out = cbm.matvec(v64)
+        assert out.dtype == np.float64

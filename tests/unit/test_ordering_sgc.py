@@ -1,0 +1,161 @@
+"""Unit tests for node orderings and the SGC model."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm, build_clustered
+from repro.errors import GNNError
+from repro.gnn.adjacency import make_operator
+from repro.gnn.sgc import SGC, propagate
+from repro.graphs.laplacian import normalized_adjacency
+from repro.graphs.ordering import (
+    bandwidth,
+    bfs_order,
+    degree_order,
+    permute_symmetric,
+    rcm_order,
+    signature_order,
+)
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+def path_graph(n):
+    d = np.zeros((n, n), dtype=np.float32)
+    for i in range(n - 1):
+        d[i, i + 1] = d[i + 1, i] = 1
+    return from_dense(d)
+
+
+class TestOrders:
+    @pytest.mark.parametrize(
+        "order_fn", [bfs_order, rcm_order, degree_order, signature_order]
+    )
+    def test_is_permutation(self, order_fn):
+        a = random_adjacency_csr(25, seed=0)
+        order = order_fn(a)
+        assert sorted(order.tolist()) == list(range(25))
+
+    def test_bfs_start_first(self):
+        a = random_adjacency_csr(20, seed=1)
+        assert bfs_order(a, start=7)[0] == 7
+
+    def test_bfs_bad_start(self):
+        with pytest.raises(IndexError):
+            bfs_order(random_adjacency_csr(5, seed=2), start=9)
+
+    def test_bfs_covers_disconnected(self):
+        d = np.zeros((4, 4), dtype=np.float32)
+        d[0, 1] = d[1, 0] = 1  # nodes 2, 3 isolated
+        order = bfs_order(from_dense(d))
+        assert sorted(order.tolist()) == [0, 1, 2, 3]
+
+    def test_degree_order_directions(self):
+        a = random_adjacency_csr(20, seed=3)
+        deg = a.row_nnz()
+        desc = degree_order(a)
+        asc = degree_order(a, descending=False)
+        assert deg[desc[0]] == deg.max()
+        assert deg[asc[0]] == deg.min()
+
+    def test_rcm_reduces_bandwidth_on_shuffled_path(self):
+        """A shuffled path graph has large bandwidth; RCM restores O(1)."""
+        rng = np.random.default_rng(4)
+        a = path_graph(60)
+        shuffled = permute_symmetric(a, rng.permutation(60))
+        assert bandwidth(shuffled) > 5
+        restored = permute_symmetric(shuffled, rcm_order(shuffled))
+        assert bandwidth(restored) <= 2
+
+    def test_bandwidth_empty(self):
+        assert bandwidth(from_dense(np.zeros((3, 3), dtype=np.float32))) == 0
+
+
+class TestPermute:
+    def test_identity(self):
+        a = random_adjacency_csr(15, seed=5)
+        same = permute_symmetric(a, np.arange(15))
+        assert np.allclose(same.toarray(), a.toarray())
+
+    def test_semantics(self):
+        a = random_adjacency_csr(12, seed=6)
+        order = np.random.default_rng(0).permutation(12)
+        b = permute_symmetric(a, order)
+        da, db = a.toarray(), b.toarray()
+        for i in range(12):
+            for j in range(12):
+                assert db[i, j] == da[order[i], order[j]]
+
+    def test_rejects_non_permutation(self):
+        a = random_adjacency_csr(5, seed=7)
+        with pytest.raises(ValueError):
+            permute_symmetric(a, np.zeros(5, dtype=np.int64))
+
+    def test_cbm_compression_is_order_invariant(self):
+        """Reordering rows never changes the global CBM tree weight."""
+        a = random_adjacency_csr(30, density=0.3, seed=8)
+        order = np.random.default_rng(1).permutation(30)
+        b = permute_symmetric(a, order)
+        _, rep_a = build_cbm(a, alpha=0)
+        _, rep_b = build_cbm(b, alpha=0)
+        assert rep_a.total_deltas == rep_b.total_deltas
+
+    def test_signature_order_groups_identical_rows(self):
+        """Identical adjacency rows become adjacent under signature order
+        (why the clustered builder uses this order internally)."""
+        rng = np.random.default_rng(2)
+        d = np.zeros((30, 30), dtype=np.float32)
+        pattern = (rng.random(30) < 0.3).astype(np.float32)
+        dup = rng.choice(30, size=10, replace=False)
+        d[dup] = pattern
+        a = from_dense(d)
+        order = signature_order(a)
+        positions = sorted(int(np.flatnonzero(order == x)[0]) for x in dup)
+        assert positions == list(range(positions[0], positions[0] + 10))
+
+
+class TestSGC:
+    def test_propagate_matches_matrix_power(self):
+        a = random_adjacency_csr(20, seed=9)
+        op = make_operator(a, "csr")
+        x = np.random.default_rng(0).random((20, 4)).astype(np.float32)
+        a_hat = normalized_adjacency(a).toarray().astype(np.float64)
+        ref = a_hat @ (a_hat @ x)
+        assert np.allclose(propagate(op, x, 2), ref, rtol=1e-3, atol=1e-5)
+
+    def test_propagate_k0_identity(self):
+        a = random_adjacency_csr(10, seed=10)
+        x = np.ones((10, 2), dtype=np.float32)
+        assert np.array_equal(propagate(make_operator(a, "csr"), x, 0), x)
+
+    def test_propagate_bad_k(self):
+        a = random_adjacency_csr(10, seed=11)
+        with pytest.raises(GNNError):
+            propagate(make_operator(a, "csr"), np.ones((10, 2)), -1)
+
+    def test_formats_agree(self):
+        a = random_adjacency_csr(25, seed=12)
+        x = np.random.default_rng(1).random((25, 6)).astype(np.float32)
+        y1 = propagate(make_operator(a, "csr"), x, 3)
+        y2 = propagate(make_operator(a, "cbm", alpha=2), x, 3)
+        assert np.allclose(y1, y2, rtol=1e-3, atol=1e-4)
+
+    def test_model_precompute_and_forward(self):
+        a = random_adjacency_csr(20, seed=13)
+        op = make_operator(a, "csr")
+        x = np.random.default_rng(2).random((20, 8)).astype(np.float32)
+        model = SGC(8, 3, k=2, seed=0)
+        cached = model.precompute(op, x)
+        out = model.forward()
+        assert out.shape == (20, 3)
+        assert np.allclose(out, cached @ model.linear.weight + model.linear.bias)
+
+    def test_forward_without_precompute_needs_args(self):
+        model = SGC(4, 2, k=1)
+        with pytest.raises(GNNError):
+            model.forward()
+
+    def test_bad_k(self):
+        with pytest.raises(GNNError):
+            SGC(4, 2, k=0)

@@ -1,0 +1,156 @@
+"""Unit tests for ASCII charts, schedule traces, and APPNP."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bench.plots import ascii_chart, figure2_panel
+from repro.errors import GNNError, ParallelError
+from repro.gnn.adjacency import make_operator
+from repro.gnn.appnp import APPNP
+from repro.graphs.laplacian import normalized_adjacency
+from repro.parallel.schedule import simulate_dynamic_schedule
+from repro.parallel.trace import render_gantt, traced_schedule
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestAsciiChart:
+    def test_contains_series_glyphs_and_legend(self):
+        text = ascii_chart([0, 1, 2], {"a": [1.0, 2.0, 3.0], "b": [3.0, 2.0, 1.0]})
+        assert "*" in text and "o" in text
+        assert "legend: * a   o b" in text
+
+    def test_x_labels_rendered(self):
+        text = ascii_chart([0, 8, 32], {"s": [1.0, 2.0, 1.5]})
+        assert "32" in text
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})
+
+    def test_small_height_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]}, height=2)
+
+    def test_nan_values_skipped(self):
+        text = ascii_chart([0, 1], {"a": [1.0, math.nan]})
+        grid = "\n".join(text.splitlines()[:-1])  # drop the legend line
+        assert grid.count("*") == 1
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart([0], {"a": [math.nan]})
+
+    def test_constant_series(self):
+        text = ascii_chart([0, 1], {"a": [2.0, 2.0]})
+        grid = "\n".join(text.splitlines()[:-1])  # drop the legend line
+        assert grid.count("*") == 2
+
+    def test_figure2_panel(self):
+        text = figure2_panel(
+            [0, 2, 8],
+            [1.0, 1.5, 1.4],
+            [1.1, 1.6, 1.8],
+            [2.0, 1.9, 1.5],
+            graph="ca-HepPh",
+        )
+        assert "ca-HepPh" in text
+        assert "compression ratio" in text
+
+
+class TestTrace:
+    def test_matches_untraced_makespan(self):
+        rng = np.random.default_rng(0)
+        costs = rng.random(40) * 5
+        for threads in (1, 4, 16):
+            traced = traced_schedule(costs, threads)
+            plain = simulate_dynamic_schedule(costs, threads)
+            assert traced.makespan == pytest.approx(plain.makespan)
+
+    def test_events_cover_all_tasks(self):
+        trace = traced_schedule([1.0, 2.0, 3.0], 2)
+        assert sorted(e.task for e in trace.events) == [0, 1, 2]
+
+    def test_no_thread_overlap(self):
+        rng = np.random.default_rng(1)
+        trace = traced_schedule(rng.random(30), 4)
+        by_thread = {}
+        for e in trace.events:
+            by_thread.setdefault(e.thread, []).append(e)
+        for events in by_thread.values():
+            events.sort(key=lambda e: e.start)
+            for a, b in zip(events, events[1:]):
+                assert a.end <= b.start + 1e-12
+
+    def test_busy_and_utilisation(self):
+        trace = traced_schedule([2.0, 2.0], 2)
+        assert trace.utilisation == pytest.approx(1.0)
+        assert trace.thread_busy().tolist() == [2.0, 2.0]
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ParallelError):
+            traced_schedule([-1.0], 2)
+
+    def test_gantt_renders(self):
+        trace = traced_schedule([3.0, 1.0, 2.0], 2)
+        text = render_gantt(trace, width=40)
+        assert "T00" in text and "T01" in text
+        assert "makespan" in text
+
+    def test_gantt_empty(self):
+        assert "empty" in render_gantt(traced_schedule([], 2))
+
+
+class TestAPPNP:
+    def test_forward_shape(self):
+        a = random_adjacency_csr(30, seed=0)
+        op = make_operator(a, "csr")
+        x = np.random.default_rng(0).random((30, 8)).astype(np.float32)
+        model = APPNP(8, 16, 3, k=4, seed=1)
+        assert model(op, x).shape == (30, 3)
+
+    def test_formats_agree(self):
+        a = random_adjacency_csr(25, seed=1)
+        x = np.random.default_rng(1).random((25, 6)).astype(np.float32)
+        model = APPNP(6, 8, 2, k=5, seed=2)
+        y1 = model(make_operator(a, "csr"), x)
+        y2 = model(make_operator(a, "cbm", alpha=2), x)
+        assert np.allclose(y1, y2, rtol=1e-3, atol=1e-4)
+
+    def test_propagation_matches_manual_recursion(self):
+        a = random_adjacency_csr(20, seed=2)
+        op = make_operator(a, "csr")
+        h = np.random.default_rng(2).random((20, 3)).astype(np.float32)
+        model = APPNP(3, 4, 3, k=2, teleport=0.2, seed=3)
+        a_hat = normalized_adjacency(a).toarray().astype(np.float64)
+        z = h.astype(np.float64)
+        for _ in range(2):
+            z = 0.8 * (a_hat @ z) + 0.2 * h
+        assert np.allclose(model.propagate(op, h), z, rtol=1e-3, atol=1e-5)
+
+    def test_teleport_one_is_identity(self):
+        a = random_adjacency_csr(15, seed=3)
+        op = make_operator(a, "csr")
+        h = np.random.default_rng(3).random((15, 2)).astype(np.float32)
+        model = APPNP(2, 4, 2, k=7, teleport=1.0)
+        assert np.allclose(model.propagate(op, h), h, rtol=1e-5)
+
+    def test_invalid_params(self):
+        with pytest.raises(GNNError):
+            APPNP(4, 4, 2, k=0)
+        with pytest.raises(GNNError):
+            APPNP(4, 4, 2, teleport=0.0)
+        with pytest.raises(GNNError):
+            APPNP(4, 4, 2, teleport=1.5)
+
+    def test_wrong_node_count(self):
+        a = random_adjacency_csr(10, seed=4)
+        model = APPNP(4, 4, 2)
+        with pytest.raises(GNNError):
+            model.propagate(make_operator(a, "csr"), np.ones((3, 2), dtype=np.float32))

@@ -1,0 +1,136 @@
+"""Unit tests for post-hoc tree rebalancing and CSR row extraction."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.core.rebalance import cut_depth, split_branches
+from repro.errors import ShapeError
+
+from tests.conftest import clustered_adjacency, random_adjacency_csr
+
+
+def deep_cbm(seed=0):
+    """A CBM whose tree has some depth (clustered rows chain together)."""
+    rng = np.random.default_rng(seed)
+    n = 80
+    d = np.zeros((n, n), dtype=np.float32)
+    d[:40, :40] = 1.0
+    flips = rng.integers(0, n, size=(40, 2))
+    for i, j in flips:
+        if i != j:
+            d[i, j] = d[j, i] = 1 - d[i, j]
+    np.fill_diagonal(d, 0)
+    from repro.sparse.convert import from_dense
+
+    a = from_dense(d)
+    cbm, _ = build_cbm(a, alpha=0)
+    return a, cbm
+
+
+class TestCutDepth:
+    def test_depth_bounded(self):
+        a, cbm = deep_cbm()
+        if cbm.tree.depth().max() <= 2:
+            pytest.skip("tree too shallow to exercise cutting")
+        cut = cut_depth(cbm, 2)
+        assert cut.tree.depth().max() <= 2
+
+    def test_product_unchanged(self):
+        a, cbm = deep_cbm(1)
+        cut = cut_depth(cbm, 1)
+        x = np.random.default_rng(0).random((a.shape[0], 5)).astype(np.float32)
+        assert np.allclose(cut.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_property1_preserved(self):
+        a, cbm = deep_cbm(2)
+        cut = cut_depth(cbm, 1)
+        assert cut.num_deltas <= a.nnz
+
+    def test_compression_only_degrades(self):
+        a, cbm = deep_cbm(3)
+        cut = cut_depth(cbm, 1)
+        assert cut.num_deltas >= cbm.num_deltas
+
+    def test_noop_when_within_bound(self):
+        a, cbm = deep_cbm(4)
+        maxd = int(cbm.tree.depth().max())
+        same = cut_depth(cbm, maxd)
+        assert same is cbm
+
+    def test_invalid_depth(self):
+        _, cbm = deep_cbm(5)
+        with pytest.raises(ValueError):
+            cut_depth(cbm, 0)
+
+    def test_dad_variant(self):
+        rng = np.random.default_rng(6)
+        a = random_adjacency_csr(40, density=0.35, seed=6)
+        d = rng.random(40) + 0.5
+        cbm, _ = build_cbm(a, alpha=0, variant="DAD", diag=d)
+        cut = cut_depth(cbm, 1)
+        x = rng.random((40, 4)).astype(np.float32)
+        ref = (d[:, None] * a.toarray() * d) @ x
+        assert np.allclose(cut.matmul(x), ref, rtol=1e-4)
+
+
+class TestSplitBranches:
+    def test_branch_size_bounded(self):
+        a, cbm = deep_cbm(7)
+        largest = max(len(b) for b in cbm.tree.branches())
+        if largest <= 5:
+            pytest.skip("branches already small")
+        split = split_branches(cbm, 5)
+        assert max(len(b) for b in split.tree.branches()) <= 5
+
+    def test_product_unchanged(self):
+        a, cbm = deep_cbm(8)
+        split = split_branches(cbm, 4)
+        x = np.random.default_rng(1).random((a.shape[0], 5)).astype(np.float32)
+        assert np.allclose(split.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    def test_improves_schedule_makespan(self):
+        from repro.parallel.schedule import update_stage_schedule
+
+        a, cbm = deep_cbm(9)
+        largest = max(len(b) for b in cbm.tree.branches())
+        if largest <= 8:
+            pytest.skip("nothing to split")
+        split = split_branches(cbm, 8)
+        before = update_stage_schedule(cbm.tree, 64, 16).makespan
+        after = update_stage_schedule(split.tree, 64, 16).makespan
+        assert after <= before
+
+    def test_invalid_size(self):
+        _, cbm = deep_cbm(10)
+        with pytest.raises(ValueError):
+            split_branches(cbm, 0)
+
+
+class TestExtractRows:
+    def test_subset_and_order(self):
+        a = random_adjacency_csr(20, seed=11)
+        sub = a.extract_rows([5, 2, 17])
+        dense = a.toarray()
+        assert np.allclose(sub.toarray(), dense[[5, 2, 17]])
+
+    def test_duplicates_allowed(self):
+        a = random_adjacency_csr(10, seed=12)
+        sub = a.extract_rows([3, 3])
+        assert np.allclose(sub.toarray()[0], sub.toarray()[1])
+
+    def test_empty_selection(self):
+        a = random_adjacency_csr(10, seed=13)
+        sub = a.extract_rows([])
+        assert sub.shape == (0, 10)
+        assert sub.nnz == 0
+
+    def test_out_of_range(self):
+        a = random_adjacency_csr(10, seed=14)
+        with pytest.raises(ShapeError):
+            a.extract_rows([99])
+
+    def test_preserves_values(self):
+        a = random_adjacency_csr(10, seed=15).scale_columns(np.arange(1.0, 11.0))
+        sub = a.extract_rows([4])
+        assert np.allclose(sub.toarray()[0], a.toarray()[4])

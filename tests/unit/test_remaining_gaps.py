@@ -1,0 +1,92 @@
+"""Tests for remaining behavioural gaps spotted in review."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import savings_histogram
+from repro.core.builder import build_cbm
+from repro.gnn.adjacency import make_operator
+from repro.gnn.gcn import GCN
+from repro.gnn.train import train_gcn
+from repro.gnn.data import synthetic_node_classification
+from repro.graphs.ordering import bfs_order, rcm_order, signature_order
+from repro.sparse.convert import from_dense
+from repro.staf import build_staf
+from repro.utils.fmt import format_table
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestTrainValidation:
+    def test_val_accuracy_recorded(self):
+        task = synthetic_node_classification(60, classes=2, feature_dim=4, seed=0)
+        op = make_operator(task.adjacency, "csr")
+        model = GCN([4, 3, 2], seed=1, requires_grad=True)
+        res = train_gcn(
+            model,
+            op,
+            task.features,
+            task.labels,
+            train_mask=task.train_mask,
+            val_mask=task.val_mask,
+            epochs=5,
+        )
+        assert len(res.val_accuracy) == 5
+        assert all(0.0 <= v <= 1.0 for v in res.val_accuracy)
+
+    def test_no_val_mask_leaves_empty(self):
+        task = synthetic_node_classification(40, classes=2, feature_dim=4, seed=1)
+        op = make_operator(task.adjacency, "csr")
+        model = GCN([4, 3, 2], seed=2, requires_grad=True)
+        res = train_gcn(
+            model, op, task.features, task.labels, train_mask=task.train_mask, epochs=3
+        )
+        assert res.val_accuracy == []
+
+
+class TestAnalysisOptions:
+    def test_histogram_custom_bins(self):
+        a = random_adjacency_csr(25, seed=2)
+        cbm, _ = build_cbm(a, alpha=0)
+        hist = savings_histogram(cbm, a.row_nnz(), bins=4)
+        assert len(hist) == 4
+
+
+class TestOrderingEdgeCases:
+    def test_single_node(self):
+        a = from_dense(np.zeros((1, 1), dtype=np.float32))
+        for fn in (bfs_order, rcm_order, signature_order):
+            assert fn(a).tolist() == [0]
+
+    def test_empty_graph(self):
+        a = from_dense(np.zeros((0, 0), dtype=np.float32))
+        assert bfs_order(a).size == 0
+        assert rcm_order(a).size == 0
+
+
+class TestStafOnDatasets:
+    def test_matvec_on_dataset(self):
+        from repro.graphs.datasets import load_dataset
+
+        a = load_dataset("Cora")
+        staf = build_staf(a)
+        v = np.random.default_rng(0).random(a.shape[1]).astype(np.float32)
+        assert np.allclose(staf.matvec(v), a @ v, rtol=1e-3, atol=1e-4)
+
+    def test_memory_composition(self):
+        a = random_adjacency_csr(20, seed=3)
+        staf = build_staf(a)
+        assert staf.memory_bytes() == 8 * staf.num_nodes + 4 * 20
+
+
+class TestFormatTableAlignment:
+    def test_suffixed_numbers_right_aligned(self):
+        txt = format_table(["v"], [["1.50x"], ["10.25x"]])
+        lines = txt.splitlines()
+        # Right alignment: shorter value is padded on the left.
+        assert lines[2].endswith("1.50x")
+        assert lines[3].endswith("10.25x")
+
+    def test_mixed_column_types(self):
+        txt = format_table(["name", "pct"], [["alpha", "12%"], ["b", "3%"]])
+        assert "alpha" in txt and "12%" in txt

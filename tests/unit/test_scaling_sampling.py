@@ -1,0 +1,141 @@
+"""Unit tests for strong-scaling curves and mini-batch sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.errors import GNNError
+from repro.gnn.adjacency import make_operator
+from repro.gnn.gcn import GCN
+from repro.gnn.sampling import induced_subgraph, k_hop_neighborhood, minibatch_inference
+from repro.parallel.scaling import (
+    parallel_efficiency,
+    saturation_cores,
+    strong_scaling_curve,
+)
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestStrongScaling:
+    @pytest.fixture
+    def curve(self):
+        a = random_adjacency_csr(50, density=0.3, seed=0)
+        cbm, _ = build_cbm(a, alpha=0)
+        return strong_scaling_curve(a, cbm, 128, scale_nnz=100.0, scale_rows=50.0)
+
+    def test_points_for_each_core_count(self, curve):
+        assert [pt.cores for pt in curve] == [1, 2, 4, 8, 16]
+        assert all(pt.csr_s > 0 and pt.cbm_s > 0 for pt in curve)
+
+    def test_times_non_increasing(self, curve):
+        for a, b in zip(curve, curve[1:]):
+            assert b.csr_s <= a.csr_s * 1.001
+            assert b.cbm_s <= a.cbm_s * 1.001
+
+    def test_efficiency_at_one_core_is_one(self, curve):
+        eff = parallel_efficiency(curve)
+        assert eff["csr"][0] == pytest.approx(1.0)
+        assert eff["cbm"][0] == pytest.approx(1.0)
+
+    def test_efficiency_requires_one_core_start(self, curve):
+        with pytest.raises(ValueError):
+            parallel_efficiency(curve[1:])
+
+    def test_saturation_within_range(self, curve):
+        sat = saturation_cores(curve)
+        assert 1 <= sat["csr"] <= 16
+        assert 1 <= sat["cbm"] <= 16
+
+
+class TestKHop:
+    def test_zero_hops_is_seeds(self):
+        a = random_adjacency_csr(20, seed=1)
+        out = k_hop_neighborhood(a, [3, 7], 0)
+        assert out.tolist() == [3, 7]
+
+    def test_one_hop_contains_neighbours(self):
+        a = random_adjacency_csr(20, seed=2)
+        out = set(k_hop_neighborhood(a, [0], 1).tolist())
+        assert out.issuperset({0, *a.row(0).tolist()})
+
+    def test_monotone_in_hops(self):
+        a = random_adjacency_csr(30, seed=3)
+        h1 = set(k_hop_neighborhood(a, [0], 1).tolist())
+        h2 = set(k_hop_neighborhood(a, [0], 2).tolist())
+        assert h1.issubset(h2)
+
+    def test_fanout_caps_growth(self):
+        a = random_adjacency_csr(40, density=0.4, seed=4)
+        full = k_hop_neighborhood(a, [0], 1)
+        capped = k_hop_neighborhood(a, [0], 1, fanout=2, seed=0)
+        assert len(capped) <= min(len(full), 3)
+
+    def test_bad_args(self):
+        a = random_adjacency_csr(10, seed=5)
+        with pytest.raises(GNNError):
+            k_hop_neighborhood(a, [0], -1)
+        with pytest.raises(GNNError):
+            k_hop_neighborhood(a, [99], 1)
+
+
+class TestInducedSubgraph:
+    def test_matches_dense_slice(self):
+        a = random_adjacency_csr(20, seed=6)
+        nodes = np.array([2, 5, 9, 13])
+        sub, ids = induced_subgraph(a, nodes)
+        dense = a.toarray()
+        assert np.allclose(sub.toarray(), dense[np.ix_(ids, ids)])
+
+    def test_deduplicates(self):
+        a = random_adjacency_csr(15, seed=7)
+        sub, ids = induced_subgraph(a, [3, 3, 3])
+        assert ids.tolist() == [3]
+        assert sub.shape == (1, 1)
+
+    def test_out_of_range(self):
+        a = random_adjacency_csr(10, seed=8)
+        with pytest.raises(GNNError):
+            induced_subgraph(a, [50])
+
+
+class TestMinibatchInference:
+    def test_exact_matches_full_batch(self):
+        """With full receptive fields, batched == full-batch predictions.
+
+        A 2-layer GCN's receptive field is 2 hops, so hops=2 is exact."""
+        a = random_adjacency_csr(40, density=0.25, seed=9)
+        x = np.random.default_rng(0).random((40, 8)).astype(np.float32)
+        model = GCN([8, 6, 3], seed=1)
+        full = model(make_operator(a, "csr"), x)
+        targets = np.arange(40)
+        batched = minibatch_inference(
+            a, x, model, targets, hops=2, batch_size=13, kind="csr"
+        )
+        assert np.allclose(batched, full[targets], rtol=1e-3, atol=1e-4)
+
+    def test_cbm_subgraphs_match_csr_subgraphs(self):
+        a = random_adjacency_csr(30, density=0.3, seed=10)
+        x = np.random.default_rng(1).random((30, 6)).astype(np.float32)
+        model = GCN([6, 5, 2], seed=2)
+        targets = np.array([0, 7, 19])
+        out_csr = minibatch_inference(a, x, model, targets, hops=2, kind="csr")
+        out_cbm = minibatch_inference(a, x, model, targets, hops=2, kind="cbm")
+        assert np.allclose(out_csr, out_cbm, rtol=1e-3, atol=1e-4)
+
+    def test_halo_makes_boundary_exact(self):
+        """Without the halo, truncated boundary degrees perturb the GCN
+        normalisation; with it, batched == full-batch."""
+        a = random_adjacency_csr(60, density=0.15, seed=12)
+        x = np.random.default_rng(2).random((60, 6)).astype(np.float32)
+        model = GCN([6, 5, 2], seed=3)
+        full = model(make_operator(a, "csr"), x)
+        targets = np.array([0, 1, 2])
+        exact = minibatch_inference(a, x, model, targets, hops=2, kind="csr")
+        assert np.allclose(exact, full[targets], rtol=1e-4, atol=1e-5)
+
+    def test_feature_shape_checked(self):
+        a = random_adjacency_csr(10, seed=11)
+        model = GCN([4, 3, 2])
+        with pytest.raises(GNNError):
+            minibatch_inference(a, np.ones((3, 4)), model, [0], hops=1)

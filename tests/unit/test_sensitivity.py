@@ -1,0 +1,79 @@
+"""Unit tests for the sensitivity-sweep generators and sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sensitivity import (
+    blowup_graph,
+    noisy_clique_graph,
+    sweep_closure,
+    sweep_degree,
+    sweep_duplication,
+    sweep_noise,
+)
+from repro.core.builder import build_cbm
+from repro.graphs.adjacency import is_undirected_simple
+
+
+class TestBlowupGraph:
+    def test_replicas_have_identical_rows(self):
+        a = blowup_graph(20, 3, 6.0, seed=0)
+        dense = a.toarray()
+        for i in range(20):
+            rows = dense[3 * i : 3 * i + 3]
+            assert np.array_equal(rows[0], rows[1])
+            assert np.array_equal(rows[0], rows[2])
+
+    def test_r1_is_base_graph(self):
+        a = blowup_graph(50, 1, 8.0, seed=1)
+        assert a.shape == (50, 50)
+        assert is_undirected_simple(a)
+
+    def test_degree_scales_with_r(self):
+        base = blowup_graph(40, 1, 8.0, seed=2)
+        blown = blowup_graph(40, 4, 8.0, seed=2)
+        assert blown.nnz == pytest.approx(16 * base.nnz, rel=0.01)
+
+    def test_invalid_replication(self):
+        with pytest.raises(ValueError):
+            blowup_graph(10, 0, 4.0)
+
+    def test_compression_approaches_r(self):
+        a = blowup_graph(60, 6, 8.0, seed=3)
+        _, rep = build_cbm(a, alpha=0)
+        assert rep.compression_ratio > 4.0
+
+
+class TestNoisyCliques:
+    def test_zero_noise_is_disjoint_cliques(self):
+        a = noisy_clique_graph(60, 20, 0, seed=0)
+        deg = a.row_nnz()
+        assert np.all(deg == 19)
+
+    def test_simple_graph(self):
+        assert is_undirected_simple(noisy_clique_graph(90, 30, 4, seed=1))
+
+    def test_noise_adds_edges(self):
+        clean = noisy_clique_graph(90, 30, 0, seed=2)
+        noisy = noisy_clique_graph(90, 30, 8, seed=2)
+        assert noisy.nnz > clean.nnz
+
+
+class TestSweeps:
+    def test_closure_monotone_clustering(self):
+        rows = sweep_closure(n=400, closures=(0.0, 0.5), seed=1)
+        assert rows[1]["clustering"] > rows[0]["clustering"]
+
+    def test_degree_sweep_er_never_compresses(self):
+        """Shared-by-chance neighbourhoods: ratio pinned at ~1 regardless
+        of degree (the control arm)."""
+        for r in sweep_degree(n=400, degrees=(4.0, 32.0), seed=2):
+            assert 0.95 < r["ratio"] < 1.2
+
+    def test_duplication_sweep_monotone(self):
+        rows = sweep_duplication(n=480, replications=(1, 4), seed=3)
+        assert rows[1]["ratio"] > 2 * rows[0]["ratio"]
+
+    def test_noise_sweep_degrades_ratio(self):
+        rows = sweep_noise(n=300, clique_size=30, flips=(0, 16), seed=4)
+        assert rows[0]["ratio"] > rows[1]["ratio"]

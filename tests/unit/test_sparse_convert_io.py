@@ -1,0 +1,92 @@
+"""Unit tests for conversions and Matrix Market I/O."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.errors import DTypeError, FormatError, ShapeError
+from repro.sparse.convert import from_dense, from_scipy, to_scipy_csr
+from repro.sparse.io import load_matrix_market, save_matrix_market
+
+
+def dense(seed=0):
+    rng = np.random.default_rng(seed)
+    return ((rng.random((6, 8)) < 0.35) * rng.random((6, 8))).astype(np.float32)
+
+
+class TestConvert:
+    def test_from_dense_roundtrip(self):
+        d = dense()
+        assert np.allclose(from_dense(d).toarray(), d)
+
+    def test_from_dense_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            from_dense(np.ones(4))
+
+    def test_from_dense_rejects_object(self):
+        with pytest.raises(DTypeError):
+            from_dense(np.array([[object()]]))
+
+    def test_from_scipy_roundtrip(self):
+        d = dense(1)
+        s = sp.csr_matrix(d)
+        assert np.allclose(from_scipy(s).toarray(), d)
+
+    def test_from_scipy_coo_input(self):
+        d = dense(2)
+        assert np.allclose(from_scipy(sp.coo_matrix(d)).toarray(), d)
+
+    def test_to_scipy_values_match(self):
+        a = from_dense(dense(3))
+        s = to_scipy_csr(a)
+        assert np.allclose(s.toarray(), a.toarray())
+        assert s.shape == a.shape
+
+
+class TestMatrixMarket:
+    def test_real_roundtrip(self, tmp_path):
+        d = dense(4)
+        a = from_dense(d)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(path, a, field="real")
+        b = load_matrix_market(path)
+        assert np.allclose(b.toarray(), d, rtol=1e-6)
+
+    def test_pattern_roundtrip(self, tmp_path):
+        d = (dense(5) != 0).astype(np.float32)
+        a = from_dense(d)
+        path = tmp_path / "p.mtx"
+        save_matrix_market(path, a, field="pattern")
+        b = load_matrix_market(path)
+        assert np.allclose(b.toarray(), d)
+
+    def test_integer_roundtrip(self, tmp_path):
+        d = np.array([[0, 2], [3, 0]], dtype=np.float32)
+        path = tmp_path / "i.mtx"
+        save_matrix_market(path, from_dense(d), field="integer")
+        assert np.allclose(load_matrix_market(path).toarray(), d)
+
+    def test_unknown_field_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_matrix_market(tmp_path / "x.mtx", from_dense(dense()), field="complex")
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.mtx"
+        path.write_text("not a matrix market file\n1 1 0\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "trunc.mtx"
+        path.write_text("%%MatrixMarket matrix coordinate real general\n3 3 2\n1 1 1.0\n")
+        with pytest.raises(FormatError):
+            load_matrix_market(path)
+
+    def test_symmetric_expansion(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 7.0\n"
+        )
+        arr = load_matrix_market(path).toarray()
+        assert arr[1, 0] == 5.0 and arr[0, 1] == 5.0
+        assert arr[2, 2] == 7.0  # diagonal not duplicated

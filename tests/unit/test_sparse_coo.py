@@ -1,0 +1,97 @@
+"""Unit tests for the COO container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, ShapeError
+from repro.sparse.coo import COOMatrix
+
+
+class TestConstruction:
+    def test_basic(self):
+        m = COOMatrix([0, 1], [1, 0], [1.0, 2.0], (2, 2))
+        assert m.nnz == 2
+        assert m.shape == (2, 2)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([0, 1], [1], [1.0, 2.0], (2, 2))
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([5], [0], [1.0], (2, 2))
+
+    def test_out_of_range_col_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([0], [9], [1.0], (2, 2))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(FormatError):
+            COOMatrix([-1], [0], [1.0], (2, 2))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ShapeError):
+            COOMatrix([], [], [], (2,))
+
+    def test_empty_matrix(self):
+        m = COOMatrix([], [], [], (3, 3))
+        assert m.nnz == 0
+        assert np.array_equal(m.toarray(), np.zeros((3, 3)))
+
+
+class TestFromEdges:
+    def test_symmetric_expansion(self):
+        m = COOMatrix.from_edges([[0, 1]], (3, 3), symmetric=True)
+        arr = m.toarray()
+        assert arr[0, 1] == 1 and arr[1, 0] == 1
+
+    def test_self_loop_stored_once_when_symmetric(self):
+        m = COOMatrix.from_edges([[1, 1]], (3, 3), symmetric=True)
+        assert m.nnz == 1
+
+    def test_bad_edge_shape(self):
+        with pytest.raises(ShapeError):
+            COOMatrix.from_edges([[0, 1, 2]], (3, 3))
+
+
+class TestSumDuplicates:
+    def test_duplicates_summed(self):
+        m = COOMatrix([0, 0, 1], [1, 1, 0], [1.0, 2.0, 3.0], (2, 2))
+        s = m.sum_duplicates()
+        assert s.nnz == 2
+        assert s.toarray()[0, 1] == 3.0
+
+    def test_sorted_output(self):
+        m = COOMatrix([1, 0, 1], [0, 1, 2], [1, 1, 1], (2, 3))
+        s = m.sum_duplicates()
+        order = np.lexsort((s.cols, s.rows))
+        assert np.array_equal(order, np.arange(s.nnz))
+
+    def test_empty(self):
+        m = COOMatrix([], [], [], (2, 2))
+        assert m.sum_duplicates().nnz == 0
+
+
+class TestConversions:
+    def test_tocsr_roundtrip(self):
+        rng = np.random.default_rng(0)
+        dense = (rng.random((7, 9)) < 0.4) * rng.random((7, 9))
+        rows, cols = np.nonzero(dense)
+        m = COOMatrix(rows, cols, dense[rows, cols], dense.shape)
+        assert np.allclose(m.tocsr().toarray(), dense)
+
+    def test_tocsr_sums_duplicates(self):
+        m = COOMatrix([0, 0], [0, 0], [1.0, 1.0], (1, 1))
+        csr = m.tocsr()
+        assert csr.nnz == 1
+        assert csr.toarray()[0, 0] == 2.0
+
+    def test_transpose(self):
+        m = COOMatrix([0, 1], [2, 0], [5.0, 7.0], (2, 3))
+        t = m.transpose()
+        assert t.shape == (3, 2)
+        assert np.array_equal(t.toarray(), m.toarray().T)
+
+    def test_toarray_accumulates_duplicates(self):
+        m = COOMatrix([0, 0], [1, 1], [2.0, 3.0], (1, 2))
+        assert m.toarray()[0, 1] == 5.0

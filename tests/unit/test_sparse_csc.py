@@ -1,0 +1,61 @@
+"""Unit tests for the CSC container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError
+from repro.sparse.convert import from_dense
+from repro.sparse.csc import CSCMatrix
+
+
+def dense(seed=0):
+    rng = np.random.default_rng(seed)
+    return ((rng.random((6, 9)) < 0.4) * rng.random((6, 9))).astype(np.float32)
+
+
+class TestValidation:
+    def test_roundtrip_valid(self):
+        from_dense(dense()).tocsc().check_format()
+
+    def test_wrong_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSCMatrix([0, 1], [0], [1.0], (2, 3))
+
+    def test_row_index_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSCMatrix([0, 1, 1, 1], [7], [1.0], (2, 3))
+
+    def test_indptr_end_mismatch(self):
+        with pytest.raises(FormatError):
+            CSCMatrix([0, 0, 0, 2], [0], [1.0], (2, 3))
+
+
+class TestConversion:
+    def test_toarray(self):
+        d = dense(1)
+        assert np.allclose(from_dense(d).tocsc().toarray(), d)
+
+    def test_tocsr_roundtrip(self):
+        d = dense(2)
+        csc = from_dense(d).tocsc()
+        assert np.allclose(csc.tocsr().toarray(), d)
+
+    def test_col_view(self):
+        d = dense(3)
+        csc = from_dense(d).tocsc()
+        for j in range(d.shape[1]):
+            assert np.array_equal(csc.col(j), np.flatnonzero(d[:, j]))
+
+    def test_col_nnz(self):
+        d = dense(4)
+        csc = from_dense(d).tocsc()
+        assert np.array_equal(csc.col_nnz(), (d != 0).sum(axis=0))
+
+    def test_transpose(self):
+        d = dense(5)
+        t = from_dense(d).tocsc().transpose()
+        assert t.shape == (d.shape[1], d.shape[0])
+        assert np.allclose(t.toarray(), d.T)
+
+    def test_memory_bytes_positive(self):
+        assert from_dense(dense(6)).tocsc().memory_bytes() > 0

@@ -1,0 +1,149 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FormatError, NotBinaryError, ShapeError
+from repro.sparse.convert import from_dense
+from repro.sparse.csr import CSRMatrix
+
+from tests.conftest import random_binary_dense
+
+
+def dense_fixture(seed=0):
+    rng = np.random.default_rng(seed)
+    d = (rng.random((8, 10)) < 0.4).astype(np.float32) * (1 + rng.random((8, 10)).astype(np.float32))
+    return d
+
+
+class TestFormatValidation:
+    def test_valid_matrix_passes(self):
+        from_dense(dense_fixture()).check_format()
+
+    def test_wrong_indptr_length(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1], [0], [1.0], (3, 3))
+
+    def test_indptr_must_start_at_zero(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([1, 1], [0], [1.0], (1, 1))
+
+    def test_indptr_must_end_at_nnz(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 2], [0], [1.0], (1, 2))
+
+    def test_decreasing_indptr_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 2, 1, 3], [0, 1, 0], [1.0, 1.0, 1.0], (3, 2))
+
+    def test_column_out_of_range(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1], [5], [1.0], (1, 2))
+
+    def test_unsorted_columns_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 2], [1, 0], [1.0, 1.0], (1, 2))
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 2], [1, 1], [1.0, 1.0], (1, 2))
+
+    def test_indices_data_length_mismatch(self):
+        with pytest.raises(FormatError):
+            CSRMatrix([0, 1], [0], [1.0, 2.0], (1, 1))
+
+    def test_boundary_allows_column_reset_between_rows(self):
+        # Row 0 ends at column 3, row 1 starts at column 0: legal.
+        CSRMatrix([0, 2, 4], [1, 3, 0, 2], [1, 1, 1, 1], (2, 4)).check_format()
+
+
+class TestAccessors:
+    def test_row_view(self):
+        d = dense_fixture()
+        a = from_dense(d)
+        for i in range(d.shape[0]):
+            assert np.array_equal(a.row(i), np.flatnonzero(d[i]))
+
+    def test_row_nnz(self):
+        d = dense_fixture()
+        a = from_dense(d)
+        assert np.array_equal(a.row_nnz(), (d != 0).sum(axis=1))
+
+    def test_is_binary(self):
+        assert from_dense(random_binary_dense(6, 6, 0.4, 1)).is_binary()
+        assert not from_dense(dense_fixture()).is_binary()
+
+    def test_require_binary_raises(self):
+        with pytest.raises(NotBinaryError):
+            from_dense(dense_fixture()).require_binary()
+
+
+class TestConversionsAndTranspose:
+    def test_toarray_roundtrip(self):
+        d = dense_fixture(3)
+        assert np.allclose(from_dense(d).toarray(), d)
+
+    def test_tocoo_roundtrip(self):
+        d = dense_fixture(4)
+        assert np.allclose(from_dense(d).tocoo().toarray(), d)
+
+    def test_tocsc_roundtrip(self):
+        d = dense_fixture(5)
+        assert np.allclose(from_dense(d).tocsc().toarray(), d)
+
+    def test_transpose(self):
+        d = dense_fixture(6)
+        assert np.allclose(from_dense(d).transpose().toarray(), d.T)
+
+    def test_transpose_twice_is_identity(self):
+        d = dense_fixture(7)
+        a = from_dense(d)
+        assert np.allclose(a.transpose().transpose().toarray(), d)
+
+    def test_copy_is_independent(self):
+        a = from_dense(dense_fixture(8))
+        b = a.copy()
+        b.data[:] = 0
+        assert a.data.sum() > 0
+
+
+class TestScaling:
+    def test_scale_columns(self):
+        d = dense_fixture(9)
+        dvec = np.arange(1, d.shape[1] + 1, dtype=np.float64)
+        assert np.allclose(from_dense(d).scale_columns(dvec).toarray(), d * dvec, rtol=1e-6)
+
+    def test_scale_rows(self):
+        d = dense_fixture(10)
+        dvec = np.arange(1, d.shape[0] + 1, dtype=np.float64)
+        assert np.allclose(
+            from_dense(d).scale_rows(dvec).toarray(), d * dvec[:, None], rtol=1e-6
+        )
+
+    def test_scale_columns_wrong_length(self):
+        with pytest.raises(ShapeError):
+            from_dense(dense_fixture()).scale_columns(np.ones(3))
+
+    def test_scale_rows_wrong_length(self):
+        with pytest.raises(ShapeError):
+            from_dense(dense_fixture()).scale_rows(np.ones(3))
+
+
+class TestMemoryAccounting:
+    def test_paper_convention(self):
+        """S_CSR = 8 nnz + 4 (n+1) reproduces Table I for Cora's numbers."""
+        # Cora: n=2708, nnz=10556 -> 0.09 MiB.
+        n, nnz = 2708, 10556
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indptr[1:] = np.cumsum(np.bincount(np.zeros(nnz, dtype=np.int64), minlength=n))
+        a = CSRMatrix(indptr, np.arange(nnz) % n, np.ones(nnz), (n, n), check=False)
+        mib = a.memory_bytes() / 2**20
+        assert abs(mib - 0.09) < 0.005
+
+    def test_matmul_operator(self):
+        d = dense_fixture(11)
+        a = from_dense(d)
+        x = np.random.default_rng(1).random((d.shape[1], 4)).astype(np.float32)
+        assert np.allclose(a @ x, d @ x, rtol=1e-5)
+        v = x[:, 0]
+        assert np.allclose(a @ v, d @ v, rtol=1e-5)

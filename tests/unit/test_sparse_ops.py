@@ -1,0 +1,117 @@
+"""Unit tests for the multiplication kernels and engine selection."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.sparse.convert import from_dense
+from repro.sparse.ops import (
+    Engine,
+    axpy,
+    get_default_engine,
+    set_default_engine,
+    sparse_sparse_matmul,
+    spmm,
+    spmv,
+)
+
+
+def dense(seed=0, shape=(7, 9)):
+    rng = np.random.default_rng(seed)
+    return ((rng.random(shape) < 0.4) * rng.random(shape)).astype(np.float32)
+
+
+class TestSpmm:
+    @pytest.mark.parametrize("engine", [Engine.REFERENCE, Engine.SCIPY])
+    def test_matches_dense(self, engine):
+        d = dense(0)
+        b = np.random.default_rng(1).random((9, 5)).astype(np.float32)
+        out = spmm(from_dense(d), b, engine=engine)
+        assert np.allclose(out, d @ b, rtol=1e-5)
+
+    def test_engines_agree(self):
+        d = dense(2)
+        b = np.random.default_rng(3).random((9, 6)).astype(np.float32)
+        a = from_dense(d)
+        assert np.allclose(
+            spmm(a, b, engine=Engine.REFERENCE), spmm(a, b, engine=Engine.SCIPY), rtol=1e-6
+        )
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spmm(from_dense(dense()), np.ones((3, 2)))
+
+    def test_wrong_ndim(self):
+        with pytest.raises(ShapeError):
+            spmm(from_dense(dense()), np.ones(9))
+
+    def test_empty_rows(self):
+        d = np.zeros((4, 4), dtype=np.float32)
+        d[1, 2] = 3.0
+        b = np.eye(4, dtype=np.float32)
+        out = spmm(from_dense(d), b, engine=Engine.REFERENCE)
+        assert np.allclose(out, d)
+
+
+class TestSpmv:
+    @pytest.mark.parametrize("engine", [Engine.REFERENCE, Engine.SCIPY])
+    def test_matches_dense(self, engine):
+        d = dense(4)
+        v = np.random.default_rng(5).random(9).astype(np.float32)
+        assert np.allclose(spmv(from_dense(d), v, engine=engine), d @ v, rtol=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            spmv(from_dense(dense()), np.ones(3))
+
+
+class TestAxpy:
+    def test_alpha_one_inplace(self):
+        y = np.ones(5, dtype=np.float64)
+        x = np.arange(5, dtype=np.float64)
+        out = axpy(1.0, x, y)
+        assert out is y
+        assert np.allclose(y, 1 + np.arange(5))
+
+    def test_general_alpha(self):
+        y = np.zeros(3)
+        axpy(2.5, np.ones(3), y)
+        assert np.allclose(y, 2.5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            axpy(1.0, np.ones(3), np.ones(4))
+
+
+class TestSparseSparse:
+    def test_matches_dense_product(self):
+        d1, d2 = dense(6, (5, 7)), dense(7, (7, 4))
+        out = sparse_sparse_matmul(from_dense(d1), from_dense(d2))
+        assert np.allclose(out.toarray(), d1 @ d2, rtol=1e-5)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            sparse_sparse_matmul(from_dense(dense(0, (3, 4))), from_dense(dense(1, (3, 4))))
+
+
+class TestEngineSwitch:
+    def test_set_and_restore(self):
+        prev = set_default_engine(Engine.REFERENCE)
+        try:
+            assert get_default_engine() is Engine.REFERENCE
+            d = dense(8)
+            b = np.ones((9, 2), dtype=np.float32)
+            assert np.allclose(spmm(from_dense(d), b), d @ b, rtol=1e-5)
+        finally:
+            set_default_engine(prev)
+
+    def test_accepts_string(self):
+        prev = set_default_engine("reference")
+        try:
+            assert get_default_engine() is Engine.REFERENCE
+        finally:
+            set_default_engine(prev)
+
+    def test_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            set_default_engine("cuda")

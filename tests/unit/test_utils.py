@@ -1,0 +1,143 @@
+"""Unit tests for validation, RNG, timing, and formatting utilities."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import DTypeError, ShapeError
+from repro.utils.fmt import format_table, human_bytes, human_time
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import MeasuredTime, Timer, measure
+from repro.utils.validation import (
+    check_axis_index,
+    check_dense,
+    check_nonnegative,
+    check_positive,
+    check_square,
+    ensure_array,
+)
+
+
+class TestValidation:
+    def test_ensure_array_accepts_list(self):
+        assert ensure_array([1, 2, 3]).tolist() == [1, 2, 3]
+
+    def test_ensure_array_rejects_object_dtype(self):
+        with pytest.raises(DTypeError):
+            ensure_array(np.array([object()]))
+
+    def test_check_dense_rejects_strings(self):
+        with pytest.raises(DTypeError):
+            check_dense(np.array(["a", "b"]))
+
+    def test_check_dense_ndim(self):
+        with pytest.raises(ShapeError):
+            check_dense(np.ones(3), ndim=2)
+
+    def test_check_square(self):
+        check_square((3, 3))
+        with pytest.raises(ShapeError):
+            check_square((3, 4))
+
+    def test_check_positive(self):
+        check_positive(1, "x")
+        with pytest.raises(ValueError):
+            check_positive(0, "x")
+
+    def test_check_nonnegative(self):
+        check_nonnegative(0, "x")
+        with pytest.raises(ValueError):
+            check_nonnegative(-1, "x")
+
+    def test_check_axis_index(self):
+        check_axis_index(0, 3)
+        with pytest.raises(IndexError):
+            check_axis_index(3, 3)
+        with pytest.raises(IndexError):
+            check_axis_index(-1, 3)
+
+
+class TestRng:
+    def test_int_seed_deterministic(self):
+        assert as_rng(42).random() == as_rng(42).random()
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert as_rng(g) is g
+
+    def test_spawn_independent(self):
+        kids = spawn_rngs(0, 3)
+        vals = [k.random() for k in kids]
+        assert len(set(vals)) == 3
+
+    def test_spawn_deterministic(self):
+        a = [g.random() for g in spawn_rngs(1, 2)]
+        b = [g.random() for g in spawn_rngs(1, 2)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+
+class TestTiming:
+    def test_timer_context(self):
+        with Timer() as t:
+            pass
+        assert t.elapsed >= 0
+
+    def test_measure_collects_samples(self):
+        m = measure(lambda: None, warmup=0, min_repeats=3, max_repeats=5, min_total=0.0)
+        assert 3 <= m.n <= 5
+        assert m.mean >= 0
+        assert m.best <= m.mean or math.isclose(m.best, m.mean)
+
+    def test_measure_invalid_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, min_repeats=5, max_repeats=2)
+
+    def test_measured_time_stats(self):
+        m = MeasuredTime(samples=[1.0, 2.0, 3.0])
+        assert m.mean == 2.0
+        assert m.best == 1.0
+        assert m.std == pytest.approx(1.0)
+
+    def test_empty_measured_time(self):
+        m = MeasuredTime()
+        assert math.isnan(m.mean)
+        assert m.std == 0.0
+
+
+class TestFmt:
+    def test_human_bytes_units(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.00 KiB"
+        assert human_bytes(3 * 2**20) == "3.00 MiB"
+
+    def test_human_bytes_negative(self):
+        with pytest.raises(ValueError):
+            human_bytes(-1)
+
+    def test_human_time_units(self):
+        assert human_time(2.0).endswith("s")
+        assert "ms" in human_time(5e-3)
+        assert "us" in human_time(5e-6)
+        assert "ns" in human_time(5e-9)
+
+    def test_human_time_nan(self):
+        assert human_time(float("nan")) == "nan"
+
+    def test_format_table_alignment(self):
+        txt = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0]
+
+    def test_format_table_title(self):
+        txt = format_table(["x"], [[1]], title="T")
+        assert txt.splitlines()[0] == "T"
+
+    def test_format_table_bad_row(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])

@@ -1,0 +1,103 @@
+"""Unit tests for the verification protocol and the Björklund–Lingas ablation."""
+
+import numpy as np
+import pytest
+
+from repro.core.bl2001 import build_bl2001
+from repro.core.builder import build_cbm
+from repro.core.tree import VIRTUAL
+from repro.core.verify import estimate_candidate_memory, verify_cbm
+from repro.errors import NotBinaryError, ShapeError
+from repro.sparse.convert import from_dense
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestVerify:
+    def test_pass_on_correct_build(self):
+        a = random_adjacency_csr(30, seed=0)
+        cbm, _ = build_cbm(a, alpha=0)
+        report = verify_cbm(cbm, a, runs=3, columns=16)
+        assert report.passed
+        assert report.structural_match
+        assert report.max_relative_error < 1e-4
+
+    def test_dad_variant_verified(self):
+        rng = np.random.default_rng(1)
+        a = random_adjacency_csr(25, seed=2)
+        d = rng.random(25) + 0.5
+        cbm, _ = build_cbm(a, alpha=2, variant="DAD", diag=d)
+        assert verify_cbm(cbm, a, runs=3, columns=8).passed
+
+    def test_detects_corruption(self):
+        a = random_adjacency_csr(25, seed=3)
+        cbm, _ = build_cbm(a, alpha=0)
+        cbm.delta.data[0] *= -1  # flip one delta sign
+        report = verify_cbm(cbm, a, runs=2, columns=8)
+        assert not report.passed
+
+    def test_invalid_args(self):
+        a = random_adjacency_csr(10, seed=4)
+        cbm, _ = build_cbm(a)
+        with pytest.raises(ValueError):
+            verify_cbm(cbm, a, runs=0)
+        with pytest.raises(ValueError):
+            verify_cbm(cbm, a, columns=0)
+
+    def test_candidate_memory_estimate(self):
+        a = random_adjacency_csr(30, density=0.3, seed=5)
+        est = estimate_candidate_memory(a)
+        col_deg = np.bincount(a.indices, minlength=30)
+        assert est == 16 * int((col_deg.astype(np.int64) ** 2).sum())
+
+    def test_candidate_memory_monotone_in_density(self):
+        lo = estimate_candidate_memory(random_adjacency_csr(40, 0.1, seed=6))
+        hi = estimate_candidate_memory(random_adjacency_csr(40, 0.5, seed=6))
+        assert hi > lo
+
+
+class TestBL2001:
+    def test_rejects_bad_input(self):
+        with pytest.raises(ShapeError):
+            build_bl2001(from_dense(np.ones((2, 3), dtype=np.float32)))
+        with pytest.raises(NotBinaryError):
+            build_bl2001(from_dense(np.array([[0, 2.0], [2.0, 0]], dtype=np.float32)))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_product_correct(self, seed):
+        a = random_adjacency_csr(30, density=0.3, seed=seed)
+        cbm, _ = build_bl2001(a)
+        x = np.random.default_rng(0).random((30, 5)).astype(np.float32)
+        assert np.allclose(cbm.matmul(x), a.toarray() @ x, rtol=1e-4)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_never_beats_cbm(self, seed):
+        """The virtual node only helps: CBM deltas <= BL deltas."""
+        a = random_adjacency_csr(35, density=0.35, seed=10 + seed)
+        _, rep_cbm = build_cbm(a, alpha=0)
+        _, rep_bl = build_bl2001(a)
+        assert rep_cbm.total_deltas <= rep_bl.total_deltas
+
+    def test_property1_violation_possible(self):
+        """BL keeps tree edges even when deltas exceed the row's nnz —
+        the failure mode the virtual node exists to prevent."""
+        # Rows 0/1 overlap in one column but are otherwise disjoint, so
+        # their Hamming distance (8) exceeds either row's nnz (5).
+        d = np.zeros((12, 12), dtype=np.float32)
+        d[0, [0, 1, 2, 3, 4]] = 1
+        d[1, [4, 5, 6, 7, 8]] = 1
+        a = from_dense(d)
+        bl, rep_bl = build_bl2001(a)
+        _, rep_cbm = build_cbm(a, alpha=0)
+        assert rep_bl.total_deltas > a.nnz  # Property 1 broken
+        assert rep_cbm.total_deltas <= a.nnz  # CBM keeps it
+
+    def test_roots_are_component_minima(self):
+        d = np.zeros((8, 8), dtype=np.float32)
+        d[0, [0, 1, 2]] = 1
+        d[1, [0, 1]] = 1  # same component as 0, smaller nnz -> root
+        d[2, [5]] = 1  # isolated rows: their own roots
+        a = from_dense(d)
+        bl, _ = build_bl2001(a)
+        assert bl.tree.parent[1] == VIRTUAL
+        assert bl.tree.parent[0] == 1
