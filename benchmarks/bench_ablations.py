@@ -238,3 +238,21 @@ def test_report_scaling_curves(benchmark):
         write_report("scaling_curves", text)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    cbm, _ = build_cbm(a, alpha=0)
+    x = np.random.default_rng(0).random((a.shape[1], 8)).astype(np.float32)
+    for update in ("level", "edge"):
+        cbm.matmul(x, update=update)
+    for engine in (Engine.SCIPY,):
+        cbm.matmul(x, engine=engine)
+    update_stage_schedule(cbm.tree, 8, 4)
+    simulate_dynamic_schedule(np.ones(16), 4)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("ablation benchmarks", _smoke))

@@ -51,3 +51,18 @@ def test_report_figure2(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+
+
+def _smoke() -> None:
+    run_figure2(datasets=("Cora",), alphas=(0, 2), p=8, measure_wall=False)
+
+
+def _full() -> None:
+    _, text = run_figure2(datasets=ALL, alphas=(0, 1, 2, 4, 8, 16, 32), p=P, measure_wall=False)
+    write_report("figure2_alpha_sweep", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("figure 2 alpha sweep", _smoke, _full))

@@ -71,3 +71,14 @@ def test_report_sensitivity(benchmark):
         write_report("sensitivity", "\n\n".join(sections))
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _smoke() -> None:
+    a = blowup_graph(60, 2, 6.0, seed=0)
+    build_cbm(a, alpha=0)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("sensitivity sweeps", _smoke))

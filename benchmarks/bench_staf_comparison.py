@@ -11,7 +11,6 @@ import pytest
 
 from repro.core.builder import build_cbm
 from repro.graphs.datasets import load_dataset
-from repro.sparse.ops import spmm
 from repro.staf import build_staf
 from repro.utils.fmt import format_table
 
@@ -72,3 +71,16 @@ def test_report_staf_comparison(benchmark):
         write_report("staf_comparison", text)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    st = build_staf(a)
+    x = np.random.default_rng(0).random((a.shape[1], 4)).astype(np.float32)
+    st.matmul(x)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("STAF comparison", _smoke))

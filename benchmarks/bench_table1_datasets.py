@@ -39,3 +39,20 @@ def test_report_table1(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    compute_stats(a, clustering=False)
+    average_clustering_coefficient(a)
+
+
+def _full() -> None:
+    _, text = run_table1()
+    write_report("table1_datasets", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("table 1 datasets", _smoke, _full))

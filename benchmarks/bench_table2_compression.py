@@ -59,3 +59,20 @@ def test_report_table2(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    for alpha in (0, 32):
+        build_cbm(a, alpha=alpha)
+
+
+def _full() -> None:
+    _, text = run_table2()
+    write_report("table2_compression", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("table 2 compression", _smoke, _full))

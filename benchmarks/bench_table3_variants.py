@@ -52,3 +52,23 @@ def test_report_table3(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    x = np.random.default_rng(0).random((a.shape[1], 8)).astype(np.float32)
+    for variant in ("A", "AD", "DAD"):
+        diag = None if variant == "A" else _diag(a.shape[0])
+        cbm, _ = build_cbm(a, alpha=2, variant=variant, diag=diag)
+        cbm.matmul(x)
+
+
+def _full() -> None:
+    _, text = run_table3(datasets=ALL, p=P, measure_wall=False)
+    write_report("table3_variants", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("table 3 variants", _smoke, _full))

@@ -68,3 +68,24 @@ def test_report_training_extension(benchmark):
         write_report("training_extension", text)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    rng = np.random.default_rng(0)
+    x = rng.random((a.shape[0], 16)).astype(np.float32)
+    w0, w1 = _weights(rng, 16)
+    for kind in ("csr", "cbm"):
+        op = make_operator(a, kind, alpha=2)
+        two_layer_gcn_inference(op, x, w0, w1)
+
+
+def _full() -> None:
+    _, text = run_table4(datasets=ALL, p=P, measure_wall=False)
+    write_report("table4_gcn", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("table 4 GCN inference", _smoke, _full))

@@ -40,3 +40,20 @@ def test_report_table5(benchmark):
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 
+
+
+def _smoke() -> None:
+    a = load_dataset("Cora")
+    average_clustering_coefficient(a)
+    build_cbm(a, alpha=0)
+
+
+def _full() -> None:
+    _, text = run_table5(datasets=ALL)
+    write_report("table5_clustering", text)
+
+
+if __name__ == "__main__":
+    from conftest import run_smoke_cli
+
+    raise SystemExit(run_smoke_cli("table 5 clustering", _smoke, _full))

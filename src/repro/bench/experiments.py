@@ -17,14 +17,13 @@ Measurement strategy (see DESIGN.md):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.core.builder import build_cbm
 from repro.core.cbm import CBMMatrix, Variant
-from repro.core.opcount import cbm_spmm_ops, csr_spmm_ops
+from repro.core.opcount import csr_spmm_ops
 from repro.bench.harness import compare, time_kernel
 from repro.gnn.adjacency import CBMAdjacency, CSRAdjacency
 from repro.gnn.gcn import two_layer_gcn_inference

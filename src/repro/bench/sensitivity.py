@@ -23,7 +23,6 @@ from repro.core.builder import build_cbm
 from repro.graphs.adjacency import adjacency_from_edges
 from repro.graphs.generators import citation_graph, erdos_renyi_graph
 from repro.graphs.stats import average_clustering_coefficient
-from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import as_rng
 

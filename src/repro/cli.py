@@ -117,11 +117,16 @@ def cmd_bench(args) -> int:
     x = np.random.default_rng(0).random((a.shape[1], args.columns), dtype=np.float64)
     x = x.astype(np.float32)
     t_csr = measure(lambda: spmm(a, x), max_repeats=args.repeats)
+    cbm.plan()  # plan once, outside the timed region
     t_cbm = measure(lambda: cbm.matmul(x), max_repeats=args.repeats)
     print(f"{name} (alpha={args.alpha}, p={args.columns}, ratio={rep.compression_ratio:.2f}x)")
     print(f"  CSR SpMM   {human_time(t_csr.mean)} +- {human_time(t_csr.std)}")
-    print(f"  CBM SpMM   {human_time(t_cbm.mean)} +- {human_time(t_cbm.std)}")
+    print(f"  CBM SpMM   {human_time(t_cbm.mean)} +- {human_time(t_cbm.std)} (planned)")
     print(f"  measured speedup (1 core): {t_csr.mean / t_cbm.mean:.2f}x")
+    if args.unplanned:
+        t_unp = measure(lambda: cbm.matmul_unplanned(x), max_repeats=args.repeats)
+        print(f"  CBM SpMM   {human_time(t_unp.mean)} +- {human_time(t_unp.std)} (unplanned)")
+        print(f"  plan amortisation: {t_unp.mean / t_cbm.mean:.2f}x")
     if args.graph in REGISTRY:
         ps = paper_stats(args.graph)
         s_nnz = ps.edges / a.nnz
@@ -154,6 +159,43 @@ def cmd_model(args) -> int:
             f"p={args.columns}, ratio={rep.compression_ratio:.2f}x, {scale_note})",
         )
     )
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.parallel.cache import plan_working_set
+    from repro.parallel.schedule import plan_update_schedule
+    from repro.utils.timing import measure as _measure
+
+    name, a = _load_graph(args.graph)
+    cbm, rep = build_cbm(a, alpha=args.alpha)
+    plan = cbm.plan()
+    desc = plan.describe()
+    rows = [[k, v if not isinstance(v, float) else f"{v:.6f}"] for k, v in desc.items()]
+    print(
+        format_table(
+            ["field", "value"],
+            rows,
+            title=f"Kernel plan — {name} (alpha={args.alpha}, "
+            f"ratio={rep.compression_ratio:.2f}x)",
+        )
+    )
+    sched = plan_update_schedule(plan, args.columns, args.threads)
+    ws = plan_working_set(plan, args.columns)
+    print(
+        f"  update-stage schedule @ {args.threads} threads: "
+        f"speedup {sched.speedup:.2f}x, utilisation {sched.utilisation:.0%} "
+        f"over {sched.tasks} branches"
+    )
+    print(f"  working set: sparse {human_bytes(ws.sparse_bytes)}, "
+          f"dense {human_bytes(ws.dense_bytes)} at p={args.columns}")
+    x = np.random.default_rng(0).random((a.shape[1], args.columns), dtype=np.float64)
+    x = x.astype(np.float32)
+    t_planned = _measure(lambda: cbm.matmul(x), max_repeats=args.repeats)
+    t_unplanned = _measure(lambda: cbm.matmul_unplanned(x), max_repeats=args.repeats)
+    print(f"  planned execute   {human_time(t_planned.mean)}")
+    print(f"  unplanned matmul  {human_time(t_unplanned.mean)} "
+          f"({t_unplanned.mean / t_planned.mean:.2f}x slower)")
     return 0
 
 
@@ -196,6 +238,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-p", "--columns", type=int, default=500)
     p.set_defaults(fn=cmd_model)
 
+    p = sub.add_parser(
+        "plan", help="build and summarise the kernel plan (schedule, working set, amortisation)"
+    )
+    p.add_argument("graph")
+    p.add_argument("-a", "--alpha", type=int, default=0)
+    p.add_argument("-p", "--columns", type=int, default=500)
+    p.add_argument("-t", "--threads", type=int, default=16)
+    p.add_argument("--repeats", type=int, default=10)
+    p.set_defaults(fn=cmd_plan)
+
     p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
     p.add_argument("graph")
     p.add_argument("-a", "--alpha", type=int, default=0)
@@ -208,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-a", "--alpha", type=int, default=4)
     p.add_argument("-p", "--columns", type=int, default=500)
     p.add_argument("--repeats", type=int, default=15)
+    p.add_argument(
+        "--unplanned",
+        action="store_true",
+        help="also time the per-call reference path (plan amortisation)",
+    )
     p.set_defaults(fn=cmd_bench)
     return parser
 

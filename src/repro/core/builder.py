@@ -31,9 +31,8 @@ from repro.core.deltas import build_delta_matrix
 from repro.core.distance import DistanceGraph, candidate_edges
 from repro.core.mst import kruskal_mst
 from repro.core.tree import VIRTUAL, CompressionTree
-from repro.errors import CompressionError, NotBinaryError, ShapeError
+from repro.errors import NotBinaryError, ShapeError
 from repro.sparse.csr import CSRMatrix
-from repro.utils.validation import ensure_array
 
 Method = Literal["auto", "mst", "mca"]
 

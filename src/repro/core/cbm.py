@@ -23,6 +23,7 @@ the ablation benchmark compares them.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Literal
 
@@ -32,6 +33,7 @@ from repro.core import opcount
 from repro.core.deltas import reconstruct_rows, scale_delta_matrix
 from repro.core.tree import VIRTUAL, CompressionTree
 from repro.errors import ShapeError
+from repro.runtime.plan import KernelPlan
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import Engine, spmm, spmv
 from repro.utils.validation import check_dense, ensure_array
@@ -85,6 +87,11 @@ class CBMMatrix:
     source_nnz: int = 0
     alpha: int | None = 0
     _scaled_delta: CSRMatrix | None = field(default=None, repr=False, compare=False)
+    _plans: dict = field(default_factory=dict, repr=False, compare=False)
+    _plan_version: int = field(default=0, repr=False, compare=False)
+    _plan_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.tree.n != self.delta.shape[0]:
@@ -147,6 +154,48 @@ class CBMMatrix:
         return self._scaled_delta
 
     # ------------------------------------------------------------------
+    # Plan/execute runtime (repro.runtime)
+    # ------------------------------------------------------------------
+    @property
+    def plan_version(self) -> int:
+        """Monotonic counter bumped by :meth:`invalidate`; plans snapshot it."""
+        return self._plan_version
+
+    def plan(
+        self,
+        *,
+        update: UpdateMode = "level",
+        scaling: ScalingMode = "deferred",
+    ) -> KernelPlan:
+        """The cached :class:`~repro.runtime.plan.KernelPlan` for this config.
+
+        Built on first use and reused by every subsequent
+        :meth:`matmul`/:meth:`matvec` with the same options; rebuilt
+        automatically when :meth:`invalidate` was called or the
+        tree/delta/diagonal objects were replaced.
+        """
+        key = (update, scaling)
+        with self._plan_lock:
+            pl = self._plans.get(key)
+            if pl is None or not pl.matches(self):
+                pl = KernelPlan(self, update=update, scaling=scaling)
+                self._plans[key] = pl
+            return pl
+
+    def invalidate(self) -> None:
+        """Drop every cached plan and derived operand.
+
+        Call after mutating the tree, delta matrix, or diagonals in
+        place; replacing those attributes with *new* objects is detected
+        automatically, but in-place mutation is invisible to the plan
+        fingerprint.
+        """
+        with self._plan_lock:
+            self._plan_version += 1
+            self._plans.clear()
+            self._scaled_delta = None
+
+    # ------------------------------------------------------------------
     def matmul(
         self,
         b: np.ndarray,
@@ -154,8 +203,32 @@ class CBMMatrix:
         update: UpdateMode = "level",
         scaling: ScalingMode = "deferred",
         engine: Engine | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
-        """Dense product ``M @ b`` where M is A, AD, or DAD per the variant."""
+        """Dense product ``M @ b`` where M is A, AD, or DAD per the variant.
+
+        Executes through the cached :class:`KernelPlan` (plan once,
+        execute per call).  ``out``, if given, receives the result and
+        must be C-contiguous, correctly shaped, and must not alias ``b``.
+        :meth:`matmul_unplanned` is the per-call reference path.
+        """
+        return self.plan(update=update, scaling=scaling).execute(b, out=out, engine=engine)
+
+    def matmul_unplanned(
+        self,
+        b: np.ndarray,
+        *,
+        update: UpdateMode = "level",
+        scaling: ScalingMode = "deferred",
+        engine: Engine | None = None,
+    ) -> np.ndarray:
+        """Reference per-call path: recompute the schedule on every product.
+
+        This is the pre-runtime behaviour — the level grouping (or the
+        topological order) is derived from the tree per call and the
+        diagonal is re-broadcast per call.  The test suite compares the
+        planned path against it; the runtime benchmark measures the gap.
+        """
         b = check_dense(b, name="b", ndim=2)
         if b.shape[0] != self.shape[1]:
             raise ShapeError.mismatch("CBM matmul", self.shape, b.shape)
@@ -171,7 +244,18 @@ class CBMMatrix:
         scaling: ScalingMode = "deferred",
         engine: Engine | None = None,
     ) -> np.ndarray:
-        """Dense product ``M @ v`` for a 1-D vector ``v``.
+        """Dense product ``M @ v`` for a 1-D vector ``v`` (planned path)."""
+        return self.plan(update=update, scaling=scaling).execute_vec(v, engine=engine)
+
+    def matvec_unplanned(
+        self,
+        v: np.ndarray,
+        *,
+        update: UpdateMode = "level",
+        scaling: ScalingMode = "deferred",
+        engine: Engine | None = None,
+    ) -> np.ndarray:
+        """Reference per-call ``M @ v``.
 
         This is the paper's Section IV kernel in its native shape: one
         sparse matrix–vector product with the delta matrix, then scalar

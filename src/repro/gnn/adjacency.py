@@ -7,6 +7,14 @@ backend (the paper's MKL baseline).  :class:`CBMAdjacency` keeps the
 factorised form ``D^{-1/2} (A+I) D^{-1/2}`` as a CBM(DAD) matrix — the
 paper's contribution.  Both expose the same two methods, so every model in
 :mod:`repro.gnn` is format-agnostic.
+
+Both operators are *plan-aware* (see :mod:`repro.runtime`): the CBM
+operator executes through its matrix's cached :class:`KernelPlan` and the
+CSR operator keeps one prebuilt SciPy handle, so per-call work is pure
+kernel execution.  Models call :func:`prepare_operator` once per forward
+pass to hoist plan construction out of the layer loop, and operators that
+set ``supports_out`` accept an ``out=`` buffer so iterative models
+(SGC/APPNP) can double-buffer instead of allocating per hop.
 """
 
 from __future__ import annotations
@@ -34,11 +42,25 @@ class AdjacencyOp(Protocol):
         ...
 
 
+def prepare_operator(adj: AdjacencyOp, *, width: int | None = None, dtype=np.float32) -> None:
+    """Hoist one-time plan/handle construction out of a model's layer loop.
+
+    No-op for operators without a ``prepare`` method, so models stay
+    compatible with any :class:`AdjacencyOp` implementation.
+    """
+    prepare = getattr(adj, "prepare", None)
+    if prepare is not None:
+        prepare(width=width, dtype=dtype)
+
+
 class CSRAdjacency:
     """Baseline operator: Â held as one weighted CSR matrix."""
 
+    supports_out = True
+
     def __init__(self, a_hat: CSRMatrix):
         self.a_hat = a_hat
+        self._sp = None  # prebuilt SciPy handle (built by prepare/first matmul)
 
     @classmethod
     def from_graph(cls, a: CSRMatrix) -> "CSRAdjacency":
@@ -50,8 +72,27 @@ class CSRAdjacency:
     def n(self) -> int:
         return self.a_hat.shape[0]
 
-    def matmul(self, x: np.ndarray) -> np.ndarray:
-        return spmm(self.a_hat, x.astype(np.float32, copy=False))
+    def prepare(self, *, width: int | None = None, dtype=np.float32) -> None:
+        """Build the compiled-backend handle once (width/dtype unused)."""
+        if self._sp is None:
+            import scipy.sparse as sp
+
+            m = self.a_hat
+            self._sp = sp.csr_matrix((m.data, m.indices, m.indptr), shape=m.shape)
+
+    def matmul(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        x = x.astype(np.float32, copy=False)
+        if self._sp is None:
+            if out is None:
+                return spmm(self.a_hat, x)
+            self.prepare()
+        c = np.asarray(self._sp @ x)
+        if out is not None:
+            if np.shares_memory(out, x):
+                raise ValueError("out buffer must not alias the operand x")
+            out[...] = c
+            return out
+        return c
 
     def memory_bytes(self) -> int:
         return self.a_hat.memory_bytes()
@@ -59,6 +100,8 @@ class CSRAdjacency:
 
 class CBMAdjacency:
     """CBM operator: Â kept factorised as CBM(DAD) (paper Section VI-G)."""
+
+    supports_out = True
 
     def __init__(self, cbm: CBMMatrix):
         if cbm.variant is not Variant.DAD:
@@ -78,8 +121,15 @@ class CBMAdjacency:
     def n(self) -> int:
         return self.cbm.n
 
-    def matmul(self, x: np.ndarray) -> np.ndarray:
-        return self.cbm.matmul(x.astype(np.float32, copy=False))
+    def prepare(self, *, width: int | None = None, dtype=np.float32) -> None:
+        """Build (or refresh) the kernel plan; optionally warm the pool
+        with output buffers for the given feature width."""
+        plan = self.cbm.plan()
+        if width is not None:
+            plan.pool.warm((self.n, int(width)), dtype, count=1)
+
+    def matmul(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        return self.cbm.matmul(x.astype(np.float32, copy=False), out=out)
 
     def memory_bytes(self) -> int:
         return self.cbm.memory_bytes()

@@ -18,7 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GNNError
-from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.layers import Linear, relu
 
 
@@ -49,13 +49,28 @@ class APPNP:
         return self.mlp2(relu(self.mlp1(np.asarray(x, dtype=np.float32))))
 
     def propagate(self, adj: AdjacencyOp, h: np.ndarray) -> np.ndarray:
-        """k steps of personalised-PageRank mixing of the logits ``h``."""
+        """k steps of personalised-PageRank mixing of the logits ``h``.
+
+        All k power iterations share one kernel plan; with an operator
+        that supports ``out=`` the iteration double-buffers and the
+        teleport term is precomputed once, so the loop allocates nothing.
+        """
         h = np.asarray(h, dtype=np.float32)
         if h.shape[0] != adj.n:
             raise GNNError(
                 f"logits have {h.shape[0]} rows but the graph has {adj.n} nodes"
             )
+        prepare_operator(adj, width=h.shape[1], dtype=h.dtype)
         z = h
+        if getattr(adj, "supports_out", False):
+            teleport_h = self.teleport * h  # computed once, reused every step
+            bufs = (np.empty_like(h), np.empty_like(h) if self.k > 1 else None)
+            for i in range(self.k):
+                az = adj.matmul(z, out=bufs[i % 2])
+                az *= 1.0 - self.teleport
+                az += teleport_h
+                z = az
+            return z
         for _ in range(self.k):
             z = (1.0 - self.teleport) * adj.matmul(z) + self.teleport * h
         return z

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GNNError
-from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.layers import Linear, relu
 
 
@@ -54,6 +54,7 @@ class GIN:
             raise GNNError(
                 f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
             )
+        prepare_operator(adj, width=h.shape[1], dtype=h.dtype)
         for i, layer in enumerate(self.layers):
             h = layer.forward(adj, h)
             if i < len(self.layers) - 1:

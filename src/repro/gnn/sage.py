@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GNNError
-from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.layers import Linear, relu
 
 
@@ -75,6 +75,7 @@ class GraphSAGE:
         inv_degree = np.zeros_like(deg)
         nz = deg > 0
         inv_degree[nz] = 1.0 / deg[nz]
+        prepare_operator(adj, width=h.shape[1], dtype=h.dtype)
         for layer in self.layers:
             h = layer.forward(adj, h, inv_degree)
         return h

@@ -13,12 +13,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import GNNError
-from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.layers import Linear
 
 
 def propagate(adj: AdjacencyOp, x: np.ndarray, k: int) -> np.ndarray:
-    """``Âᵏ @ x`` by repeated application of the adjacency operator."""
+    """``Âᵏ @ x`` by repeated application of the adjacency operator.
+
+    The k back-to-back products reuse one kernel plan, and operators
+    advertising ``supports_out`` ping-pong between two preallocated
+    buffers instead of allocating one ``n × p`` result per hop.
+    """
     if k < 0:
         raise GNNError(f"propagation depth k must be >= 0, got {k}")
     h = np.asarray(x, dtype=np.float32)
@@ -26,6 +31,16 @@ def propagate(adj: AdjacencyOp, x: np.ndarray, k: int) -> np.ndarray:
         raise GNNError(
             f"feature matrix has {h.shape[0]} rows but the graph has {adj.n} nodes"
         )
+    if k == 0:
+        return h
+    prepare_operator(adj, width=h.shape[1], dtype=h.dtype)
+    if getattr(adj, "supports_out", False):
+        # Double buffering: the input x is never written; each hop writes
+        # into the buffer the previous hop is not occupying.
+        bufs = (np.empty_like(h), np.empty_like(h) if k > 1 else None)
+        for i in range(k):
+            h = adj.matmul(h, out=bufs[i % 2])
+        return h
     for _ in range(k):
         h = adj.matmul(h)
     return h

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import GNNError
-from repro.gnn.adjacency import AdjacencyOp
+from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.gcn import GCN
 from repro.gnn.layers import softmax
 
@@ -124,6 +124,9 @@ def train_gcn(
     if not model.requires_grad:
         raise GNNError("train_gcn requires a model built with requires_grad=True")
     opt = Adam(model.parameters(), lr=lr)
+    # One plan serves every epoch: Â is symmetric, so forward activations
+    # and backward gradients multiply through the same kernel plan.
+    prepare_operator(adj, width=int(np.asarray(x).shape[1]))
     out = TrainResult()
     for _ in range(epochs):
         logits = model.forward(adj, x, training=True)

@@ -18,8 +18,13 @@ pinning.  This container has one CPU, so this package provides two layers:
 """
 
 from repro.parallel.machine import CacheLevel, MachineSpec, XEON_GOLD_6130
-from repro.parallel.cache import CacheModel, WorkingSet
-from repro.parallel.schedule import ScheduleResult, simulate_dynamic_schedule
+from repro.parallel.cache import CacheModel, WorkingSet, plan_working_set
+from repro.parallel.schedule import (
+    ScheduleResult,
+    branch_costs_from_branches,
+    plan_update_schedule,
+    simulate_dynamic_schedule,
+)
 from repro.parallel.executor import ThreadedUpdateExecutor, parallel_matmul
 from repro.parallel.simulate import KernelCost, predict_cbm_spmm, predict_csr_spmm
 from repro.parallel.trace import ScheduleTrace, TaskEvent, render_gantt, traced_schedule
@@ -32,7 +37,10 @@ __all__ = [
     "XEON_GOLD_6130",
     "CacheModel",
     "WorkingSet",
+    "plan_working_set",
     "ScheduleResult",
+    "branch_costs_from_branches",
+    "plan_update_schedule",
     "simulate_dynamic_schedule",
     "ThreadedUpdateExecutor",
     "parallel_matmul",

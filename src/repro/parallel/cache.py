@@ -68,3 +68,24 @@ class CacheModel:
         """Seconds to move the kernel's traffic at the tier's bandwidth."""
         bw = self.machine.effective_bandwidth(max(ws.total, 1), cores_used)
         return self.traffic_bytes(ws, passes) / bw
+
+
+def plan_working_set(plan, p: int, dtype=None) -> WorkingSet:
+    """Working set of one planned CBM SpMM execution.
+
+    The sparse side is the plan's (scaled) delta CSR; the dense side is
+    the streamed operand ``B`` (m × p) plus the output ``C`` (n × p);
+    scratch counts the plan's idle pooled workspace.  Feeding the plan
+    (not the raw matrix) keeps the accounting consistent with what
+    ``KernelPlan.execute`` actually touches.
+    """
+    import numpy as np
+
+    check_nonnegative(p, "p")
+    itemsize = np.dtype(dtype or np.float32).itemsize
+    n, m = plan.shape
+    return WorkingSet(
+        sparse_bytes=plan.operand.memory_bytes(),
+        dense_bytes=(n + m) * p * itemsize,
+        scratch_bytes=plan.workspace_bytes(),
+    )

@@ -19,15 +19,18 @@ from __future__ import annotations
 
 import queue
 import threading
-from typing import Literal
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.cbm import CBMMatrix, Variant
-from repro.core.tree import VIRTUAL, CompressionTree
+from repro.core.tree import CompressionTree
 from repro.errors import ParallelError
-from repro.sparse.ops import Engine, spmm
+from repro.sparse.ops import Engine
 from repro.utils.validation import check_dense, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.plan import KernelPlan
 
 
 class ThreadedUpdateExecutor:
@@ -44,13 +47,24 @@ class ThreadedUpdateExecutor:
         self.threads = threads
 
     # ------------------------------------------------------------------
-    def run_update(self, tree: CompressionTree, c: np.ndarray, diag: np.ndarray | None = None) -> None:
+    def run_update(
+        self,
+        tree: CompressionTree,
+        c: np.ndarray,
+        diag: np.ndarray | None = None,
+        *,
+        branches: list[np.ndarray] | None = None,
+    ) -> None:
         """Apply the update stage to ``c`` in place, branch-parallel.
 
         ``diag`` enables the DAD row scaling (deferred mode: scaling is
         fused into the branch replay's final pass per row batch).
+        ``branches`` lets callers reuse a precomputed branch decomposition
+        (e.g. from a :class:`~repro.runtime.plan.KernelPlan`) instead of
+        re-deriving it from the tree per call.
         """
-        branches = tree.branches()
+        if branches is None:
+            branches = tree.branches()
         if not branches:
             return
         work: "queue.SimpleQueue[np.ndarray | None]" = queue.SimpleQueue()
@@ -104,16 +118,22 @@ def parallel_matmul(
     *,
     threads: int,
     engine: Engine | None = None,
+    plan: "KernelPlan | None" = None,
 ) -> np.ndarray:
     """Full CBM SpMM with the branch-parallel update stage.
 
     Multiplication stage runs on the compiled backend (internally
     parallel, as MKL is in the paper); the update stage runs on a
-    :class:`ThreadedUpdateExecutor`.
+    :class:`ThreadedUpdateExecutor`.  The branch decomposition and the
+    scaled operand come from the matrix's cached
+    :class:`~repro.runtime.plan.KernelPlan` (pass ``plan`` to share an
+    explicit one), so repeated calls pay no per-call schedule cost.
     """
     b = check_dense(b, name="b", ndim=2)
-    c = spmm(cbm._multiply_operand(), b, engine=engine)
+    if plan is None:
+        plan = cbm.plan()
+    c = plan.multiply(b, engine=engine)
     executor = ThreadedUpdateExecutor(threads)
     diag = cbm.diag if cbm.variant is Variant.DAD else None
-    executor.run_update(cbm.tree, c, diag)
+    executor.run_update(cbm.tree, c, diag, branches=plan.branches)
     return c

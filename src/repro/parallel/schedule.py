@@ -73,19 +73,28 @@ def simulate_dynamic_schedule(costs: np.ndarray, threads: int) -> ScheduleResult
     )
 
 
-def branch_costs(tree: CompressionTree, p: int, *, dad: bool = False) -> np.ndarray:
-    """Update-stage cost of each branch, in scalar operations.
+def branch_costs_from_branches(
+    branches: list[np.ndarray], p: int, *, dad: bool = False
+) -> np.ndarray:
+    """Update-stage cost per branch from an existing decomposition.
 
     A branch is one subtree of the virtual root; replaying it costs ``p``
     additions per tree edge it contains (plus the DAD scaling term).
-    Branch roots themselves carry no update work.
+    Branch roots themselves carry no update work.  Taking the branches as
+    input (rather than the tree) lets callers reuse the decomposition a
+    :class:`~repro.runtime.plan.KernelPlan` already cached.
     """
     if p < 0:
         raise ValueError(f"p must be non-negative, got {p}")
     per_edge = p * (3 if dad else 1)
     return np.asarray(
-        [per_edge * max(len(b) - 1, 0) for b in tree.branches()], dtype=np.float64
+        [per_edge * max(len(b) - 1, 0) for b in branches], dtype=np.float64
     )
+
+
+def branch_costs(tree: CompressionTree, p: int, *, dad: bool = False) -> np.ndarray:
+    """Update-stage cost of each branch of ``tree``, in scalar operations."""
+    return branch_costs_from_branches(tree.branches(), p, dad=dad)
 
 
 def update_stage_schedule(
@@ -93,3 +102,13 @@ def update_stage_schedule(
 ) -> ScheduleResult:
     """Simulate the paper's branch-parallel update stage for a tree."""
     return simulate_dynamic_schedule(branch_costs(tree, p, dad=dad), threads)
+
+
+def plan_update_schedule(plan, p: int, threads: int) -> ScheduleResult:
+    """Simulate the update stage of a built :class:`KernelPlan`.
+
+    Reuses the plan's cached branch decomposition and its row-scaling
+    flag, so simulating many (p, threads) points costs no tree walks.
+    """
+    costs = branch_costs_from_branches(plan.branches, p, dad=plan.row_scaled)
+    return simulate_dynamic_schedule(costs, threads)

@@ -1,0 +1,100 @@
+"""Reusable dense workspace buffers for the plan/execute kernel runtime.
+
+A :class:`WorkspacePool` hands out dense output/workspace arrays keyed by
+``(shape, dtype)`` so that repeated executions of a :class:`~repro.runtime.plan.KernelPlan`
+(the GCN serving hot path: the same ``Â`` against same-shaped feature
+blocks, forward after forward) do not re-allocate an ``n × p`` array per
+call.  Buffers are returned uninitialised — the kernels zero-fill or
+overwrite them — and ownership transfers on :meth:`acquire`: the pool
+never hands the same array out twice until it is :meth:`release`-d back.
+
+The pool is thread-safe; the branch-parallel executor and concurrently
+served requests may share one plan (and therefore one pool).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class PoolStats:
+    """Counters for pool effectiveness (reported by benchmarks/CLI)."""
+
+    acquires: int = 0
+    hits: int = 0
+    releases: int = 0
+    discarded: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.acquires if self.acquires else 0.0
+
+
+class WorkspacePool:
+    """Free-list of dense arrays keyed by ``(shape, dtype)``.
+
+    Parameters
+    ----------
+    max_per_key:
+        How many idle buffers to retain per key; extra releases are
+        dropped (double buffering needs 2, the default).
+    """
+
+    def __init__(self, max_per_key: int = 2):
+        if max_per_key < 0:
+            raise ValueError(f"max_per_key must be >= 0, got {max_per_key}")
+        self.max_per_key = max_per_key
+        self._free: dict[tuple, list[np.ndarray]] = {}
+        self._lock = threading.Lock()
+        self.stats = PoolStats()
+
+    @staticmethod
+    def _key(shape: tuple[int, ...], dtype) -> tuple:
+        return (tuple(int(s) for s in shape), np.dtype(dtype).str)
+
+    def acquire(self, shape: tuple[int, ...], dtype=np.float32) -> np.ndarray:
+        """A C-contiguous array of the given shape/dtype (contents arbitrary)."""
+        key = self._key(shape, dtype)
+        with self._lock:
+            self.stats.acquires += 1
+            free = self._free.get(key)
+            if free:
+                self.stats.hits += 1
+                return free.pop()
+        return np.empty(shape, dtype=dtype)
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return a buffer to the pool for reuse.
+
+        Only C-contiguous arrays are retained; anything else (or overflow
+        beyond ``max_per_key``) is silently dropped to the allocator.
+        """
+        if not isinstance(arr, np.ndarray) or not arr.flags.c_contiguous:
+            return
+        key = self._key(arr.shape, arr.dtype)
+        with self._lock:
+            self.stats.releases += 1
+            free = self._free.setdefault(key, [])
+            if len(free) < self.max_per_key and not any(b is arr for b in free):
+                free.append(arr)
+            else:
+                self.stats.discarded += 1
+
+    def warm(self, shape: tuple[int, ...], dtype=np.float32, count: int = 1) -> None:
+        """Pre-populate the pool so the first executions skip allocation."""
+        bufs = [self.acquire(shape, dtype) for _ in range(max(count, 0))]
+        for b in bufs:
+            self.release(b)
+
+    def idle_bytes(self) -> int:
+        """Total bytes currently held in free lists."""
+        with self._lock:
+            return sum(b.nbytes for free in self._free.values() for b in free)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._free.clear()

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.cbm import CBMMatrix, Variant
+from repro.core.cbm import CBMMatrix
 from repro.errors import ShapeError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import Engine, spmm

@@ -1,10 +1,8 @@
 """Integration tests: full CLI workflow and example-script entry points."""
 
-import numpy as np
 import pytest
 
 from repro.cli import main
-from repro.graphs.io import save_edge_list
 from repro.sparse.io import save_matrix_market
 
 from tests.conftest import random_adjacency_csr
@@ -48,7 +46,6 @@ class TestExamplesEntryPoints:
     @pytest.fixture(autouse=True)
     def _examples_on_path(self, monkeypatch):
         import pathlib
-        import sys
 
         examples = pathlib.Path(__file__).resolve().parents[2] / "examples"
         monkeypatch.syspath_prepend(str(examples))

@@ -3,8 +3,6 @@
 import pathlib
 import re
 
-import numpy as np
-import pytest
 
 import repro
 

@@ -1,7 +1,6 @@
 """End-to-end integration tests: GCN pipelines, experiments, shapes."""
 
 import numpy as np
-import pytest
 
 from repro.bench.experiments import (
     run_figure2,

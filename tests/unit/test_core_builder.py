@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.builder import build_cbm, build_clustered, cluster_rows
-from repro.errors import NotBinaryError, ShapeError
+from repro.errors import NotBinaryError
 from repro.sparse.convert import from_dense
 
 from tests.conftest import random_adjacency_csr

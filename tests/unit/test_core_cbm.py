@@ -9,10 +9,9 @@ from repro.core.deltas import build_delta_matrix
 from repro.core.distance import candidate_edges
 from repro.core.mst import kruskal_mst
 from repro.errors import ShapeError
-from repro.sparse.convert import from_dense
 from repro.sparse.ops import Engine
 
-from tests.conftest import random_adjacency_csr, random_adjacency_dense
+from tests.conftest import random_adjacency_csr
 
 
 def build(seed=0, n=30, density=0.3, alpha=0, variant="A", diag=None):

@@ -1,6 +1,5 @@
 """Unit tests for scalar-operation and memory accounting."""
 
-import numpy as np
 import pytest
 
 from repro.core.builder import build_cbm

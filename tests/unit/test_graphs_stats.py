@@ -15,7 +15,7 @@ from repro.graphs.stats import (
 )
 from repro.sparse.convert import from_dense
 
-from tests.conftest import random_adjacency_csr, random_adjacency_dense
+from tests.conftest import random_adjacency_csr
 
 
 def to_nx(a):

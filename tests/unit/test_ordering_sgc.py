@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.builder import build_cbm, build_clustered
+from repro.core.builder import build_cbm
 from repro.errors import GNNError
 from repro.gnn.adjacency import make_operator
 from repro.gnn.sgc import SGC, propagate

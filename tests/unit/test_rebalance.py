@@ -7,7 +7,7 @@ from repro.core.builder import build_cbm
 from repro.core.rebalance import cut_depth, split_branches
 from repro.errors import ShapeError
 
-from tests.conftest import clustered_adjacency, random_adjacency_csr
+from tests.conftest import random_adjacency_csr
 
 
 def deep_cbm(seed=0):

@@ -1,7 +1,6 @@
 """Tests for remaining behavioural gaps spotted in review."""
 
 import numpy as np
-import pytest
 
 from repro.core.analysis import savings_histogram
 from repro.core.builder import build_cbm

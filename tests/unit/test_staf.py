@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import NotBinaryError, ShapeError
 from repro.sparse.convert import from_dense
-from repro.staf import STAFMatrix, build_staf
+from repro.staf import build_staf
 
 from tests.conftest import random_adjacency_csr, random_binary_csr
 
