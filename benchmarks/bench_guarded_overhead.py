@@ -1,0 +1,193 @@
+"""Guarded-mode overhead benchmark — validated vs raw planned CBM products.
+
+The reliability layer (``repro.reliability.GuardedKernel``) adds input
+and output non-finite scans plus a try/except fallback wrapper around
+every planned product.  This benchmark measures what that costs on the
+GCN serving workload (the same 2-layer x many-forwards shape as
+``bench_runtime_plan.py``) and records it in ``BENCH_PR2.json``; the
+acceptance target is **<5% overhead** vs the raw planned path on the
+COLLAB workload.
+
+Run standalone::
+
+    python benchmarks/bench_guarded_overhead.py            # full (COLLAB)
+    python benchmarks/bench_guarded_overhead.py --smoke    # CI-sized (Cora)
+
+or under pytest-benchmark like the other ``bench_*`` modules.
+"""
+
+import argparse
+import json
+import pathlib
+import platform
+import time
+
+import numpy as np
+
+from repro.gnn.adjacency import CBMAdjacency, make_operator
+from repro.gnn.gcn import two_layer_gcn_inference
+from repro.graphs.datasets import load_dataset
+from repro.graphs.laplacian import normalized_adjacency
+from repro.reliability import GuardedAdjacency, GuardedKernel
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_PR2.json"
+
+# The acceptance target (<5%) is defined on the full COLLAB workload,
+# where per-product time dominates the guard's fixed per-call cost.  The
+# smoke config's products are ~10x smaller, so the same fixed cost is a
+# larger fraction — its threshold is a loose CI regression tripwire, not
+# the paper-facing number.
+FULL = dict(dataset="COLLAB", alpha=4, p=64, hidden=64, classes=16, forwards=20, target=5.0)
+SMOKE = dict(dataset="Cora", alpha=2, p=32, hidden=16, classes=4, forwards=5, target=15.0)
+
+
+def _weights(rng, p, hidden, classes):
+    w0 = (rng.random((p, hidden)) - 0.5).astype(np.float32) / np.sqrt(p)
+    w1 = (rng.random((hidden, classes)) - 0.5).astype(np.float32) / np.sqrt(hidden)
+    return w0, w1
+
+
+def run_workload(cfg: dict, *, repeats: int | None = None) -> dict:
+    """Time raw planned vs guarded repeated GCN inference; return the record."""
+    cfg = dict(cfg)
+    target = cfg.pop("target", 5.0)
+    a = load_dataset(cfg["dataset"])
+    rng = np.random.default_rng(7)
+    x = rng.random((a.shape[0], cfg["p"])).astype(np.float32)
+    w0, w1 = _weights(rng, cfg["p"], cfg["hidden"], cfg["classes"])
+
+    raw = make_operator(a, "cbm", alpha=cfg["alpha"])
+    assert isinstance(raw, CBMAdjacency)
+    # Guard the SAME matrix (shared kernel plan) so the measured gap is
+    # purely the validation + fallback machinery, not a different plan.
+    guarded = GuardedAdjacency(
+        GuardedKernel(raw.cbm, source=normalized_adjacency(a))
+    )
+
+    forwards = cfg["forwards"]
+    repeats = repeats if repeats is not None else 12
+
+    def forward(op):
+        two_layer_gcn_inference(op, x, w0, w1)
+
+    # Warm plan build, SciPy handles, and BLAS outside the timers.
+    for _ in range(forwards):
+        forward(raw)
+        forward(guarded)
+
+    # Time individual forwards, alternating raw/guarded call by call,
+    # and keep the best sample per operator.  Scheduler noise on a
+    # shared box is strictly additive, so min-of-many single-forward
+    # samples converges on the true cost, while block timings drift by
+    # more than the few-percent effect being measured (the guard adds
+    # ~one finite-scan per product).
+    raw_samples, guarded_samples = [], []
+    for _ in range(max(3, repeats) * forwards):
+        t0 = time.perf_counter()
+        forward(raw)
+        raw_samples.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        forward(guarded)
+        guarded_samples.append(time.perf_counter() - t0)
+    t_raw = min(raw_samples) * forwards
+    t_guarded = min(guarded_samples) * forwards
+
+    overhead_pct = (t_guarded / t_raw - 1.0) * 100.0
+    return {
+        "benchmark": "guarded_overhead",
+        "workload": {
+            "shape": "2-layer GCN inference x repeated forwards",
+            **cfg,
+            "nodes": int(a.shape[0]),
+            "nnz": int(a.nnz),
+        },
+        "raw_planned_s": t_raw,
+        "guarded_s": t_guarded,
+        "per_forward_raw_s": t_raw / forwards,
+        "per_forward_guarded_s": t_guarded / forwards,
+        "timing": "alternating single forwards, min per operator",
+        "samples": len(raw_samples),
+        "overhead_pct": overhead_pct,
+        "target_overhead_pct": target,
+        "within_target": bool(overhead_pct < target),
+        "guard": guarded.guard.describe(),
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "generated_unix": time.time(),
+    }
+
+
+def render(record: dict) -> str:
+    w = record["workload"]
+    lines = [
+        f"Guarded-mode overhead benchmark — {w['dataset']} "
+        f"(n={w['nodes']}, alpha={w['alpha']}, p={w['p']}, "
+        f"{w['forwards']} forwards/burst)",
+        f"  raw planned  {record['per_forward_raw_s'] * 1e3:8.3f} ms/forward",
+        f"  guarded      {record['per_forward_guarded_s'] * 1e3:8.3f} ms/forward",
+        f"  overhead: {record['overhead_pct']:+.2f}% "
+        f"(target <{record['target_overhead_pct']:.0f}%, "
+        f"{'OK' if record['within_target'] else 'OVER'})",
+        f"  guard counters: {record['guard']['calls']} calls, "
+        f"{record['guard']['fallbacks']} fallbacks",
+    ]
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="tiny CI-sized workload (<5 s)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help=f"where to write the JSON record (default {DEFAULT_JSON})")
+    ap.add_argument("--repeats", type=int, default=None, help="timing repeats per burst")
+    args = ap.parse_args(argv)
+
+    cfg = dict(SMOKE if args.smoke else FULL)
+    record = run_workload(cfg, repeats=args.repeats)
+    record["mode"] = "smoke" if args.smoke else "full"
+    print(render(record))
+
+    path = args.json or DEFAULT_JSON
+    path.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"[written to {path}]")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (same harness as the other bench_* modules)
+# ---------------------------------------------------------------------------
+
+def test_raw_planned_gcn_forward(benchmark, rng):
+    a = load_dataset("Cora")
+    op = make_operator(a, "cbm", alpha=2)
+    x = rng.random((a.shape[0], 32), dtype=np.float64).astype(np.float32)
+    w0, w1 = _weights(np.random.default_rng(7), 32, 16, 4)
+    two_layer_gcn_inference(op, x, w0, w1)  # build the plan outside the timer
+    benchmark(lambda: two_layer_gcn_inference(op, x, w0, w1))
+
+
+def test_guarded_gcn_forward(benchmark, rng):
+    a = load_dataset("Cora")
+    raw = make_operator(a, "cbm", alpha=2)
+    op = GuardedAdjacency(GuardedKernel(raw.cbm, source=normalized_adjacency(a)))
+    x = rng.random((a.shape[0], 32), dtype=np.float64).astype(np.float32)
+    w0, w1 = _weights(np.random.default_rng(7), 32, 16, 4)
+    two_layer_gcn_inference(op, x, w0, w1)
+    benchmark(lambda: two_layer_gcn_inference(op, x, w0, w1))
+
+
+def test_report_guarded_overhead(benchmark):
+    from conftest import write_report
+
+    def run():
+        record = run_workload(dict(SMOKE))
+        write_report("guarded_overhead", render(record))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

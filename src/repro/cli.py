@@ -123,6 +123,23 @@ def cmd_bench(args) -> int:
     print(f"  CSR SpMM   {human_time(t_csr.mean)} +- {human_time(t_csr.std)}")
     print(f"  CBM SpMM   {human_time(t_cbm.mean)} +- {human_time(t_cbm.std)} (planned)")
     print(f"  measured speedup (1 core): {t_csr.mean / t_cbm.mean:.2f}x")
+    if args.guarded or args.strict:
+        from repro.reliability import GuardedKernel
+
+        guard = GuardedKernel(cbm, source=a, strict=args.strict)
+        guard.matmul(x)  # warm (validation buffers, plan reuse)
+        t_guard = measure(lambda: guard.matmul(x), max_repeats=args.repeats)
+        mode = "strict" if args.strict else "guarded"
+        overhead = (t_guard.mean / t_cbm.mean - 1.0) * 100.0
+        print(
+            f"  CBM SpMM   {human_time(t_guard.mean)} +- {human_time(t_guard.std)} "
+            f"({mode}, {overhead:+.1f}% vs planned)"
+        )
+        gs = guard.stats
+        print(
+            f"  guard counters: {gs.calls} calls, {gs.fallbacks} fallbacks, "
+            f"{gs.input_rejections} input rejections"
+        )
     if args.unplanned:
         t_unp = measure(lambda: cbm.matmul_unplanned(x), max_repeats=args.repeats)
         print(f"  CBM SpMM   {human_time(t_unp.mean)} +- {human_time(t_unp.std)} (unplanned)")
@@ -264,6 +281,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--unplanned",
         action="store_true",
         help="also time the per-call reference path (plan amortisation)",
+    )
+    p.add_argument(
+        "--guarded",
+        action="store_true",
+        help="also time the guarded path (validation + CSR fallback) and "
+        "print its fallback counters",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="like --guarded but fail-fast: the guard re-raises instead of "
+        "degrading to the CSR reference",
     )
     p.set_defaults(fn=cmd_bench)
     return parser

@@ -7,38 +7,43 @@ step: a compact ``.npz``-based container holding the compression tree,
 the delta matrix, the variant, and the diagonal vectors.
 
 Format: NumPy ``savez_compressed`` archive with a ``meta`` JSON header;
-version-tagged so future layout changes stay loadable.
+version-tagged so future layout changes stay loadable.  Since version 2
+the header also records a CRC-32 checksum of every payload array's raw
+bytes; :func:`load_cbm` verifies them and raises
+:class:`~repro.errors.IntegrityError` on mismatch, so a corrupted
+archive fails loudly instead of loading garbage that would yield
+silently wrong products.  Version-1 archives (no checksums) remain
+loadable, protected only by the structural validators.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import zlib
 from typing import Union
 
 import numpy as np
 
 from repro.core.cbm import CBMMatrix, Variant
 from repro.core.tree import CompressionTree
-from repro.errors import FormatError
+from repro.errors import FormatError, IntegrityError
 from repro.sparse.csr import CSRMatrix
 
 PathLike = Union[str, os.PathLike]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_CHECKSUMMED_VERSIONS = (2,)
+_LOADABLE_VERSIONS = (1, 2)
 
 
-def save_cbm(path: PathLike, cbm: CBMMatrix) -> None:
-    """Write ``cbm`` to ``path`` as a compressed ``.npz`` archive."""
-    meta = {
-        "version": _FORMAT_VERSION,
-        "variant": cbm.variant.value,
-        "alpha": cbm.alpha,
-        "source_nnz": cbm.source_nnz,
-        "shape": list(cbm.shape),
-    }
+def checksum_array(arr: np.ndarray) -> int:
+    """CRC-32 of an array's raw bytes (contiguous, native order)."""
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+
+def _payload_arrays(cbm: CBMMatrix) -> dict[str, np.ndarray]:
     arrays = {
-        "meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
         "tree_parent": cbm.tree.parent,
         "tree_weight": cbm.tree.weight,
         "delta_indptr": cbm.delta.indptr,
@@ -49,26 +54,65 @@ def save_cbm(path: PathLike, cbm: CBMMatrix) -> None:
         arrays["diag"] = np.asarray(cbm.diag)
     if cbm.diag_left is not None:
         arrays["diag_left"] = np.asarray(cbm.diag_left)
+    return arrays
+
+
+def save_cbm(path: PathLike, cbm: CBMMatrix) -> None:
+    """Write ``cbm`` to ``path`` as a compressed ``.npz`` archive.
+
+    The ``meta`` header embeds a CRC-32 per payload array so
+    :func:`load_cbm` can detect corruption of the stored bytes.
+    """
+    arrays = _payload_arrays(cbm)
+    meta = {
+        "version": _FORMAT_VERSION,
+        "variant": cbm.variant.value,
+        "alpha": cbm.alpha,
+        "source_nnz": cbm.source_nnz,
+        "shape": list(cbm.shape),
+        "checksums": {name: checksum_array(arr) for name, arr in arrays.items()},
+    }
+    arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
     np.savez_compressed(path, **arrays)
+
+
+def _verify_checksums(meta: dict, archive, path: PathLike) -> None:
+    checksums = meta.get("checksums")
+    if not isinstance(checksums, dict):
+        raise IntegrityError(f"CBM archive {path} is missing its checksum table")
+    for name, expected in checksums.items():
+        if name not in archive.files:
+            raise IntegrityError(f"CBM archive {path} is missing payload {name!r}")
+        actual = checksum_array(archive[name])
+        if actual != int(expected):
+            raise IntegrityError(
+                f"CBM archive {path}: checksum mismatch for {name!r} "
+                f"(stored {int(expected):#010x}, computed {actual:#010x}) — "
+                "the archive is corrupted"
+            )
 
 
 def load_cbm(path: PathLike) -> CBMMatrix:
     """Load a CBM matrix previously stored with :func:`save_cbm`.
 
-    Validates the format version and rebuilds the tree and delta matrix
-    with full structural checks (a corrupted archive raises
+    Validates the format version, verifies the payload checksums
+    (version ≥ 2), and rebuilds the tree and delta matrix with full
+    structural checks — a corrupted archive raises
+    :class:`~repro.errors.IntegrityError` /
     :class:`~repro.errors.FormatError` or a tree/CSR validation error
-    rather than yielding silently wrong products).
+    rather than yielding silently wrong products.
     """
     with np.load(path) as archive:
         try:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
         except (KeyError, ValueError) as exc:
             raise FormatError(f"not a CBM archive: {path}") from exc
-        if meta.get("version") != _FORMAT_VERSION:
+        if meta.get("version") not in _LOADABLE_VERSIONS:
             raise FormatError(
                 f"unsupported CBM archive version {meta.get('version')!r} in {path}"
             )
+        if meta["version"] in _CHECKSUMMED_VERSIONS:
+            _verify_checksums(meta, archive, path)
         shape = tuple(meta["shape"])
         tree = CompressionTree(
             parent=archive["tree_parent"], weight=archive["tree_weight"]

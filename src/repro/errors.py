@@ -47,15 +47,48 @@ class TreeError(ReproError, ValueError):
 
 
 class DatasetError(ReproError, KeyError):
-    """An unknown dataset name was requested from the registry."""
+    """An unknown dataset name was requested from the registry.
+
+    ``KeyError.__str__`` wraps the message in ``repr`` quotes (it normally
+    carries a missing *key*, not a sentence), which made CLI output read as
+    ``'unknown dataset ...'``; override it so the message renders verbatim.
+    """
+
+    def __str__(self) -> str:
+        return Exception.__str__(self)
 
 
 class ConvergenceError(ReproError, RuntimeError):
-    """An iterative procedure (e.g. generator calibration) failed to converge."""
+    """An iterative procedure (e.g. generator calibration or GNN training)
+    failed to converge or diverged.
+
+    When raised by :func:`repro.gnn.train.train_gcn` divergence detection,
+    the ``last_good`` attribute holds the most recent healthy
+    :class:`~repro.gnn.train.TrainCheckpoint` (or None if the very first
+    epoch diverged).
+    """
+
+    last_good = None
 
 
 class ParallelError(ReproError, RuntimeError):
     """The parallel executor or schedule simulator hit an inconsistent state."""
+
+
+class WatchdogTimeout(ParallelError):
+    """An update-stage worker exceeded the per-branch watchdog timeout."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A kernel input or output contains non-finite values (NaN/Inf)."""
+
+
+class IntegrityError(FormatError):
+    """A stored artifact failed its checksum — the payload was corrupted."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A training checkpoint could not be saved, loaded, or resumed from."""
 
 
 class GNNError(ReproError, ValueError):

@@ -9,18 +9,27 @@ so a CBM-compressed graph accelerates the whole loop.
 Loss is softmax cross-entropy over a labelled node subset (transductive
 node classification, the GCN paper's setting).  Gradients are derived by
 hand; :func:`numeric_grad_check` in the test suite validates them.
+
+Reliability: :func:`train_gcn` detects divergence (a non-finite loss
+raises :class:`~repro.errors.ConvergenceError` carrying the last healthy
+:class:`TrainCheckpoint`, with the model's parameters rolled back to it)
+and supports lightweight epoch checkpointing with resume
+(``checkpoint_every=`` / ``resume_from=``), so long runs survive both
+numerical blow-ups and process restarts.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import GNNError
+from repro.errors import CheckpointError, ConvergenceError, GNNError
 from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.gcn import GCN
 from repro.gnn.layers import softmax
+from repro.utils.validation import all_finite
 
 
 def cross_entropy(
@@ -104,6 +113,100 @@ class TrainResult:
         return self.losses[-1] if self.losses else float("nan")
 
 
+@dataclass
+class TrainCheckpoint:
+    """Snapshot of one training run after a completed epoch.
+
+    Holds copies of the model parameters and the full Adam state, so
+    restoring reproduces the run exactly from the next epoch onward.
+    """
+
+    epoch: int  # number of completed epochs
+    params: list[np.ndarray]
+    adam_m: list[np.ndarray]
+    adam_v: list[np.ndarray]
+    adam_t: int
+    losses: list[float] = field(default_factory=list)
+    train_accuracy: list[float] = field(default_factory=list)
+    val_accuracy: list[float] = field(default_factory=list)
+
+    @classmethod
+    def capture(cls, model: GCN, opt: Adam, result: TrainResult) -> "TrainCheckpoint":
+        return cls(
+            epoch=len(result.losses),
+            params=[p.copy() for p in model.parameters()],
+            adam_m=[m.copy() for m in opt.m],
+            adam_v=[v.copy() for v in opt.v],
+            adam_t=opt.t,
+            losses=list(result.losses),
+            train_accuracy=list(result.train_accuracy),
+            val_accuracy=list(result.val_accuracy),
+        )
+
+    def restore(self, model: GCN, opt: Adam | None = None) -> None:
+        """Copy the snapshot back into ``model`` (and ``opt``) in place."""
+        params = model.parameters()
+        if len(params) != len(self.params):
+            raise CheckpointError(
+                f"checkpoint has {len(self.params)} parameter arrays, "
+                f"model has {len(params)}"
+            )
+        for p, saved in zip(params, self.params):
+            if p.shape != saved.shape:
+                raise CheckpointError(
+                    f"checkpoint parameter shape {saved.shape} does not match "
+                    f"model parameter shape {p.shape}"
+                )
+            p[...] = saved
+        if opt is not None:
+            for m, saved in zip(opt.m, self.adam_m):
+                m[...] = saved
+            for v, saved in zip(opt.v, self.adam_v):
+                v[...] = saved
+            opt.t = self.adam_t
+
+
+def save_checkpoint(path, ck: TrainCheckpoint) -> None:
+    """Persist a :class:`TrainCheckpoint` as a compressed ``.npz``."""
+    meta = {
+        "epoch": ck.epoch,
+        "adam_t": ck.adam_t,
+        "n_params": len(ck.params),
+        "losses": ck.losses,
+        "train_accuracy": ck.train_accuracy,
+        "val_accuracy": ck.val_accuracy,
+    }
+    arrays = {"meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
+    for i, (p, m, v) in enumerate(zip(ck.params, ck.adam_m, ck.adam_v)):
+        arrays[f"param_{i}"] = p
+        arrays[f"adam_m_{i}"] = m
+        arrays[f"adam_v_{i}"] = v
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path) -> TrainCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`."""
+    try:
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            n = int(meta["n_params"])
+            params = [archive[f"param_{i}"] for i in range(n)]
+            adam_m = [archive[f"adam_m_{i}"] for i in range(n)]
+            adam_v = [archive[f"adam_v_{i}"] for i in range(n)]
+    except (KeyError, ValueError, OSError) as exc:
+        raise CheckpointError(f"cannot load training checkpoint {path}: {exc}") from exc
+    return TrainCheckpoint(
+        epoch=int(meta["epoch"]),
+        params=params,
+        adam_m=adam_m,
+        adam_v=adam_v,
+        adam_t=int(meta["adam_t"]),
+        losses=list(meta["losses"]),
+        train_accuracy=list(meta["train_accuracy"]),
+        val_accuracy=list(meta["val_accuracy"]),
+    )
+
+
 def train_gcn(
     model: GCN,
     adj: AdjacencyOp,
@@ -114,27 +217,96 @@ def train_gcn(
     val_mask: np.ndarray | None = None,
     epochs: int = 100,
     lr: float = 0.01,
+    divergence_check: bool = True,
+    checkpoint_every: int | None = None,
+    checkpoint_path=None,
+    resume_from: "TrainCheckpoint | str | None" = None,
 ) -> TrainResult:
     """Full-batch transductive training of a GCN with Adam.
 
     The model must have been constructed with ``requires_grad=True``.
     Every epoch runs one forward pass, one hand-derived backward pass
     (each involving products with Â), and one Adam step.
+
+    Reliability knobs
+    -----------------
+    divergence_check:
+        When the epoch loss goes non-finite, roll the model back to the
+        last healthy epoch and raise
+        :class:`~repro.errors.ConvergenceError` whose ``last_good``
+        attribute is that :class:`TrainCheckpoint` (None if the first
+        epoch already diverged).
+    checkpoint_every / checkpoint_path:
+        Write a resumable checkpoint to ``checkpoint_path`` every k
+        completed epochs (and after the final one).
+    resume_from:
+        A :class:`TrainCheckpoint` or a path to one; training restores
+        parameters, Adam state, and history, then continues until
+        ``epochs`` *total* epochs are done.
     """
     if not model.requires_grad:
         raise GNNError("train_gcn requires a model built with requires_grad=True")
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise CheckpointError(f"checkpoint_every must be positive, got {checkpoint_every}")
+        if checkpoint_path is None:
+            raise CheckpointError("checkpoint_every requires checkpoint_path")
     opt = Adam(model.parameters(), lr=lr)
+    out = TrainResult()
+    start_epoch = 0
+    last_good: TrainCheckpoint | None = None
+    if resume_from is not None:
+        ck = resume_from if isinstance(resume_from, TrainCheckpoint) else load_checkpoint(resume_from)
+        ck.restore(model, opt)
+        out.losses = list(ck.losses)
+        out.train_accuracy = list(ck.train_accuracy)
+        out.val_accuracy = list(ck.val_accuracy)
+        start_epoch = ck.epoch
+        last_good = ck  # a resumed run always has a rollback target
     # One plan serves every epoch: Â is symmetric, so forward activations
     # and backward gradients multiply through the same kernel plan.
     prepare_operator(adj, width=int(np.asarray(x).shape[1]))
-    out = TrainResult()
-    for _ in range(epochs):
+    for epoch in range(start_epoch, epochs):
         logits = model.forward(adj, x, training=True)
         loss, grad = cross_entropy(logits, labels, train_mask)
+        if divergence_check and not np.isfinite(loss):
+            if last_good is not None:
+                last_good.restore(model, opt)
+            err = ConvergenceError(
+                f"training diverged at epoch {epoch} (loss={loss!r}); model "
+                + ("rolled back to epoch "
+                   f"{last_good.epoch}" if last_good is not None else "has no healthy state")
+            )
+            err.last_good = last_good
+            raise err
         model.backward(adj, grad)
         opt.step(model.gradients())
         out.losses.append(loss)
         out.train_accuracy.append(accuracy(logits, labels, train_mask))
         if val_mask is not None:
             out.val_accuracy.append(accuracy(logits, labels, val_mask))
+        if divergence_check:
+            # Parameters can blow up on the step *after* a finite loss
+            # (the loss is computed from pre-step weights), so the
+            # snapshot is only promoted to last-good while every
+            # parameter is still finite — a rollback target is never
+            # itself poisoned.
+            if all(all_finite(p) for p in model.parameters()):
+                last_good = TrainCheckpoint.capture(model, opt, out)
+            else:
+                if last_good is not None:
+                    last_good.restore(model, opt)
+                err = ConvergenceError(
+                    f"training diverged at epoch {epoch} (non-finite parameters "
+                    "after the optimiser step); model "
+                    + (f"rolled back to epoch {last_good.epoch}"
+                       if last_good is not None else "has no healthy state")
+                )
+                err.last_good = last_good
+                raise err
+        done = epoch + 1
+        if checkpoint_every is not None and (
+            done % checkpoint_every == 0 or done == epochs
+        ):
+            save_checkpoint(checkpoint_path, TrainCheckpoint.capture(model, opt, out))
     return out

@@ -13,24 +13,59 @@ multi-core host the workers genuinely overlap; on this reproduction's
 single-core container the executor is still exercised for correctness
 while the :mod:`repro.parallel.simulate` model predicts the 16-core
 behaviour.
+
+Failure semantics (the *guarded execution* contract)
+----------------------------------------------------
+The update stage mutates the output buffer ``c`` **in place**, so a
+worker failure mid-run would otherwise leave ``c`` half-updated — a
+silently wrong result.  :meth:`ThreadedUpdateExecutor.run_update`
+therefore guarantees *restore-or-invalidate* semantics:
+
+* the first worker exception (or watchdog trip) sets a shared cancel
+  event; healthy workers stop taking branches at their next queue poll
+  (prompt cancellation — they do not keep writing into ``c``);
+* before the error propagates, ``c`` is either **restored** to its
+  pre-call contents (``on_failure="restore"``, costs one buffer copy up
+  front) or **invalidated** by NaN-poisoning every element
+  (``on_failure="invalidate"``, the default — a poisoned buffer can
+  never be mistaken for a valid product);
+* the call then raises :class:`~repro.errors.ParallelError` (worker
+  exception) or :class:`~repro.errors.WatchdogTimeout` (a branch
+  exceeded ``branch_timeout`` seconds).
+
+A stalled worker thread cannot be killed from Python; after a watchdog
+trip it is abandoned as a daemon thread, which is why callers needing a
+correct result afterwards (see ``repro.reliability.GuardedKernel``) must
+recompute into a **fresh** buffer rather than reuse the invalidated one.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.core.cbm import CBMMatrix, Variant
 from repro.core.tree import CompressionTree
-from repro.errors import ParallelError
+from repro.errors import ParallelError, WatchdogTimeout
 from repro.sparse.ops import Engine
 from repro.utils.validation import check_dense, check_positive
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.runtime.plan import KernelPlan
+
+_WATCHDOG_POLL_S = 0.02
+
+
+def _invalidate(c: np.ndarray) -> None:
+    """NaN-poison ``c`` so a half-updated buffer reads as garbage, loudly."""
+    if np.issubdtype(c.dtype, np.floating) or np.issubdtype(c.dtype, np.complexfloating):
+        c.fill(np.nan)
+    else:  # integer buffers cannot hold NaN; zeroing still destroys partial sums
+        c.fill(0)
 
 
 class ThreadedUpdateExecutor:
@@ -39,12 +74,38 @@ class ThreadedUpdateExecutor:
     Parameters
     ----------
     threads:
-        Worker count (the paper uses 16, one per physical core).
+        Worker count (the paper uses 16, one per physical core).  The
+        effective pool is capped at ``min(threads, len(branches))`` — the
+        queue receives exactly one poison pill per *started* worker, so a
+        pool wider than the branch list neither leaks pills nor spawns
+        idle threads.
+    branch_timeout:
+        Optional watchdog limit in seconds for a single branch replay.
+        When a worker holds one branch longer than this, the run is
+        cancelled and :class:`~repro.errors.WatchdogTimeout` is raised
+        (the stalled thread itself is abandoned as a daemon).
+    on_failure:
+        ``"invalidate"`` (default) NaN-poisons the output buffer before
+        raising; ``"restore"`` snapshots the buffer up front and copies
+        it back on failure.  Either way a failed :meth:`run_update`
+        never returns — and never leaves — a half-updated ``c``.
     """
 
-    def __init__(self, threads: int):
+    def __init__(
+        self,
+        threads: int,
+        *,
+        branch_timeout: float | None = None,
+        on_failure: str = "invalidate",
+    ):
         check_positive(threads, "threads")
+        if branch_timeout is not None:
+            check_positive(branch_timeout, "branch_timeout")
+        if on_failure not in ("invalidate", "restore"):
+            raise ValueError(f"unknown on_failure mode {on_failure!r}")
         self.threads = threads
+        self.branch_timeout = branch_timeout
+        self.on_failure = on_failure
 
     # ------------------------------------------------------------------
     def run_update(
@@ -62,40 +123,104 @@ class ThreadedUpdateExecutor:
         ``branches`` lets callers reuse a precomputed branch decomposition
         (e.g. from a :class:`~repro.runtime.plan.KernelPlan`) instead of
         re-deriving it from the tree per call.
+
+        On any worker failure or watchdog trip, ``c`` is restored or
+        invalidated per ``on_failure`` (see the module docstring) and a
+        :class:`~repro.errors.ParallelError` /
+        :class:`~repro.errors.WatchdogTimeout` is raised — the buffer is
+        never left half-updated.
         """
         if branches is None:
             branches = tree.branches()
         if not branches:
             return
+        snapshot = c.copy() if self.on_failure == "restore" else None
         work: "queue.SimpleQueue[np.ndarray | None]" = queue.SimpleQueue()
         for b in branches:
             work.put(b)
         errors: list[BaseException] = []
+        # One poison pill per started worker: the pool is capped by the
+        # branch count, so threads > len(branches) neither over-fills the
+        # queue nor spawns workers that would block on an empty queue.
         n_workers = min(self.threads, len(branches))
         for _ in range(n_workers):
-            work.put(None)  # one poison pill per worker
+            work.put(None)
 
         parent = tree.parent
+        cancel = threading.Event()
+        self._cancel = cancel  # chaos/fault-injection subclasses poll this
+        # busy_since[i] is the monotonic time worker i started its current
+        # branch, or None while idle; the watchdog reads it without a lock
+        # (a torn read at worst delays the trip by one poll interval).
+        busy_since: list[float | None] = [None] * n_workers
 
-        def worker() -> None:
+        def worker(slot: int) -> None:
             try:
                 while True:
                     item = work.get()
-                    if item is None:
+                    if item is None or cancel.is_set():
                         return
-                    self._replay_branch(item, parent, c)
+                    busy_since[slot] = time.monotonic()
+                    try:
+                        self._replay_branch(item, parent, c)
+                    finally:
+                        busy_since[slot] = None
             except BaseException as exc:  # noqa: BLE001 - propagated below
                 errors.append(exc)
+                cancel.set()  # prompt cancellation: stop the other workers
 
-        threads = [threading.Thread(target=worker, daemon=True) for _ in range(n_workers)]
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(n_workers)
+        ]
         for t in threads:
             t.start()
-        for t in threads:
-            t.join()
-        if errors:
-            raise ParallelError(f"update-stage worker failed: {errors[0]!r}") from errors[0]
+        stalled = self._join_with_watchdog(threads, busy_since, cancel)
+        if stalled or errors:
+            if snapshot is not None:
+                c[...] = snapshot
+            else:
+                _invalidate(c)
+            if stalled:
+                raise WatchdogTimeout(
+                    f"update-stage worker exceeded branch_timeout="
+                    f"{self.branch_timeout}s; output buffer "
+                    f"{'restored' if snapshot is not None else 'invalidated'}"
+                )
+            raise ParallelError(
+                f"update-stage worker failed: {errors[0]!r}; output buffer "
+                f"{'restored' if snapshot is not None else 'invalidated'}"
+            ) from errors[0]
         if diag is not None:
             c *= np.asarray(diag)[:, None]
+
+    def _join_with_watchdog(
+        self,
+        threads: list[threading.Thread],
+        busy_since: list[float | None],
+        cancel: threading.Event,
+    ) -> bool:
+        """Join workers; return True if the watchdog declared a stall."""
+        if self.branch_timeout is None:
+            for t in threads:
+                t.join()
+            return False
+        while True:
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                return False
+            now = time.monotonic()
+            for since in busy_since:
+                if since is not None and now - since > self.branch_timeout:
+                    cancel.set()
+                    # Give healthy workers (all of whom poll the queue
+                    # between branches) a moment to drain and exit; the
+                    # stalled daemon thread is abandoned.
+                    deadline = time.monotonic() + 10 * _WATCHDOG_POLL_S
+                    for t in threads:
+                        t.join(max(0.0, deadline - time.monotonic()))
+                    return True
+            alive[0].join(_WATCHDOG_POLL_S)
 
     def _replay_branch(self, branch: np.ndarray, parent: np.ndarray, c: np.ndarray) -> None:
         """Topological replay of one branch: c[x] += c[parent[x]] per edge.
@@ -119,6 +244,8 @@ def parallel_matmul(
     threads: int,
     engine: Engine | None = None,
     plan: "KernelPlan | None" = None,
+    branch_timeout: float | None = None,
+    on_failure: str = "invalidate",
 ) -> np.ndarray:
     """Full CBM SpMM with the branch-parallel update stage.
 
@@ -128,12 +255,17 @@ def parallel_matmul(
     scaled operand come from the matrix's cached
     :class:`~repro.runtime.plan.KernelPlan` (pass ``plan`` to share an
     explicit one), so repeated calls pay no per-call schedule cost.
+
+    ``branch_timeout`` / ``on_failure`` are forwarded to the executor's
+    watchdog (see :class:`ThreadedUpdateExecutor`).
     """
     b = check_dense(b, name="b", ndim=2)
     if plan is None:
         plan = cbm.plan()
     c = plan.multiply(b, engine=engine)
-    executor = ThreadedUpdateExecutor(threads)
+    executor = ThreadedUpdateExecutor(
+        threads, branch_timeout=branch_timeout, on_failure=on_failure
+    )
     diag = cbm.diag if cbm.variant is Variant.DAD else None
     executor.run_update(cbm.tree, c, diag, branches=plan.branches)
     return c

@@ -1,0 +1,186 @@
+"""Deterministic fault injection ("chaos") for the reliability layer.
+
+Every helper here is seeded and reproducible: the test-suite uses them
+to *prove* the degradation paths — corrupted archive → ``IntegrityError``,
+mid-update worker death → ``ParallelError`` + invalidated buffer, worker
+stall → ``WatchdogTimeout``, NaN features → ``NumericalError``, corrupted
+tree/deltas → validation error or CSR fallback.  Nothing in this module
+is imported by the production kernels; it only *wraps or produces*
+corrupted inputs for them.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix
+from repro.parallel.executor import ThreadedUpdateExecutor
+
+
+class ChaosFault(RuntimeError):
+    """The injected failure itself (deliberately *not* a ReproError: the
+    executor must wrap arbitrary worker exceptions, not just library ones)."""
+
+
+# ---------------------------------------------------------------------------
+# Archive corruption
+# ---------------------------------------------------------------------------
+
+def corrupt_archive(
+    path, *, array: str = "delta_data", mode: str = "perturb", seed: int = 0
+) -> str:
+    """Tamper with one payload array of a saved CBM ``.npz`` archive.
+
+    The archive is rewritten with the *original* meta header (stale
+    checksums included), simulating bit-rot of the payload after the
+    header was written.  Modes:
+
+    ``perturb``
+        Deterministically alter a handful of values in ``array``.
+    ``zero``
+        Zero the whole payload array.
+    ``drop``
+        Remove the payload array from the archive entirely.
+
+    Returns the name of the corrupted array.
+    """
+    with np.load(path) as archive:
+        arrays = {name: archive[name] for name in archive.files}
+    if array not in arrays:
+        raise KeyError(f"archive has no payload {array!r}: {sorted(arrays)}")
+    if mode == "perturb":
+        target = arrays[array].copy()
+        rng = np.random.default_rng(seed)
+        flat = target.reshape(-1)
+        if flat.size == 0:
+            raise ValueError(f"cannot perturb empty payload {array!r}")
+        idx = rng.integers(0, flat.size, size=min(4, flat.size))
+        if np.issubdtype(target.dtype, np.integer):
+            flat[idx] = flat[idx] + 1 + rng.integers(0, 7, size=idx.size)
+        else:
+            flat[idx] = flat[idx] + 1.5
+        arrays[array] = target
+    elif mode == "zero":
+        arrays[array] = np.zeros_like(arrays[array])
+    elif mode == "drop":
+        del arrays[array]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    np.savez_compressed(path, **arrays)
+    return array
+
+
+def read_archive_meta(path) -> dict:
+    """The JSON meta header of a CBM archive (for tests/inspection)."""
+    with np.load(path) as archive:
+        return json.loads(bytes(archive["meta"]).decode("utf-8"))
+
+
+# ---------------------------------------------------------------------------
+# In-memory structure corruption
+# ---------------------------------------------------------------------------
+
+def inject_nan(x: np.ndarray, *, fraction: float = 0.01, seed: int = 0) -> np.ndarray:
+    """A copy of ``x`` with a deterministic sprinkle of NaNs."""
+    x = np.array(x, dtype=np.result_type(x.dtype, np.float32), copy=True)
+    rng = np.random.default_rng(seed)
+    flat = x.reshape(-1)
+    count = max(1, int(flat.size * fraction))
+    flat[rng.integers(0, flat.size, size=count)] = np.nan
+    return x
+
+
+def corrupt_deltas(cbm: CBMMatrix, *, mode: str = "nan", seed: int = 0) -> None:
+    """Corrupt the delta values of ``cbm`` **in place** (plans invalidated).
+
+    ``nan`` poisons a few stored deltas with NaN (detectable by the
+    guard's output scan); ``sign`` flips delta signs (numerically wrong
+    but structurally valid — exactly the class of corruption only a
+    reference product can catch, which is why the guard validates
+    against finite-ness and the chaos tests compare to CSR).
+    """
+    data = cbm.delta.data
+    if data.size == 0:
+        raise ValueError("matrix has no deltas to corrupt")
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, data.size, size=max(1, data.size // 8))
+    if mode == "nan":
+        data[idx] = np.nan
+    elif mode == "sign":
+        data[idx] = -data[idx]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    cbm.invalidate()
+
+
+def corrupt_tree_parents(parent: np.ndarray, *, mode: str = "cycle", seed: int = 0) -> np.ndarray:
+    """A corrupted copy of a compression-tree parent array.
+
+    ``cycle`` wires two rows into a 2-cycle; ``out_of_range`` points a
+    row at a non-existent parent.  Constructing a
+    :class:`~repro.core.tree.CompressionTree` from the result must raise
+    :class:`~repro.errors.TreeError`.
+    """
+    bad = np.array(parent, copy=True)
+    if bad.size < 2:
+        raise ValueError("need at least two rows to corrupt a tree")
+    rng = np.random.default_rng(seed)
+    x = int(rng.integers(0, bad.size - 1))
+    if mode == "cycle":
+        bad[x], bad[x + 1] = x + 1, x
+    elif mode == "out_of_range":
+        bad[x] = bad.size + 17
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return bad
+
+
+# ---------------------------------------------------------------------------
+# Executor fault injection
+# ---------------------------------------------------------------------------
+
+class ChaosExecutor(ThreadedUpdateExecutor):
+    """Update-stage executor that kills or stalls a chosen branch replay.
+
+    ``fail_on_branch=k`` raises :class:`ChaosFault` on the k-th branch a
+    worker picks up (0-based, in pickup order — deterministic because
+    the counter is shared and locked).  ``stall_on_branch=k`` makes that
+    replay hang for ``stall_seconds`` instead, cooperatively polling the
+    run's cancel event so test threads exit once the watchdog trips.
+    """
+
+    def __init__(
+        self,
+        threads: int,
+        *,
+        fail_on_branch: int | None = None,
+        stall_on_branch: int | None = None,
+        stall_seconds: float = 30.0,
+        **kwargs,
+    ):
+        super().__init__(threads, **kwargs)
+        self.fail_on_branch = fail_on_branch
+        self.stall_on_branch = stall_on_branch
+        self.stall_seconds = stall_seconds
+        self._picked = 0
+        self._pick_lock = threading.Lock()
+
+    def _replay_branch(self, branch: np.ndarray, parent: np.ndarray, c: np.ndarray) -> None:
+        with self._pick_lock:
+            k = self._picked
+            self._picked += 1
+        if k == self.fail_on_branch:
+            raise ChaosFault(f"chaos: injected worker death on branch #{k}")
+        if k == self.stall_on_branch:
+            cancel = getattr(self, "_cancel", None)
+            deadline = time.monotonic() + self.stall_seconds
+            while time.monotonic() < deadline:
+                if cancel is not None and cancel.is_set():
+                    return  # branch abandoned mid-replay, like a hung worker
+                time.sleep(0.005)
+            return
+        super()._replay_branch(branch, parent, c)

@@ -1,0 +1,343 @@
+"""Guarded execution of CBM products: validate, detect, fall back.
+
+The CBM fast path (plan/execute runtime + branch-parallel update stage)
+mutates buffers in place and trusts the compression tree; a corrupted
+structure, a failed worker, or a numerical blow-up would otherwise
+surface as a *silently wrong* product.  :class:`GuardedKernel` wraps
+``KernelPlan.execute`` / ``parallel_matmul`` with three layers:
+
+1. **input validation** — dense shape checks up front, plus a *lazy*
+   non-finite scan of the operand: NaN/Inf in the features propagates
+   into the product, so the happy path pays only the output scan, and
+   the operand is inspected when a failure needs attributing (a
+   corrupted input can never be repaired by a format fallback, so it
+   raises :class:`~repro.errors.NumericalError` instead of degrading);
+2. **output validation** — shape-drift and non-finite detection on the
+   CBM result;
+3. **graceful degradation** — any :class:`~repro.errors.ReproError`
+   from the fast path (worker death, watchdog trip, corrupted
+   tree/deltas, NaN blow-up) triggers a fallback chain: the per-call
+   reference path ``matmul_unplanned``, then the CSR reference product
+   ``a @ x`` against the ``source`` matrix if one was provided.  Each
+   fallback is validated the same way, emits a structured
+   :class:`FallbackWarning`, and bumps the :class:`GuardStats` counter,
+   so callers always receive a *correct* result or a typed error —
+   never a quietly wrong buffer.
+
+``strict=True`` flips the policy: the first failure re-raises instead
+of degrading (serving deployments that prefer fail-fast over fail-soft).
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix
+from repro.errors import NumericalError, ReproError, ShapeError
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import Engine, spmm, spmv
+from repro.utils.validation import all_finite, check_dense
+
+
+class FallbackWarning(UserWarning):
+    """Emitted when a guarded product degrades to a reference path."""
+
+
+@dataclass
+class GuardStats:
+    """Counters exposed by :class:`GuardedKernel` (CLI/bench read these)."""
+
+    calls: int = 0
+    fallbacks: int = 0
+    input_rejections: int = 0
+    reasons: Counter = field(default_factory=Counter)
+
+    def record_fallback(self, exc: BaseException) -> None:
+        self.fallbacks += 1
+        self.reasons[type(exc).__name__] += 1
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "fallbacks": self.fallbacks,
+            "input_rejections": self.input_rejections,
+            "reasons": dict(self.reasons),
+        }
+
+
+class GuardedKernel:
+    """Validated, fallback-protected products for one CBM matrix.
+
+    Parameters
+    ----------
+    cbm:
+        The matrix whose planned fast path is being guarded.
+    source:
+        Optional CSR reference of the *same product* (e.g. the
+        normalised adjacency the CBM was compressed from).  It is the
+        last rung of the fallback chain and the only one that survives
+        corruption of the CBM structures themselves.
+    strict:
+        Re-raise the first failure instead of falling back.
+    threads:
+        When set, products run through
+        :func:`~repro.parallel.executor.parallel_matmul` (branch-parallel
+        update stage) instead of ``KernelPlan.execute``.
+    branch_timeout:
+        Watchdog limit per branch for the threaded path (seconds).
+    validate_inputs / validate_outputs:
+        Toggle the non-finite scans (shape checks always run).  The
+        input scan is lazy — it runs only while attributing a failure,
+        so the happy path costs one output scan per product.
+    """
+
+    def __init__(
+        self,
+        cbm: CBMMatrix,
+        *,
+        source: CSRMatrix | None = None,
+        strict: bool = False,
+        threads: int | None = None,
+        branch_timeout: float | None = None,
+        update: str = "level",
+        scaling: str = "deferred",
+        validate_inputs: bool = True,
+        validate_outputs: bool = True,
+    ):
+        self.cbm = cbm
+        self.source = source
+        self.strict = strict
+        self.threads = threads
+        self.branch_timeout = branch_timeout
+        self.update = update
+        self.scaling = scaling
+        self.validate_inputs = validate_inputs
+        self.validate_outputs = validate_outputs
+        self.stats = GuardStats()
+        # Memoised plan for the serial path: the (update, scaling) pair
+        # is fixed per guard, and the lock + dict handling in
+        # ``CBMMatrix.plan`` is measurable against the <5% overhead
+        # budget.  The fingerprint check keeps ``CBMMatrix.invalidate``
+        # honoured — a stale plan would serve its pre-mutation scaled
+        # operand and mask corruption from the guard entirely.
+        self._plan = None
+
+    def _get_plan(self):
+        plan = self._plan
+        if plan is None or not plan.matches(self.cbm):
+            plan = self._plan = self.cbm.plan(update=self.update, scaling=self.scaling)
+        return plan
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.cbm.shape[0]
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return self.cbm.shape
+
+    # ------------------------------------------------------------------
+    def _reject_bad_input(self, x: np.ndarray, name: str, cause: ReproError) -> None:
+        """Attribute a failure to a corrupted operand, if it is one.
+
+        Input validation is *lazy*: the happy path pays only the output
+        scan (NaN/Inf in the operand propagates into the product), and
+        the operand is scanned only once a failure needs attributing —
+        a corrupted input can never be repaired by a format fallback,
+        so it raises :class:`~repro.errors.NumericalError` directly.
+        """
+        if self.validate_inputs and not all_finite(x):
+            self.stats.input_rejections += 1
+            raise NumericalError(
+                f"{name} contains NaN/Inf values; no format fallback can "
+                "repair a corrupted operand — sanitise the features upstream"
+            ) from cause
+
+    def _check_output(self, c: np.ndarray, cols: tuple) -> None:
+        expected = (self.cbm.shape[0], *cols)
+        if c.shape != expected:
+            raise ShapeError.mismatch("guarded product output", expected, c.shape)
+        if not self.validate_outputs:
+            return
+        # Inlined fast path of ``all_finite``: the kernel output is a
+        # fresh contiguous float array, so one BLAS self-dot settles the
+        # common case; ``all_finite`` re-checks exactly (the probe also
+        # trips on benign overflow of large finite values).
+        flat = c.reshape(-1)
+        if np.isfinite(np.dot(flat, flat)):
+            return
+        if not all_finite(c):
+            raise NumericalError(
+                "CBM product produced NaN/Inf from finite inputs "
+                "(corrupted deltas/tree or numerical blow-up)"
+            )
+
+    # ------------------------------------------------------------------
+    def matmul(
+        self, b: np.ndarray, *, out: np.ndarray | None = None, engine: Engine | None = None
+    ) -> np.ndarray:
+        """Guarded ``M @ b`` for a dense 2-D operand ``b``."""
+        b = check_dense(b, name="b", ndim=2)
+        if b.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("guarded matmul", self.shape, b.shape)
+        self.stats.calls += 1
+        try:
+            if self.threads is not None:
+                from repro.parallel.executor import parallel_matmul
+
+                c = parallel_matmul(
+                    self.cbm,
+                    b,
+                    threads=self.threads,
+                    engine=engine,
+                    branch_timeout=self.branch_timeout,
+                )
+            else:
+                c = self._get_plan().execute(b, out=out, engine=engine)
+            self._check_output(c, (b.shape[1],))
+            return c
+        except ReproError as exc:
+            return self._fallback_matmul(b, exc, out=out, engine=engine)
+
+    def matvec(self, v: np.ndarray, *, engine: Engine | None = None) -> np.ndarray:
+        """Guarded ``M @ v`` for a dense 1-D vector ``v``."""
+        v = check_dense(v, name="v", ndim=1)
+        if v.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("guarded matvec", self.shape, v.shape)
+        self.stats.calls += 1
+        try:
+            u = self._get_plan().execute_vec(v, engine=engine)
+            self._check_output(u, ())
+            return u
+        except ReproError as exc:
+            return self._fallback_matvec(v, exc, engine=engine)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    def _degrade(self, exc: ReproError) -> None:
+        """Record the failure; in strict mode re-raise it instead."""
+        if self.strict:
+            raise exc
+        self._plan = None
+        self.stats.record_fallback(exc)
+        warnings.warn(
+            FallbackWarning(
+                f"CBM fast path failed ({type(exc).__name__}: {exc}); "
+                "degrading to the CSR reference product "
+                f"(fallback #{self.stats.fallbacks} on this kernel)"
+            ),
+            stacklevel=4,
+        )
+
+    def _fallback_matmul(
+        self,
+        b: np.ndarray,
+        exc: ReproError,
+        *,
+        out: np.ndarray | None,
+        engine: Engine | None,
+    ) -> np.ndarray:
+        self._reject_bad_input(b, "operand b", exc)
+        self._degrade(exc)
+        c: np.ndarray | None = None
+        try:
+            c = self.cbm.matmul_unplanned(b, update=self.update, scaling=self.scaling)
+            if self.validate_outputs and not all_finite(c):
+                c = None
+        except ReproError:
+            c = None
+        if c is None and self.source is not None:
+            c = spmm(self.source, b, engine=engine)
+            if self.validate_outputs and not all_finite(c):
+                raise NumericalError(
+                    "CSR reference product is also non-finite; the stored "
+                    "matrix or the operand is corrupted beyond recovery"
+                ) from exc
+        if c is None:
+            raise exc
+        if out is not None:
+            out[...] = c
+            return out
+        return c
+
+    def _fallback_matvec(
+        self, v: np.ndarray, exc: ReproError, *, engine: Engine | None
+    ) -> np.ndarray:
+        self._reject_bad_input(v, "operand v", exc)
+        self._degrade(exc)
+        u: np.ndarray | None = None
+        try:
+            u = self.cbm.matvec_unplanned(v, update=self.update, scaling=self.scaling)
+            if self.validate_outputs and not all_finite(u):
+                u = None
+        except ReproError:
+            u = None
+        if u is None and self.source is not None:
+            u = spmv(self.source, v, engine=engine)
+            if self.validate_outputs and not all_finite(u):
+                raise NumericalError(
+                    "CSR reference product is also non-finite; the stored "
+                    "matrix or the operand is corrupted beyond recovery"
+                ) from exc
+        if u is None:
+            raise exc
+        return u
+
+    def describe(self) -> dict:
+        """Guard configuration + counters (CLI ``--guarded`` prints this)."""
+        return {
+            "strict": self.strict,
+            "threads": self.threads,
+            "branch_timeout": self.branch_timeout,
+            "has_source": self.source is not None,
+            **self.stats.as_dict(),
+        }
+
+
+class GuardedAdjacency:
+    """:class:`~repro.gnn.adjacency.AdjacencyOp` facade over a guard.
+
+    Lets every GNN model in :mod:`repro.gnn` run its ``Â @ X`` products
+    through the guarded kernel unchanged — the serving-path integration
+    of the reliability layer.
+    """
+
+    supports_out = False
+
+    def __init__(self, guard: GuardedKernel):
+        self.guard = guard
+
+    @classmethod
+    def from_graph(
+        cls, a: CSRMatrix, *, alpha: int = 0, strict: bool = False, **guard_kwargs
+    ) -> "GuardedAdjacency":
+        """Compress ``Â`` to CBM(DAD) and keep the CSR ``Â`` as fallback."""
+        from repro.core.builder import build_cbm
+        from repro.core.cbm import Variant
+        from repro.graphs.laplacian import gcn_normalization, normalized_adjacency
+
+        binary, diag = gcn_normalization(a)
+        cbm, _ = build_cbm(binary, alpha=alpha, variant=Variant.DAD, diag=diag)
+        source = normalized_adjacency(a)
+        return cls(GuardedKernel(cbm, source=source, strict=strict, **guard_kwargs))
+
+    @property
+    def n(self) -> int:
+        return self.guard.n
+
+    def prepare(self, *, width: int | None = None, dtype=np.float32) -> None:
+        plan = self.guard.cbm.plan(update=self.guard.update, scaling=self.guard.scaling)
+        if width is not None:
+            plan.pool.warm((self.n, int(width)), dtype, count=1)
+
+    def matmul(self, x: np.ndarray) -> np.ndarray:
+        return self.guard.matmul(x.astype(np.float32, copy=False))
+
+    def memory_bytes(self) -> int:
+        return self.guard.cbm.memory_bytes()

@@ -56,3 +56,25 @@ def check_nonnegative(value: float, name: str) -> None:
 def check_axis_index(index: int, size: int, name: str = "index") -> None:
     if not 0 <= index < size:
         raise IndexError(f"{name} {index} out of range for size {size}")
+
+
+def all_finite(arr: np.ndarray) -> bool:
+    """True when ``arr`` contains no NaN/Inf.
+
+    Fast path: one BLAS self-dot — any NaN propagates into it and any
+    ±Inf squares to +Inf, so a finite dot proves a finite array.  A
+    non-finite dot can also mean benign overflow of large finite
+    values, so only then is the exact elementwise scan run.  Integer
+    arrays are finite by construction.
+    """
+    arr = np.asarray(arr)
+    if not np.issubdtype(arr.dtype, np.inexact):
+        return True
+    if arr.flags.c_contiguous or arr.flags.f_contiguous:
+        flat = arr.reshape(-1)
+        probe = np.dot(flat, flat)
+    else:
+        probe = arr.sum(dtype=np.float64)
+    if np.isfinite(probe):
+        return True
+    return bool(np.isfinite(arr).all())
