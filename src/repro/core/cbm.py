@@ -195,6 +195,18 @@ class CBMMatrix:
             self._plans.clear()
             self._scaled_delta = None
 
+    def drain_workspaces(self) -> int:
+        """Free the idle workspace buffers of every cached plan.
+
+        Returns the number of bytes released.  Used when the matrix is
+        being retired (the serving layer hot-swapped its archive): the
+        plans stay usable for in-flight calls, but their pooled buffers
+        should not outlive the matrix's serving life.
+        """
+        with self._plan_lock:
+            plans = list(self._plans.values())
+        return sum(p.pool.drain() for p in plans)
+
     # ------------------------------------------------------------------
     def matmul(
         self,

@@ -93,3 +93,34 @@ class CheckpointError(ReproError, RuntimeError):
 
 class GNNError(ReproError, ValueError):
     """Invalid GNN model configuration or input."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for the in-process inference service (:mod:`repro.serving`)."""
+
+
+class OverloadError(ServingError):
+    """The service shed this request: the bounded queue is full.
+
+    ``retry_after`` is the service's estimate (seconds) of when capacity
+    should be available again, derived from the queue depth and the
+    recent per-request service time — clients back off at least that long.
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 0.0):
+        super().__init__(message)
+        self.retry_after = float(retry_after)
+
+
+class DeadlineExceeded(ServingError):
+    """A request's deadline budget expired before a result was produced.
+
+    Raised by the service worker (never left hanging): the request either
+    timed out while queued, or its remaining budget was exhausted by the
+    kernel attempts and backoff sleeps.
+    """
+
+
+class ServiceUnavailable(ServingError):
+    """The service is not accepting requests (not started, draining, or
+    stopped)."""

@@ -136,11 +136,26 @@ class CBMAdjacency:
 
 
 def make_operator(
-    a: CSRMatrix, kind: Literal["csr", "cbm"], *, alpha: int = 0
+    a: CSRMatrix, kind: Literal["csr", "cbm", "guarded"], *, alpha: int = 0, **guard_kwargs
 ) -> AdjacencyOp:
-    """Factory used by benchmarks: same graph, either representation."""
+    """Factory used by benchmarks and the serving layer: same graph,
+    any representation.
+
+    ``"guarded"`` wraps the CBM form in the reliability layer's
+    validate-then-fallback kernel (extra keyword arguments are forwarded
+    to :class:`~repro.reliability.guard.GuardedKernel`); the GNN forwards
+    are representation-agnostic, so models run unchanged on any of the
+    three.
+    """
     if kind == "csr":
         return CSRAdjacency.from_graph(a)
     if kind == "cbm":
         return CBMAdjacency.from_graph(a, alpha=alpha)
-    raise ValueError(f"unknown adjacency kind {kind!r}; expected 'csr' or 'cbm'")
+    if kind == "guarded":
+        # Local import: repro.reliability imports this module's protocol.
+        from repro.reliability import GuardedAdjacency
+
+        return GuardedAdjacency.from_graph(a, alpha=alpha, **guard_kwargs)
+    raise ValueError(
+        f"unknown adjacency kind {kind!r}; expected 'csr', 'cbm', or 'guarded'"
+    )

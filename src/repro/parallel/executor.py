@@ -115,6 +115,7 @@ class ThreadedUpdateExecutor:
         diag: np.ndarray | None = None,
         *,
         branches: list[np.ndarray] | None = None,
+        deadline: float | None = None,
     ) -> None:
         """Apply the update stage to ``c`` in place, branch-parallel.
 
@@ -122,13 +123,22 @@ class ThreadedUpdateExecutor:
         fused into the branch replay's final pass per row batch).
         ``branches`` lets callers reuse a precomputed branch decomposition
         (e.g. from a :class:`~repro.runtime.plan.KernelPlan`) instead of
-        re-deriving it from the tree per call.
+        re-deriving it from the tree per call.  ``deadline`` is an
+        absolute :func:`time.monotonic` instant: once it passes, the whole
+        run is cancelled the same way a branch stall is — ``branch_timeout``
+        bounds one branch, ``deadline`` bounds the request (the serving
+        layer propagates each request's remaining budget here).
 
         On any worker failure or watchdog trip, ``c`` is restored or
         invalidated per ``on_failure`` (see the module docstring) and a
         :class:`~repro.errors.ParallelError` /
         :class:`~repro.errors.WatchdogTimeout` is raised — the buffer is
         never left half-updated.
+
+        One executor instance may run several ``run_update`` calls
+        concurrently (the serving layer shares one per adjacency): all
+        per-run state — queue, cancel event, worker slots — is local to
+        the call.
         """
         if branches is None:
             branches = tree.branches()
@@ -148,7 +158,6 @@ class ThreadedUpdateExecutor:
 
         parent = tree.parent
         cancel = threading.Event()
-        self._cancel = cancel  # chaos/fault-injection subclasses poll this
         # busy_since[i] is the monotonic time worker i started its current
         # branch, or None while idle; the watchdog reads it without a lock
         # (a torn read at worst delays the trip by one poll interval).
@@ -162,7 +171,7 @@ class ThreadedUpdateExecutor:
                         return
                     busy_since[slot] = time.monotonic()
                     try:
-                        self._replay_branch(item, parent, c)
+                        self._replay_branch(item, parent, c, cancel)
                     finally:
                         busy_since[slot] = None
             except BaseException as exc:  # noqa: BLE001 - propagated below
@@ -175,21 +184,26 @@ class ThreadedUpdateExecutor:
         ]
         for t in threads:
             t.start()
-        stalled = self._join_with_watchdog(threads, busy_since, cancel)
-        if stalled or errors:
+        tripped = self._join_with_watchdog(threads, busy_since, cancel, deadline)
+        if tripped or errors:
             if snapshot is not None:
                 c[...] = snapshot
             else:
                 _invalidate(c)
-            if stalled:
+            disposition = "restored" if snapshot is not None else "invalidated"
+            if tripped == "deadline":
+                raise WatchdogTimeout(
+                    "update stage cancelled: the request deadline passed "
+                    f"mid-run; output buffer {disposition}"
+                )
+            if tripped == "stall":
                 raise WatchdogTimeout(
                     f"update-stage worker exceeded branch_timeout="
-                    f"{self.branch_timeout}s; output buffer "
-                    f"{'restored' if snapshot is not None else 'invalidated'}"
+                    f"{self.branch_timeout}s; output buffer {disposition}"
                 )
             raise ParallelError(
                 f"update-stage worker failed: {errors[0]!r}; output buffer "
-                f"{'restored' if snapshot is not None else 'invalidated'}"
+                f"{disposition}"
             ) from errors[0]
         if diag is not None:
             c *= np.asarray(diag)[:, None]
@@ -199,37 +213,54 @@ class ThreadedUpdateExecutor:
         threads: list[threading.Thread],
         busy_since: list[float | None],
         cancel: threading.Event,
-    ) -> bool:
-        """Join workers; return True if the watchdog declared a stall."""
-        if self.branch_timeout is None:
+        deadline: float | None = None,
+    ) -> str | None:
+        """Join workers; return ``"stall"`` / ``"deadline"`` on a trip."""
+        if self.branch_timeout is None and deadline is None:
             for t in threads:
                 t.join()
-            return False
+            return None
+
+        def cancel_and_drain() -> None:
+            cancel.set()
+            # Give healthy workers (all of whom poll the queue between
+            # branches) a moment to drain and exit; a genuinely stalled
+            # daemon thread is abandoned.
+            drain_by = time.monotonic() + 10 * _WATCHDOG_POLL_S
+            for t in threads:
+                t.join(max(0.0, drain_by - time.monotonic()))
+
         while True:
             alive = [t for t in threads if t.is_alive()]
             if not alive:
-                return False
+                return None
             now = time.monotonic()
-            for since in busy_since:
-                if since is not None and now - since > self.branch_timeout:
-                    cancel.set()
-                    # Give healthy workers (all of whom poll the queue
-                    # between branches) a moment to drain and exit; the
-                    # stalled daemon thread is abandoned.
-                    deadline = time.monotonic() + 10 * _WATCHDOG_POLL_S
-                    for t in threads:
-                        t.join(max(0.0, deadline - time.monotonic()))
-                    return True
+            if deadline is not None and now > deadline:
+                cancel_and_drain()
+                return "deadline"
+            if self.branch_timeout is not None:
+                for since in busy_since:
+                    if since is not None and now - since > self.branch_timeout:
+                        cancel_and_drain()
+                        return "stall"
             alive[0].join(_WATCHDOG_POLL_S)
 
-    def _replay_branch(self, branch: np.ndarray, parent: np.ndarray, c: np.ndarray) -> None:
+    def _replay_branch(
+        self,
+        branch: np.ndarray,
+        parent: np.ndarray,
+        c: np.ndarray,
+        cancel: threading.Event | None = None,
+    ) -> None:
         """Topological replay of one branch: c[x] += c[parent[x]] per edge.
 
         The branch array is already in topological order (tree.branches()
         guarantees it); the first entry is the branch root (no update).
         Each iteration is one row axpy — exactly the paper's inner loop —
         and NumPy releases the GIL inside it, so branches overlap across
-        workers on multi-core hosts.
+        workers on multi-core hosts.  ``cancel`` is this run's cancel
+        event (fault-injection subclasses poll it while stalling); it is
+        passed per call because one executor may serve concurrent runs.
         """
         for x in branch[1:]:
             c[x] += c[parent[x]]
@@ -245,7 +276,9 @@ def parallel_matmul(
     engine: Engine | None = None,
     plan: "KernelPlan | None" = None,
     branch_timeout: float | None = None,
+    deadline: float | None = None,
     on_failure: str = "invalidate",
+    executor_factory=None,
 ) -> np.ndarray:
     """Full CBM SpMM with the branch-parallel update stage.
 
@@ -256,16 +289,17 @@ def parallel_matmul(
     :class:`~repro.runtime.plan.KernelPlan` (pass ``plan`` to share an
     explicit one), so repeated calls pay no per-call schedule cost.
 
-    ``branch_timeout`` / ``on_failure`` are forwarded to the executor's
-    watchdog (see :class:`ThreadedUpdateExecutor`).
+    ``branch_timeout`` / ``deadline`` / ``on_failure`` are forwarded to
+    the executor's watchdog (see :class:`ThreadedUpdateExecutor`);
+    ``executor_factory`` substitutes the executor class itself (the chaos
+    harness injects failing/stalling executors through it).
     """
     b = check_dense(b, name="b", ndim=2)
     if plan is None:
         plan = cbm.plan()
     c = plan.multiply(b, engine=engine)
-    executor = ThreadedUpdateExecutor(
-        threads, branch_timeout=branch_timeout, on_failure=on_failure
-    )
+    factory = executor_factory if executor_factory is not None else ThreadedUpdateExecutor
+    executor = factory(threads, branch_timeout=branch_timeout, on_failure=on_failure)
     diag = cbm.diag if cbm.variant is Variant.DAD else None
-    executor.run_update(cbm.tree, c, diag, branches=plan.branches)
+    executor.run_update(cbm.tree, c, diag, branches=plan.branches, deadline=deadline)
     return c

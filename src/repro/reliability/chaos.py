@@ -169,18 +169,87 @@ class ChaosExecutor(ThreadedUpdateExecutor):
         self._picked = 0
         self._pick_lock = threading.Lock()
 
-    def _replay_branch(self, branch: np.ndarray, parent: np.ndarray, c: np.ndarray) -> None:
+    def _replay_branch(
+        self,
+        branch: np.ndarray,
+        parent: np.ndarray,
+        c: np.ndarray,
+        cancel: threading.Event | None = None,
+    ) -> None:
         with self._pick_lock:
             k = self._picked
             self._picked += 1
         if k == self.fail_on_branch:
             raise ChaosFault(f"chaos: injected worker death on branch #{k}")
         if k == self.stall_on_branch:
-            cancel = getattr(self, "_cancel", None)
             deadline = time.monotonic() + self.stall_seconds
             while time.monotonic() < deadline:
                 if cancel is not None and cancel.is_set():
                     return  # branch abandoned mid-replay, like a hung worker
                 time.sleep(0.005)
             return
-        super()._replay_branch(branch, parent, c)
+        super()._replay_branch(branch, parent, c, cancel)
+
+
+class ChaosExecutorFactory:
+    """Seeded executor factory that makes a fraction of runs fail or stall.
+
+    Drop-in for the ``executor_factory`` hooks of
+    :func:`~repro.parallel.executor.parallel_matmul` and
+    :class:`~repro.reliability.guard.GuardedKernel`: each time the fast
+    path builds an update-stage executor, a shared seeded RNG decides
+    whether this run gets a healthy :class:`ThreadedUpdateExecutor`, one
+    that kills a worker (:class:`ChaosExecutor` ``fail_on_branch=0``), or
+    one that stalls a branch until the watchdog trips.  ``enabled`` can
+    be flipped off mid-soak (the recovery phase), and the counters let
+    the harness report exactly how many faults it injected.
+    """
+
+    def __init__(
+        self,
+        *,
+        fail_rate: float = 0.0,
+        stall_rate: float = 0.0,
+        stall_seconds: float = 30.0,
+        seed: int = 0,
+    ):
+        if not 0.0 <= fail_rate + stall_rate <= 1.0:
+            raise ValueError(
+                f"fail_rate + stall_rate must lie in [0, 1], got "
+                f"{fail_rate} + {stall_rate}"
+            )
+        self.fail_rate = fail_rate
+        self.stall_rate = stall_rate
+        self.stall_seconds = stall_seconds
+        self.enabled = True
+        self.built = 0
+        self.injected_failures = 0
+        self.injected_stalls = 0
+        self._rng = np.random.default_rng(seed)
+        self._lock = threading.Lock()
+
+    def __call__(self, threads: int, **kwargs) -> ThreadedUpdateExecutor:
+        with self._lock:
+            self.built += 1
+            draw = float(self._rng.random())
+            if self.enabled and draw < self.fail_rate:
+                self.injected_failures += 1
+                return ChaosExecutor(threads, fail_on_branch=0, **kwargs)
+            if self.enabled and draw < self.fail_rate + self.stall_rate:
+                self.injected_stalls += 1
+                return ChaosExecutor(
+                    threads,
+                    stall_on_branch=0,
+                    stall_seconds=self.stall_seconds,
+                    **kwargs,
+                )
+        return ThreadedUpdateExecutor(threads, **kwargs)
+
+    def describe(self) -> dict:
+        return {
+            "built": self.built,
+            "injected_failures": self.injected_failures,
+            "injected_stalls": self.injected_stalls,
+            "fail_rate": self.fail_rate,
+            "stall_rate": self.stall_rate,
+        }

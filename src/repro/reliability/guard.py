@@ -30,6 +30,7 @@ of degrading (serving deployments that prefer fail-fast over fail-soft).
 
 from __future__ import annotations
 
+import threading
 import warnings
 from collections import Counter
 from dataclasses import dataclass, field
@@ -49,24 +50,68 @@ class FallbackWarning(UserWarning):
 
 @dataclass
 class GuardStats:
-    """Counters exposed by :class:`GuardedKernel` (CLI/bench read these)."""
+    """Counters exposed by :class:`GuardedKernel` (CLI/bench read these).
+
+    Thread-safe: every mutation happens under an internal lock, because
+    the serving layer shares one ``GuardStats`` across request-scoped
+    guards and reads it concurrently (circuit-breaker failure rates,
+    health endpoints).  The single-threaded API is unchanged — the plain
+    counter attributes remain readable directly; :meth:`snapshot` gives a
+    consistent point-in-time copy when several counters must agree.
+    """
 
     calls: int = 0
     fallbacks: int = 0
     input_rejections: int = 0
+    warnings_suppressed: int = 0
     reasons: Counter = field(default_factory=Counter)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
-    def record_fallback(self, exc: BaseException) -> None:
-        self.fallbacks += 1
-        self.reasons[type(exc).__name__] += 1
+    def record_call(self) -> None:
+        with self._lock:
+            self.calls += 1
+
+    def record_input_rejection(self) -> None:
+        with self._lock:
+            self.input_rejections += 1
+
+    def record_fallback(self, exc: BaseException) -> int:
+        """Count a fallback; return this reason's occurrence count (for
+        the warning deduplication in :meth:`GuardedKernel._degrade`)."""
+        reason = type(exc).__name__
+        with self._lock:
+            self.fallbacks += 1
+            self.reasons[reason] += 1
+            return self.reasons[reason]
+
+    def record_suppressed_warning(self) -> None:
+        with self._lock:
+            self.warnings_suppressed += 1
+
+    def snapshot(self) -> dict:
+        """Consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "calls": self.calls,
+                "fallbacks": self.fallbacks,
+                "input_rejections": self.input_rejections,
+                "warnings_suppressed": self.warnings_suppressed,
+                "reasons": dict(self.reasons),
+            }
+
+    def reset(self) -> None:
+        """Zero every counter (the serving layer resets between phases)."""
+        with self._lock:
+            self.calls = 0
+            self.fallbacks = 0
+            self.input_rejections = 0
+            self.warnings_suppressed = 0
+            self.reasons.clear()
 
     def as_dict(self) -> dict:
-        return {
-            "calls": self.calls,
-            "fallbacks": self.fallbacks,
-            "input_rejections": self.input_rejections,
-            "reasons": dict(self.reasons),
-        }
+        return self.snapshot()
 
 
 class GuardedKernel:
@@ -89,6 +134,27 @@ class GuardedKernel:
         update stage) instead of ``KernelPlan.execute``.
     branch_timeout:
         Watchdog limit per branch for the threaded path (seconds).
+    deadline:
+        Optional absolute :func:`time.monotonic` deadline forwarded to
+        the threaded executor's watchdog: the whole update stage is
+        cancelled (buffer restored/invalidated) once it passes, so a
+        per-request budget bounds the fast path instead of one slow
+        branch blocking the queue.  The serving layer sets this on its
+        request-scoped guards.
+    executor_factory:
+        Callable with the :class:`~repro.parallel.executor.ThreadedUpdateExecutor`
+        constructor signature used to build the threaded-path executor.
+        Defaults to the real executor; the chaos soak harness swaps in
+        fault-injecting ones without monkeypatching.
+    stats:
+        Share an existing (thread-safe) :class:`GuardStats` instead of
+        creating a private one — the serving layer aggregates every
+        request-scoped guard of an adjacency into one counter set.
+    on_degrade:
+        Optional callable invoked with the triggering exception each time
+        the guard falls back (never in strict mode).  The serving layer's
+        circuit breaker listens here: an internally repaired failure is
+        still a fast-path failure signal.
     validate_inputs / validate_outputs:
         Toggle the non-finite scans (shape checks always run).  The
         input scan is lazy — it runs only while attributing a failure,
@@ -103,21 +169,28 @@ class GuardedKernel:
         strict: bool = False,
         threads: int | None = None,
         branch_timeout: float | None = None,
+        deadline: float | None = None,
+        executor_factory=None,
         update: str = "level",
         scaling: str = "deferred",
         validate_inputs: bool = True,
         validate_outputs: bool = True,
+        stats: GuardStats | None = None,
+        on_degrade=None,
     ):
         self.cbm = cbm
         self.source = source
         self.strict = strict
         self.threads = threads
         self.branch_timeout = branch_timeout
+        self.deadline = deadline
+        self.executor_factory = executor_factory
         self.update = update
         self.scaling = scaling
         self.validate_inputs = validate_inputs
         self.validate_outputs = validate_outputs
-        self.stats = GuardStats()
+        self.stats = stats if stats is not None else GuardStats()
+        self.on_degrade = on_degrade
         # Memoised plan for the serial path: the (update, scaling) pair
         # is fixed per guard, and the lock + dict handling in
         # ``CBMMatrix.plan`` is measurable against the <5% overhead
@@ -152,11 +225,16 @@ class GuardedKernel:
         so it raises :class:`~repro.errors.NumericalError` directly.
         """
         if self.validate_inputs and not all_finite(x):
-            self.stats.input_rejections += 1
-            raise NumericalError(
+            self.stats.record_input_rejection()
+            err = NumericalError(
                 f"{name} contains NaN/Inf values; no format fallback can "
                 "repair a corrupted operand — sanitise the features upstream"
-            ) from cause
+            )
+            # Marker for callers that must tell a client error from a
+            # path failure: the serving layer neither retries this nor
+            # counts it against the circuit breaker.
+            err.input_rejection = True
+            raise err from cause
 
     def _check_output(self, c: np.ndarray, cols: tuple) -> None:
         expected = (self.cbm.shape[0], *cols)
@@ -185,7 +263,7 @@ class GuardedKernel:
         b = check_dense(b, name="b", ndim=2)
         if b.shape[0] != self.shape[1]:
             raise ShapeError.mismatch("guarded matmul", self.shape, b.shape)
-        self.stats.calls += 1
+        self.stats.record_call()
         try:
             if self.threads is not None:
                 from repro.parallel.executor import parallel_matmul
@@ -196,6 +274,8 @@ class GuardedKernel:
                     threads=self.threads,
                     engine=engine,
                     branch_timeout=self.branch_timeout,
+                    deadline=self.deadline,
+                    executor_factory=self.executor_factory,
                 )
             else:
                 c = self._get_plan().execute(b, out=out, engine=engine)
@@ -209,7 +289,7 @@ class GuardedKernel:
         v = check_dense(v, name="v", ndim=1)
         if v.shape[0] != self.shape[1]:
             raise ShapeError.mismatch("guarded matvec", self.shape, v.shape)
-        self.stats.calls += 1
+        self.stats.record_call()
         try:
             u = self._get_plan().execute_vec(v, engine=engine)
             self._check_output(u, ())
@@ -221,19 +301,43 @@ class GuardedKernel:
 
     # ------------------------------------------------------------------
     def _degrade(self, exc: ReproError) -> None:
-        """Record the failure; in strict mode re-raise it instead."""
+        """Record the failure; in strict mode re-raise it instead.
+
+        Repeated failures with the same reason are deduplicated per
+        (adjacency, reason): the first occurrence warns verbatim, later
+        ones only bump ``stats.warnings_suppressed`` except at powers of
+        ten (10th, 100th, ...), where a one-line counter warning keeps
+        long soaks informed without emitting thousands of identical
+        messages.  The dedup state lives in the (shared) ``GuardStats``,
+        so the serving layer's request-scoped guards dedup together.
+        """
         if self.strict:
             raise exc
         self._plan = None
-        self.stats.record_fallback(exc)
-        warnings.warn(
-            FallbackWarning(
-                f"CBM fast path failed ({type(exc).__name__}: {exc}); "
-                "degrading to the CSR reference product "
-                f"(fallback #{self.stats.fallbacks} on this kernel)"
-            ),
-            stacklevel=4,
-        )
+        occurrence = self.stats.record_fallback(exc)
+        if self.on_degrade is not None:
+            self.on_degrade(exc)
+        reason = type(exc).__name__
+        if occurrence == 1:
+            warnings.warn(
+                FallbackWarning(
+                    f"CBM fast path failed ({reason}: {exc}); "
+                    "degrading to the CSR reference product "
+                    f"(fallback #{self.stats.fallbacks} on this kernel)"
+                ),
+                stacklevel=4,
+            )
+        elif occurrence in (10, 100, 1000, 10000, 100000, 1000000):
+            warnings.warn(
+                FallbackWarning(
+                    f"CBM fast path has now degraded {occurrence} times for "
+                    f"{reason} on this kernel (identical warnings suppressed; "
+                    "see GuardStats.reasons)"
+                ),
+                stacklevel=4,
+            )
+        else:
+            self.stats.record_suppressed_warning()
 
     def _fallback_matmul(
         self,

@@ -98,3 +98,18 @@ class WorkspacePool:
     def clear(self) -> None:
         with self._lock:
             self._free.clear()
+
+    def drain(self) -> int:
+        """Release every idle buffer to the allocator; return bytes freed.
+
+        Used when a plan is being retired (e.g. the serving layer
+        hot-swapped its CBM archive): the old plan may still be finishing
+        in-flight requests, but its idle workspace should not outlive it.
+        Buffers currently checked out are unaffected; a later
+        :meth:`release` would re-pool them, so callers retiring a pool
+        should also stop acquiring from / releasing into it.
+        """
+        with self._lock:
+            freed = sum(b.nbytes for free in self._free.values() for b in free)
+            self._free.clear()
+        return freed

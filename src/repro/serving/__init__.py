@@ -1,0 +1,37 @@
+"""In-process inference serving over the CBM runtime.
+
+The resilience tier of the reproduction: a thread-safe service with
+bounded-queue admission control, per-request deadline budgets propagated
+into the update-stage watchdog, retry with decorrelated-jitter backoff,
+a per-adjacency circuit breaker walking the CBM → guarded-CBM → CSR
+degradation ladder, and hot-swap of CRC-verified CBM archives.  See
+``docs/ARCHITECTURE.md`` ("Serving & resilience") for the state machine
+and the deadline propagation path.
+"""
+
+from repro.serving.backoff import RetryPolicy, is_transient
+from repro.serving.breaker import BreakerState, CircuitBreaker, ServeTier
+from repro.serving.deadline import Deadline
+from repro.serving.service import (
+    AdjacencySlot,
+    InferenceFuture,
+    InferenceService,
+    ServiceState,
+    ServiceStats,
+)
+from repro.serving.soak import run_soak
+
+__all__ = [
+    "AdjacencySlot",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "InferenceFuture",
+    "InferenceService",
+    "RetryPolicy",
+    "ServeTier",
+    "ServiceState",
+    "ServiceStats",
+    "is_transient",
+    "run_soak",
+]

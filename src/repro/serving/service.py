@@ -1,0 +1,591 @@
+"""In-process, thread-safe inference service over the CBM runtime.
+
+:class:`InferenceService` turns the single-product safety of
+:class:`~repro.reliability.guard.GuardedKernel` into stream safety: a
+bounded request queue with admission control, per-request deadline
+budgets, retry with decorrelated-jitter backoff, and a per-adjacency
+circuit breaker that walks the CBM → guarded-CBM → CSR degradation
+ladder (see :mod:`repro.serving.breaker`).  The contract to clients:
+
+* :meth:`InferenceService.submit` either accepts the request or raises a
+  typed admission error (:class:`~repro.errors.OverloadError` with a
+  ``retry_after`` hint, or :class:`~repro.errors.ServiceUnavailable`);
+* every accepted request resolves — to a validated result or a typed
+  :class:`~repro.errors.ReproError` — within its deadline budget plus
+  one watchdog poll; nothing hangs and nothing returns a silently wrong
+  buffer.
+
+The serving target is an :class:`AdjacencySlot` — the CBM matrix, its
+CSR reference, and their shared :class:`GuardStats` — which can be
+hot-swapped from a CRC-verified archive while requests are in flight:
+in-flight work finishes on the old slot, new work lands on the new one,
+and the old plans' workspace pools are drained.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix
+from repro.core.io import load_cbm
+from repro.errors import (
+    DeadlineExceeded,
+    NumericalError,
+    OverloadError,
+    ReproError,
+    ServiceUnavailable,
+    ShapeError,
+)
+from repro.reliability.guard import GuardedAdjacency, GuardedKernel, GuardStats
+from repro.serving.backoff import RetryPolicy, is_transient
+from repro.serving.breaker import CircuitBreaker, ServeTier
+from repro.serving.deadline import Deadline
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm, spmv
+from repro.utils.validation import all_finite, check_positive
+
+
+class ServiceState:
+    STARTING = "starting"
+    READY = "ready"
+    DRAINING = "draining"
+    STOPPED = "stopped"
+
+
+class ServiceStats:
+    """Thread-safe service counters (health endpoint and soak harness)."""
+
+    _FIELDS = (
+        "submitted",
+        "completed",
+        "failed",
+        "shed",
+        "deadline_misses",
+        "input_rejections",
+        "retries",
+        "swaps",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._FIELDS:
+            setattr(self, name, 0)
+
+    def bump(self, name: str, by: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + by)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {name: getattr(self, name) for name in self._FIELDS}
+
+
+class InferenceFuture:
+    """Resolution handle for one accepted request.
+
+    ``result(timeout)`` blocks until the worker resolves the future,
+    returning the product or raising the typed error the request ended
+    with; on timeout it raises :class:`TimeoutError` (a *harness* signal —
+    the service itself always resolves within the deadline budget).
+    """
+
+    def __init__(self) -> None:
+        self._done = threading.Event()
+        self._value: np.ndarray | None = None
+        self._exc: BaseException | None = None
+
+    def _resolve(self, value: np.ndarray) -> None:
+        self._value = value
+        self._done.set()
+
+    def _reject(self, exc: BaseException) -> None:
+        self._exc = exc
+        self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not resolved within the wait timeout")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        if not self._done.wait(timeout):
+            raise TimeoutError("request not resolved within the wait timeout")
+        return self._exc
+
+
+class _Request:
+    __slots__ = ("x", "deadline", "future", "vector")
+
+    def __init__(self, x: np.ndarray, deadline: Deadline, vector: bool):
+        self.x = x
+        self.deadline = deadline
+        self.future = InferenceFuture()
+        self.vector = vector
+
+
+class AdjacencySlot:
+    """One hot-swappable serving target: CBM + CSR reference + shared stats.
+
+    ``generation`` increments across swaps so health output shows which
+    artifact is live.
+    """
+
+    def __init__(
+        self,
+        cbm: CBMMatrix,
+        source: CSRMatrix,
+        *,
+        generation: int = 0,
+        stats: GuardStats | None = None,
+    ):
+        if cbm.shape != source.shape:
+            raise ShapeError.mismatch("slot cbm vs source", cbm.shape, source.shape)
+        self.cbm = cbm
+        self.source = source
+        self.generation = generation
+        self.stats = stats if stats is not None else GuardStats()
+
+    @classmethod
+    def from_graph(
+        cls, a: CSRMatrix, *, alpha: int = 0, normalized: bool = False
+    ) -> "AdjacencySlot":
+        """Compress a binary adjacency; keep a CSR form as reference.
+
+        With ``normalized=True`` the slot serves the GCN-normalised
+        ``Â = D^{-1/2}(A+I)D^{-1/2}`` (CBM(DAD) factorised form, weighted
+        CSR reference) — the right target for GCN-forward serving.
+        """
+        from repro.core.builder import build_cbm
+
+        if normalized:
+            from repro.core.cbm import Variant
+            from repro.graphs.laplacian import gcn_normalization, normalized_adjacency
+
+            binary, diag = gcn_normalization(a)
+            cbm, _ = build_cbm(binary, alpha=alpha, variant=Variant.DAD, diag=diag)
+            return cls(cbm, normalized_adjacency(a))
+        cbm, _ = build_cbm(a, alpha=alpha)
+        return cls(cbm, a)
+
+    @classmethod
+    def from_archive(cls, path, *, generation: int = 0) -> "AdjacencySlot":
+        """Load a stored CBM artifact (CRC-verified by :func:`load_cbm`)
+        and reconstruct its CSR reference by decompression."""
+        cbm = load_cbm(path)
+        return cls(cbm, cbm.tocsr(), generation=generation)
+
+    def prepare(self, *, width: int | None = None) -> None:
+        """Build the kernel plan (and optionally warm the pool) before
+        the slot takes traffic — swaps pay the plan cost off-path."""
+        plan = self.cbm.plan()
+        if width is not None:
+            plan.pool.warm((self.cbm.shape[0], int(width)), np.float32, count=1)
+
+    def retire(self) -> int:
+        """Drain the retiring matrix's pooled workspaces; return bytes freed."""
+        return self.cbm.drain_workspaces()
+
+
+class InferenceService:
+    """Bounded-queue inference service with deadlines, retries, and a
+    circuit breaker (see the module docstring for the client contract).
+
+    Parameters
+    ----------
+    slot:
+        The serving target (build via :meth:`AdjacencySlot.from_graph` /
+        ``from_archive``).
+    workers:
+        Worker threads draining the queue.
+    queue_capacity:
+        Bound on queued (not yet executing) requests; beyond it
+        :meth:`submit` sheds load with :class:`~repro.errors.OverloadError`.
+    default_deadline_s:
+        Deadline budget for requests that do not bring their own.
+    threads / branch_timeout:
+        Forwarded to the guarded kernels: ``threads`` routes products
+        through the branch-parallel executor (required for mid-run
+        cancellation), ``branch_timeout`` bounds a single branch replay.
+    retry:
+        :class:`~repro.serving.backoff.RetryPolicy` for transient errors.
+    breaker:
+        A preconfigured :class:`~repro.serving.breaker.CircuitBreaker`;
+        by default one with the class defaults.
+    weights:
+        Optional ``(w0, w1)`` pair: requests then resolve to the paper's
+        two-layer GCN forward ``Â σ(Â X W⁰) W¹`` instead of the bare
+        product, with every ``Â`` product still routed through the
+        request's serving tier.
+    executor_factory:
+        Forwarded to the guarded kernels' threaded path (chaos soak hook).
+    """
+
+    def __init__(
+        self,
+        slot: AdjacencySlot,
+        *,
+        workers: int = 2,
+        queue_capacity: int = 32,
+        default_deadline_s: float = 5.0,
+        threads: int | None = None,
+        branch_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        weights: tuple[np.ndarray, np.ndarray] | None = None,
+        executor_factory=None,
+        validate: bool = True,
+        seed: int = 0,
+    ):
+        check_positive(workers, "workers")
+        check_positive(queue_capacity, "queue_capacity")
+        check_positive(default_deadline_s, "default_deadline_s")
+        self._slot = slot
+        self.workers = workers
+        self.queue_capacity = queue_capacity
+        self.default_deadline_s = default_deadline_s
+        self.threads = threads
+        self.branch_timeout = branch_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.weights = None
+        if weights is not None:
+            w0, w1 = weights
+            self.weights = (
+                np.asarray(w0, dtype=np.float32),
+                np.asarray(w1, dtype=np.float32),
+            )
+        self.executor_factory = executor_factory
+        self.validate = validate
+        self.stats = ServiceStats()
+
+        self._queue: "queue.Queue[_Request | None]" = queue.Queue(maxsize=queue_capacity)
+        self._state = ServiceState.STARTING
+        self._state_lock = threading.Lock()
+        self._swap_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        self._ewma_s = 0.0
+        self._ewma_lock = threading.Lock()
+        self._seed = seed
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        with self._state_lock:
+            if self._started:
+                return self
+            self._started = True
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop, args=(i,), daemon=True,
+                    name=f"repro-serve-{i}",
+                )
+                for i in range(self.workers)
+            ]
+            for t in self._threads:
+                t.start()
+            self._state = ServiceState.READY
+        return self
+
+    def __enter__(self) -> "InferenceService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admitting; wait for queued + in-flight work to resolve.
+
+        Returns True once the service is empty (False on timeout; the
+        service stays DRAINING and keeps resolving what is left).
+        """
+        with self._state_lock:
+            if self._state == ServiceState.READY:
+                self._state = ServiceState.DRAINING
+        end = None if timeout is None else time.monotonic() + timeout
+        with self._pending_cond:
+            while self._pending > 0:
+                wait = None if end is None else end - time.monotonic()
+                if wait is not None and wait <= 0:
+                    return False
+                self._pending_cond.wait(wait if wait is not None else 0.1)
+        return True
+
+    def close(self, timeout: float | None = 10.0) -> None:
+        """Graceful shutdown: drain, stop the workers, reject stragglers."""
+        self.drain(timeout)
+        with self._state_lock:
+            if self._state == ServiceState.STOPPED:
+                return
+            self._state = ServiceState.STOPPED
+        for _ in self._threads:
+            self._queue.put(None)  # one pill per worker
+        for t in self._threads:
+            t.join(timeout=2.0)
+        # Anything still queued after a timed-out drain resolves typed.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                item.future._reject(ServiceUnavailable("service stopped"))
+                self._finish_pending()
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    def ready(self) -> bool:
+        return self._state == ServiceState.READY
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray, *, deadline_s: float | None = None) -> InferenceFuture:
+        """Admit one request (dense 1-D vector or 2-D feature block).
+
+        Raises :class:`~repro.errors.ServiceUnavailable` unless READY and
+        :class:`~repro.errors.OverloadError` (with ``retry_after``) when
+        the bounded queue is full — load is shed at the door, before any
+        kernel work.
+        """
+        if self._state != ServiceState.READY:
+            raise ServiceUnavailable(
+                f"service is {self._state}; not accepting requests"
+            )
+        x = np.asarray(x)
+        if x.ndim not in (1, 2):
+            raise ShapeError(f"request operand must be 1-D or 2-D, got ndim={x.ndim}")
+        if self.weights is not None and x.ndim != 2:
+            raise ShapeError("GCN-forward serving requires a 2-D feature block")
+        n = self._slot.cbm.shape[1]
+        if x.shape[0] != n:
+            raise ShapeError.mismatch("request operand", (n,), x.shape)
+        deadline = Deadline(deadline_s if deadline_s is not None else self.default_deadline_s)
+        req = _Request(x, deadline, vector=x.ndim == 1)
+        with self._pending_cond:
+            self._pending += 1
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            self._finish_pending()
+            self.stats.bump("shed")
+            retry_after = self.retry_after_estimate()
+            raise OverloadError(
+                f"queue full ({self.queue_capacity} waiting); retry in "
+                f"~{retry_after:.3f}s",
+                retry_after=retry_after,
+            ) from None
+        self.stats.bump("submitted")
+        return req.future
+
+    def retry_after_estimate(self) -> float:
+        """When a shed client should try again: queue depth × recent
+        per-request service time, spread over the workers."""
+        with self._ewma_lock:
+            per_request = self._ewma_s
+        depth = self._queue.qsize()
+        return max(0.005, depth * max(per_request, 0.001) / self.workers)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _worker_loop(self, index: int) -> None:
+        rng = np.random.default_rng(self._seed * 7919 + index)
+        while True:
+            req = self._queue.get()
+            if req is None:
+                return
+            try:
+                self._handle(req, rng)
+            finally:
+                self._finish_pending()
+
+    def _finish_pending(self) -> None:
+        with self._pending_cond:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._pending_cond.notify_all()
+
+    def _handle(self, req: _Request, rng: np.random.Generator) -> None:
+        if self._state == ServiceState.STOPPED:
+            req.future._reject(ServiceUnavailable("service stopped"))
+            return
+        if req.deadline.expired:
+            self.stats.bump("deadline_misses")
+            req.future._reject(
+                DeadlineExceeded(
+                    f"deadline budget ({req.deadline.budget_s:.3f}s) expired "
+                    "while the request was queued"
+                )
+            )
+            return
+        delays = self.retry.delays(rng)
+        attempt = 0
+        t0 = time.monotonic()
+        while True:
+            attempt += 1
+            tier, probe = self.breaker.acquire()
+            try:
+                y = self._compute(req, tier)
+            except ReproError as exc:
+                if getattr(exc, "input_rejection", False):
+                    # Client error: not a path failure, not retryable.
+                    self.stats.bump("input_rejections")
+                    req.future._reject(exc)
+                    return
+                self.breaker.record(tier, False, probe=probe)
+                delay = next(delays)
+                if (
+                    is_transient(exc)
+                    and attempt < self.retry.max_attempts
+                    and req.deadline.remaining() > delay
+                ):
+                    self.stats.bump("retries")
+                    time.sleep(delay)
+                    continue
+                self.stats.bump("failed")
+                if req.deadline.expired:
+                    self.stats.bump("deadline_misses")
+                    final: ReproError = DeadlineExceeded(
+                        f"deadline budget ({req.deadline.budget_s:.3f}s) "
+                        f"exhausted after {attempt} attempt(s); last error: "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    final.__cause__ = exc
+                else:
+                    final = exc
+                req.future._reject(final)
+                return
+            self.breaker.record(tier, True, probe=probe)
+            self._observe_latency(time.monotonic() - t0)
+            self.stats.bump("completed")
+            req.future._resolve(y)
+            return
+
+    def _compute(self, req: _Request, tier: ServeTier) -> np.ndarray:
+        slot = self._slot  # one atomic read: swaps do not tear a request
+        x = req.x
+        if tier is ServeTier.DEGRADED:
+            if self.weights is not None:
+                from repro.gnn.adjacency import CSRAdjacency
+                from repro.gnn.gcn import two_layer_gcn_inference
+
+                y = two_layer_gcn_inference(
+                    CSRAdjacency(slot.source), x, *self.weights
+                )
+            elif req.vector:
+                y = spmv(slot.source, x.astype(np.float32, copy=False))
+            else:
+                y = spmm(slot.source, x.astype(np.float32, copy=False))
+            if self.validate and not all_finite(y):
+                if not all_finite(np.asarray(x, dtype=np.float32)):
+                    err = NumericalError(
+                        "request operand contains NaN/Inf; no serving tier "
+                        "can repair a corrupted input"
+                    )
+                    err.input_rejection = True
+                    slot.stats.record_input_rejection()
+                    raise err
+                raise NumericalError(
+                    "CSR reference product is non-finite; the stored matrix "
+                    "or the operand is corrupted beyond recovery"
+                )
+            return y
+        guarded = tier is ServeTier.GUARDED
+        guard = GuardedKernel(
+            slot.cbm,
+            source=slot.source if guarded else None,
+            strict=not guarded,
+            threads=self.threads,
+            branch_timeout=self.branch_timeout,
+            deadline=req.deadline.expires_at if self.threads is not None else None,
+            executor_factory=self.executor_factory,
+            stats=slot.stats,
+            validate_outputs=self.validate,
+            on_degrade=(
+                (lambda exc: self.breaker.note_internal_failure()) if guarded else None
+            ),
+        )
+        if self.weights is not None:
+            from repro.gnn.gcn import two_layer_gcn_inference
+
+            return two_layer_gcn_inference(GuardedAdjacency(guard), x, *self.weights)
+        if req.vector:
+            return guard.matvec(x.astype(np.float32, copy=False))
+        return guard.matmul(x.astype(np.float32, copy=False))
+
+    def _observe_latency(self, seconds: float) -> None:
+        with self._ewma_lock:
+            if self._ewma_s == 0.0:
+                self._ewma_s = seconds
+            else:
+                self._ewma_s = 0.8 * self._ewma_s + 0.2 * seconds
+
+    # ------------------------------------------------------------------
+    # Hot swap
+    # ------------------------------------------------------------------
+    def swap_slot(self, slot: AdjacencySlot, *, warm_width: int | None = None) -> dict:
+        """Atomically replace the serving target.
+
+        The new slot's plan is built (and optionally warmed) *before* it
+        takes traffic; in-flight requests finish on the old slot (each
+        request reads the slot reference once), and the old plans' idle
+        workspaces are drained.  Returns a summary dict.
+        """
+        with self._swap_lock:
+            slot.prepare(width=warm_width)
+            old = self._slot
+            slot.generation = old.generation + 1
+            self._slot = slot
+            self.stats.bump("swaps")
+            freed = old.retire()
+        return {
+            "generation": slot.generation,
+            "retired_workspace_bytes": freed,
+            "shape": list(slot.cbm.shape),
+        }
+
+    def swap_archive(self, path, *, warm_width: int | None = None) -> dict:
+        """Hot-swap from a stored CBM archive.
+
+        :func:`~repro.core.io.load_cbm` CRC-verifies every payload array
+        first — a corrupted artifact raises
+        :class:`~repro.errors.IntegrityError` and the old slot keeps
+        serving untouched.
+        """
+        slot = AdjacencySlot.from_archive(path)
+        return self.swap_slot(slot, warm_width=warm_width)
+
+    # ------------------------------------------------------------------
+    # Health
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """Liveness + readiness + the counters an operator would page on."""
+        with self._ewma_lock:
+            ewma = self._ewma_s
+        return {
+            "state": self._state,
+            "ready": self.ready(),
+            "live_workers": sum(1 for t in self._threads if t.is_alive()),
+            "queue_depth": self._queue.qsize(),
+            "queue_capacity": self.queue_capacity,
+            "ewma_latency_s": ewma,
+            "generation": self._slot.generation,
+            "breaker": self.breaker.describe(),
+            "service": self.stats.snapshot(),
+            "guard": self._slot.stats.snapshot(),
+        }
