@@ -218,7 +218,7 @@ def test_report_scaling_curves(benchmark):
                 scale_rows=ps.nodes / a.shape[0],
             )
             eff = parallel_efficiency(curve)
-            for pt, ec, eb in zip(curve, eff["csr"], eff["cbm"]):
+            for pt, ec, eb in zip(curve, eff["csr"], eff["cbm"], strict=True):
                 rows.append(
                     [
                         name,

@@ -8,11 +8,11 @@ prints the Table II comparison.
 import pytest
 
 from repro.bench.experiments import run_table2
+from repro.core.arborescence import minimum_arborescence
 from repro.core.builder import build_cbm
 from repro.core.deltas import build_delta_matrix
 from repro.core.distance import candidate_edges
 from repro.core.mst import kruskal_mst
-from repro.core.arborescence import minimum_arborescence
 from repro.graphs.datasets import load_dataset
 
 from conftest import FAST, write_report

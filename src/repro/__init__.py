@@ -19,17 +19,17 @@ Quickstart::
     print(report.compression_ratio)
 """
 
-from repro.core.builder import BuildReport, build_cbm, build_clustered
 from repro.core.bl2001 import build_bl2001
-from repro.core.io import load_cbm, save_cbm
-from repro.core.verify import verify_cbm
+from repro.core.builder import BuildReport, build_cbm, build_clustered
 from repro.core.cbm import CBMMatrix, Variant
-from repro.core.tree import CompressionTree, VIRTUAL
+from repro.core.io import load_cbm, save_cbm
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.core.verify import verify_cbm
 from repro.graphs.datasets import list_datasets, load_dataset, paper_stats
 from repro.graphs.laplacian import gcn_normalization, normalized_adjacency
-from repro.sparse.csr import CSRMatrix
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
 
 __version__ = "1.0.0"
 

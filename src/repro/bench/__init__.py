@@ -5,15 +5,15 @@ scripts under ``benchmarks/`` are thin wrappers that run them under
 pytest-benchmark and print paper-vs-measured tables.
 """
 
-from repro.bench.harness import BenchResult, compare, time_kernel
 from repro.bench.experiments import (
+    run_figure2,
     run_table1,
     run_table2,
     run_table3,
     run_table4,
     run_table5,
-    run_figure2,
 )
+from repro.bench.harness import BenchResult, compare, time_kernel
 
 __all__ = [
     "BenchResult",

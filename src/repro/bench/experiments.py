@@ -21,10 +21,10 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.bench.harness import compare, time_kernel
 from repro.core.builder import build_cbm
 from repro.core.cbm import CBMMatrix, Variant
 from repro.core.opcount import csr_spmm_ops
-from repro.bench.harness import compare, time_kernel
 from repro.gnn.adjacency import CBMAdjacency, CSRAdjacency
 from repro.gnn.gcn import two_layer_gcn_inference
 from repro.graphs.datasets import REGISTRY, load_dataset, paper_stats

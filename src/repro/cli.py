@@ -13,6 +13,10 @@ Commands
 ``bench <graph> [-a ALPHA] [-p COLUMNS]``
     Time CSR vs CBM SpMM on this machine and print the model's 1/16-core
     predictions at paper scale (for registry datasets).
+``check {artifact,plan,code} ...``
+    Static invariant checks (no kernel runs): audit CBM artifacts and
+    archives, prove kernel plans race-free, and contract-lint the source
+    tree.  Nonzero exit on any finding.
 
 ``<graph>`` is a registry name (see ``datasets``) or a path to a
 MatrixMarket ``.mtx`` file.
@@ -297,6 +301,89 @@ def cmd_serve_bench(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def _emit_check_reports(reports, json_path, verbose) -> int:
+    """Render audit reports, optionally write JSON, return the exit code.
+
+    Exit is nonzero when any report carries a finding — ``repro check``
+    is a gate, so a violated invariant must fail the invoking job.
+    """
+    import json
+
+    findings = 0
+    for rep in reports:
+        if verbose or not rep.ok:
+            print(rep.render())
+        else:
+            print(f"{rep.subject}: clean ({sum(rep.checks.values())} checks)")
+        findings += len(rep.findings)
+    if json_path:
+        payload = {
+            "ok": findings == 0,
+            "findings": findings,
+            "reports": [rep.to_dict() for rep in reports],
+        }
+        with open(json_path, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"audit report written to {json_path}")
+    if findings:
+        print(f"FAIL: {findings} finding(s)")
+        return 1
+    return 0
+
+
+def cmd_check_artifact(args) -> int:
+    """Statically audit CBM artifacts: archives or freshly built matrices."""
+    from repro.staticcheck import audit_archive, audit_cbm
+
+    reports = []
+    for spec in args.target:
+        if os.path.exists(spec) and spec.endswith(".npz"):
+            reports.append(audit_archive(spec))
+        else:
+            name, a = _load_graph(spec)
+            cbm, _ = build_cbm(a, alpha=args.alpha)
+            reports.append(audit_cbm(cbm, subject=f"{name}(alpha={args.alpha})"))
+    return _emit_check_reports(reports, args.json, args.verbose)
+
+
+def cmd_check_plan(args) -> int:
+    """Statically prove a kernel plan's update stage race-free."""
+    from repro.staticcheck import analyze_plan
+
+    reports = []
+    for spec in args.target:
+        name, a = _load_graph(spec)
+        cbm, _ = build_cbm(a, alpha=args.alpha)
+        for update in ("level", "edge"):
+            plan = cbm.plan(update=update)
+            reports.append(
+                analyze_plan(
+                    plan,
+                    threads=args.threads,
+                    p=args.columns,
+                    branch_timeout=args.branch_timeout,
+                    subject=f"{name}(alpha={args.alpha},update={update})",
+                )
+            )
+    return _emit_check_reports(reports, args.json, args.verbose)
+
+
+def cmd_check_code(args) -> int:
+    """Run the contract linter over the source tree (ruff-style output)."""
+    from repro.staticcheck import lint_paths, load_baseline
+
+    baseline = load_baseline(args.baseline) if args.baseline else set()
+    findings = lint_paths(args.paths, baseline=baseline)
+    for f in findings:
+        print(f.render())
+    checked = args.paths if len(args.paths) > 1 else args.paths[0]
+    if findings:
+        print(f"FAIL: {len(findings)} contract finding(s) in {checked}")
+        return 1
+    print(f"{checked}: clean (contract lint, baseline {len(baseline)} entries)")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from repro.core.verify import verify_cbm
 
@@ -345,6 +432,61 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-t", "--threads", type=int, default=16)
     p.add_argument("--repeats", type=int, default=10)
     p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "check",
+        help="static invariant checks: artifact audit, plan race detection, "
+        "contract lint (nonzero exit on findings)",
+    )
+    check_sub = p.add_subparsers(dest="checker", required=True)
+
+    pc = check_sub.add_parser(
+        "artifact",
+        help="audit CBM artifacts (.npz archives, or graphs compressed on "
+        "the fly): tree rootedness, delta consistency, Properties 1-2, "
+        "scaling ranges, archive header/payload agreement",
+    )
+    pc.add_argument("target", nargs="+", help="archive path(s) or graph spec(s)")
+    pc.add_argument("-a", "--alpha", type=int, default=0)
+    pc.add_argument("--json", help="write the structured audit report here")
+    pc.add_argument("--verbose", action="store_true", help="print passed checks too")
+    pc.set_defaults(fn=cmd_check_artifact)
+
+    pc = check_sub.add_parser(
+        "plan",
+        help="prove the branch-parallel update stage race-free for a "
+        "graph's kernel plans (branches, levels, workspace pool, "
+        "watchdog coverage, schedule accounting)",
+    )
+    pc.add_argument("target", nargs="+", help="graph spec(s)")
+    pc.add_argument("-a", "--alpha", type=int, default=0)
+    pc.add_argument("-p", "--columns", type=int, default=16)
+    pc.add_argument("-t", "--threads", type=int, default=16)
+    pc.add_argument(
+        "--branch-timeout",
+        type=float,
+        default=30.0,
+        help="executor watchdog budget assumed per branch (None disables "
+        "the timeout owner and flags a coverage gap)",
+    )
+    pc.add_argument("--json", help="write the structured audit report here")
+    pc.add_argument("--verbose", action="store_true", help="print passed checks too")
+    pc.set_defaults(fn=cmd_check_plan)
+
+    pc = check_sub.add_parser(
+        "code",
+        help="contract lint over the source tree (SC1xx-SC4xx rules, "
+        "ruff-style output, optional regression baseline)",
+    )
+    pc.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="files or directories to lint"
+    )
+    pc.add_argument(
+        "--baseline",
+        default=".staticcheck.baseline",
+        help="baseline file of accepted findings (CI fails only on regressions)",
+    )
+    pc.set_defaults(fn=cmd_check_code)
 
     p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
     p.add_argument("graph")

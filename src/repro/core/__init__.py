@@ -13,16 +13,13 @@ Public entry points:
   backing Properties 1–3.
 """
 
-from repro.core.cbm import CBMMatrix, Variant
-from repro.core.builder import BuildReport, build_cbm, build_clustered
-from repro.core.distance import DistanceGraph, brute_force_distance_graph, candidate_edges
-from repro.core.tree import CompressionTree, VIRTUAL
-from repro.core.mst import kruskal_mst, prim_mst
 from repro.core.arborescence import minimum_arborescence
-from repro.core.io import load_cbm, save_cbm
-from repro.core.verify import VerifyReport, estimate_candidate_memory, verify_cbm
 from repro.core.bl2001 import build_bl2001
-from repro.core.rebalance import cut_depth, split_branches
+from repro.core.builder import BuildReport, build_cbm, build_clustered
+from repro.core.cbm import CBMMatrix, Variant
+from repro.core.distance import DistanceGraph, brute_force_distance_graph, candidate_edges
+from repro.core.io import load_cbm, save_cbm
+from repro.core.mst import kruskal_mst, prim_mst
 from repro.core.opcount import (
     OpCount,
     cbm_memory_bytes,
@@ -30,6 +27,9 @@ from repro.core.opcount import (
     csr_memory_bytes,
     csr_spmm_ops,
 )
+from repro.core.rebalance import cut_depth, split_branches
+from repro.core.tree import VIRTUAL, CompressionTree
+from repro.core.verify import VerifyReport, estimate_candidate_memory, verify_cbm
 
 __all__ = [
     "CBMMatrix",

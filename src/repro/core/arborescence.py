@@ -183,7 +183,7 @@ def minimum_arborescence(g: DistanceGraph) -> CompressionTree:
         for ci, c in enumerate(level["cycles"]):
             cyc_of[c] = ci
         hit = cyc_of[dsts] >= 0
-        entry_node = dict(zip(cyc_of[dsts[hit]].tolist(), dsts[hit].tolist()))
+        entry_node = dict(zip(cyc_of[dsts[hit]].tolist(), dsts[hit].tolist(), strict=True))
         for ci, c in enumerate(level["cycles"]):
             if ci not in entry_node:
                 raise CompressionError("expansion: no edge enters contracted cycle")

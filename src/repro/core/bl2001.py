@@ -15,6 +15,8 @@ every input ``total_deltas(BL) >= total_deltas(CBM)``.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from repro.core.builder import BuildReport
@@ -26,8 +28,6 @@ from repro.core.tree import VIRTUAL, CompressionTree
 from repro.errors import NotBinaryError, ShapeError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import sparse_sparse_matmul
-
-import time
 
 
 def _all_overlap_edges(a: CSRMatrix) -> DistanceGraph:

@@ -192,7 +192,7 @@ def cluster_rows_label_propagation(
     sorted_labels = labels[sig_order]
     boundaries = np.flatnonzero(np.diff(sorted_labels)) + 1
     for lo, hi in zip(
-        np.concatenate([[0], boundaries]), np.concatenate([boundaries, [n]])
+        np.concatenate([[0], boundaries]), np.concatenate([boundaries, [n]]), strict=True
     ):
         members = sig_order[lo:hi]
         for k in range(0, len(members), cluster_size):

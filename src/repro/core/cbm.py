@@ -329,6 +329,7 @@ class CBMMatrix:
             raise ValueError(f"unknown update mode {update!r}")
 
     def _update_levels(self, c: np.ndarray, scaling: ScalingMode) -> None:
+        """Vectorised level-schedule update, mutating ``c`` in place."""
         parent = self.tree.parent
         row_scaled = self.variant in (Variant.DAD, Variant.D1AD2)
         if row_scaled and scaling == "fused":
@@ -345,7 +346,8 @@ class CBMMatrix:
             c *= np.asarray(self._row_diag())[:, None]
 
     def _update_edges(self, c: np.ndarray, scaling: ScalingMode) -> None:
-        """Paper-literal update: one axpy per tree edge in topological order."""
+        """Paper-literal update, in place on ``c``: one axpy per tree edge
+        in topological order."""
         parent = self.tree.parent
         row_scaled = self.variant in (Variant.DAD, Variant.D1AD2)
         order = self.tree.topological_order()

@@ -63,7 +63,7 @@ def _orient_from_virtual(n: int, chosen: list[tuple[int, int]], row_nnz, weights
     counts.
     """
     adj: list[list[tuple[int, int]]] = [[] for _ in range(n + 1)]
-    for (u, v), w in zip(chosen, weights):
+    for (u, v), w in zip(chosen, weights, strict=True):
         adj[u].append((v, w))
         adj[v].append((u, w))
     parent = np.full(n, VIRTUAL, dtype=np.int64)
@@ -131,7 +131,7 @@ def prim_mst(g: DistanceGraph) -> CompressionTree:
         raise CompressionError("prim_mst requires an undirected distance graph")
     n = g.n
     adj: list[list[tuple[int, int]]] = [[] for _ in range(n + 1)]
-    for s, d, w in zip(g.src, g.dst, g.weight):
+    for s, d, w in zip(g.src, g.dst, g.weight, strict=True):
         adj[int(s)].append((int(d), int(w)))
         adj[int(d)].append((int(s), int(w)))
     for x in range(n):

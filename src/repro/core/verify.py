@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.cbm import CBMMatrix, Variant
+from repro.errors import ReproError
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import spmm
 from repro.utils.rng import as_rng
@@ -93,7 +94,7 @@ def verify_cbm(
             and np.array_equal(back.indices, base.indices)
             and np.allclose(back.data, base.data, rtol=1e-5)
         )
-    except Exception:
+    except (ReproError, ValueError):
         structural = False
     return VerifyReport(
         passed=ok and structural,

@@ -14,15 +14,15 @@ architectures it cites:
 """
 
 from repro.gnn.adjacency import AdjacencyOp, CBMAdjacency, CSRAdjacency, make_operator
-from repro.gnn.layers import Dropout, Linear, relu, softmax
+from repro.gnn.appnp import APPNP
+from repro.gnn.data import synthetic_node_classification
 from repro.gnn.gcn import GCN, GCNLayer
 from repro.gnn.gin import GIN, GINLayer
+from repro.gnn.layers import Dropout, Linear, relu, softmax
 from repro.gnn.sage import GraphSAGE, SAGELayer
-from repro.gnn.sgc import SGC, propagate
-from repro.gnn.appnp import APPNP
 from repro.gnn.sampling import induced_subgraph, k_hop_neighborhood, minibatch_inference
+from repro.gnn.sgc import SGC, propagate
 from repro.gnn.train import Adam, accuracy, cross_entropy, train_gcn
-from repro.gnn.data import synthetic_node_classification
 
 __all__ = [
     "AdjacencyOp",

@@ -81,6 +81,8 @@ class CSRAdjacency:
             self._sp = sp.csr_matrix((m.data, m.indices, m.indptr), shape=m.shape)
 
     def matmul(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """``Â @ x``; when ``out`` is given the product is written into
+        it in place (must not alias ``x``)."""
         x = x.astype(np.float32, copy=False)
         if self._sp is None:
             if out is None:

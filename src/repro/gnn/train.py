@@ -90,7 +90,7 @@ class Adam:
                 f"got {len(grads)} gradients for {len(self.params)} parameters"
             )
         self.t += 1
-        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+        for p, g, m, v in zip(self.params, grads, self.m, self.v, strict=True):
             m *= self.b1
             m += (1 - self.b1) * g
             v *= self.b2
@@ -151,7 +151,7 @@ class TrainCheckpoint:
                 f"checkpoint has {len(self.params)} parameter arrays, "
                 f"model has {len(params)}"
             )
-        for p, saved in zip(params, self.params):
+        for p, saved in zip(params, self.params, strict=True):
             if p.shape != saved.shape:
                 raise CheckpointError(
                     f"checkpoint parameter shape {saved.shape} does not match "
@@ -159,9 +159,9 @@ class TrainCheckpoint:
                 )
             p[...] = saved
         if opt is not None:
-            for m, saved in zip(opt.m, self.adam_m):
+            for m, saved in zip(opt.m, self.adam_m, strict=True):
                 m[...] = saved
-            for v, saved in zip(opt.v, self.adam_v):
+            for v, saved in zip(opt.v, self.adam_v, strict=True):
                 v[...] = saved
             opt.t = self.adam_t
 
@@ -177,7 +177,7 @@ def save_checkpoint(path, ck: TrainCheckpoint) -> None:
         "val_accuracy": ck.val_accuracy,
     }
     arrays = {"meta": np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)}
-    for i, (p, m, v) in enumerate(zip(ck.params, ck.adam_m, ck.adam_v)):
+    for i, (p, m, v) in enumerate(zip(ck.params, ck.adam_m, ck.adam_v, strict=True)):
         arrays[f"param_{i}"] = p
         arrays[f"adam_m_{i}"] = m
         arrays[f"adam_v_{i}"] = v

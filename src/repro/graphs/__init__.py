@@ -9,10 +9,35 @@ for side-by-side reporting.
 """
 
 from repro.graphs.adjacency import (
-    adjacency_from_edges,
     add_self_loops,
+    adjacency_from_edges,
     is_symmetric,
     is_undirected_simple,
+)
+from repro.graphs.datasets import (
+    REGISTRY,
+    DatasetSpec,
+    list_datasets,
+    load_dataset,
+    paper_stats,
+)
+from repro.graphs.generators import (
+    citation_graph,
+    coauthor_graph,
+    copapers_graph,
+    erdos_renyi_graph,
+    ppi_graph,
+    rmat_graph,
+    sbm_graph,
+)
+from repro.graphs.laplacian import degree_vector, gcn_normalization, normalized_adjacency
+from repro.graphs.ordering import (
+    bandwidth,
+    bfs_order,
+    degree_order,
+    permute_symmetric,
+    rcm_order,
+    signature_order,
 )
 from repro.graphs.stats import (
     GraphStats,
@@ -22,31 +47,6 @@ from repro.graphs.stats import (
     degree_histogram,
     triangle_counts,
 )
-from repro.graphs.generators import (
-    citation_graph,
-    coauthor_graph,
-    copapers_graph,
-    ppi_graph,
-    rmat_graph,
-    sbm_graph,
-    erdos_renyi_graph,
-)
-from repro.graphs.datasets import (
-    DatasetSpec,
-    REGISTRY,
-    list_datasets,
-    load_dataset,
-    paper_stats,
-)
-from repro.graphs.ordering import (
-    bandwidth,
-    bfs_order,
-    degree_order,
-    permute_symmetric,
-    rcm_order,
-    signature_order,
-)
-from repro.graphs.laplacian import degree_vector, gcn_normalization, normalized_adjacency
 
 __all__ = [
     "adjacency_from_edges",

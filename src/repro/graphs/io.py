@@ -82,6 +82,6 @@ def save_edge_list(path: PathLike, a: CSRMatrix, *, header: str | None = None) -
             for line in header.splitlines():
                 fh.write(f"# {line}\n")
         coo = a.tocoo()
-        for r, c in zip(coo.rows, coo.cols):
+        for r, c in zip(coo.rows, coo.cols, strict=True):
             if r < c:
                 fh.write(f"{r} {c}\n")

@@ -17,19 +17,19 @@ pinning.  This container has one CPU, so this package provides two layers:
   CSR form fits the combined private caches (Section VI-E.1).
 """
 
-from repro.parallel.machine import CacheLevel, MachineSpec, XEON_GOLD_6130
 from repro.parallel.cache import CacheModel, WorkingSet, plan_working_set
+from repro.parallel.executor import ThreadedUpdateExecutor, parallel_matmul
+from repro.parallel.machine import XEON_GOLD_6130, CacheLevel, MachineSpec
+from repro.parallel.report import cost_breakdown, render_breakdown
+from repro.parallel.scaling import ScalingPoint, parallel_efficiency, saturation_cores, strong_scaling_curve
 from repro.parallel.schedule import (
     ScheduleResult,
     branch_costs_from_branches,
     plan_update_schedule,
     simulate_dynamic_schedule,
 )
-from repro.parallel.executor import ThreadedUpdateExecutor, parallel_matmul
 from repro.parallel.simulate import KernelCost, predict_cbm_spmm, predict_csr_spmm
 from repro.parallel.trace import ScheduleTrace, TaskEvent, render_gantt, traced_schedule
-from repro.parallel.report import cost_breakdown, render_breakdown
-from repro.parallel.scaling import ScalingPoint, parallel_efficiency, saturation_cores, strong_scaling_curve
 
 __all__ = [
     "CacheLevel",

@@ -61,7 +61,7 @@ _WATCHDOG_POLL_S = 0.02
 
 
 def _invalidate(c: np.ndarray) -> None:
-    """NaN-poison ``c`` so a half-updated buffer reads as garbage, loudly."""
+    """NaN-poison ``c`` in place so a half-updated buffer reads as garbage."""
     if np.issubdtype(c.dtype, np.floating) or np.issubdtype(c.dtype, np.complexfloating):
         c.fill(np.nan)
     else:  # integer buffers cannot hold NaN; zeroing still destroys partial sums
@@ -252,7 +252,8 @@ class ThreadedUpdateExecutor:
         c: np.ndarray,
         cancel: threading.Event | None = None,
     ) -> None:
-        """Topological replay of one branch: c[x] += c[parent[x]] per edge.
+        """Topological replay of one branch, in place on ``c``:
+        ``c[x] += c[parent[x]]`` per edge.
 
         The branch array is already in topological order (tree.branches()
         guarantees it); the first entry is the branch root (no update).

@@ -77,14 +77,17 @@ class GuardStats:
         with self._lock:
             self.input_rejections += 1
 
-    def record_fallback(self, exc: BaseException) -> int:
-        """Count a fallback; return this reason's occurrence count (for
-        the warning deduplication in :meth:`GuardedKernel._degrade`)."""
+    def record_fallback(self, exc: BaseException) -> tuple[int, int]:
+        """Count a fallback; return ``(occurrence, total)`` — this reason's
+        occurrence count and the overall fallback count, read atomically
+        under the lock so reporting code never touches the raw counters
+        (the warning deduplication in :meth:`GuardedKernel._degrade` needs
+        both numbers in one consistent view)."""
         reason = type(exc).__name__
         with self._lock:
             self.fallbacks += 1
             self.reasons[reason] += 1
-            return self.reasons[reason]
+            return self.reasons[reason], self.fallbacks
 
     def record_suppressed_warning(self) -> None:
         with self._lock:
@@ -314,7 +317,7 @@ class GuardedKernel:
         if self.strict:
             raise exc
         self._plan = None
-        occurrence = self.stats.record_fallback(exc)
+        occurrence, total_fallbacks = self.stats.record_fallback(exc)
         if self.on_degrade is not None:
             self.on_degrade(exc)
         reason = type(exc).__name__
@@ -323,7 +326,7 @@ class GuardedKernel:
                 FallbackWarning(
                     f"CBM fast path failed ({reason}: {exc}); "
                     "degrading to the CSR reference product "
-                    f"(fallback #{self.stats.fallbacks} on this kernel)"
+                    f"(fallback #{total_fallbacks} on this kernel)"
                 ),
                 stacklevel=4,
             )
@@ -347,6 +350,12 @@ class GuardedKernel:
         out: np.ndarray | None,
         engine: Engine | None,
     ) -> np.ndarray:
+        """Degraded product after a fast-path failure.
+
+        Tries the unplanned CBM path, then the CSR reference; when the
+        caller supplied ``out``, the recovered product is copied into it
+        in place (the fast path may have left it invalidated).
+        """
         self._reject_bad_input(b, "operand b", exc)
         self._degrade(exc)
         c: np.ndarray | None = None

@@ -51,7 +51,7 @@ try:  # SciPy's raw CSR kernel lets us multiply into a caller buffer.
 
     _CSR_MATVECS = getattr(_sptools, "csr_matvecs", None)
     _CSR_MATVEC = getattr(_sptools, "csr_matvec", None)
-except Exception:  # pragma: no cover - exotic SciPy builds
+except (ImportError, AttributeError):  # pragma: no cover - exotic SciPy builds
     _CSR_MATVECS = None
     _CSR_MATVEC = None
 
@@ -214,7 +214,8 @@ class KernelPlan:
 
         Used directly by the branch-parallel executor, which applies the
         update stage itself.  ``out`` must be C-contiguous, match the
-        result shape/dtype, and not alias ``b``.
+        result shape/dtype, and not alias ``b``; when given, the product
+        is written into it in place.
         """
         b = check_dense(b, name="b", ndim=2)
         if b.shape[0] != self.shape[1]:
@@ -267,7 +268,7 @@ class KernelPlan:
             self._apply_update_edges(c, expand)
         elif self.row_scaled and self.scaling == "fused":
             c[self.roots] *= self.root_scale[expand]
-            for (lv, ps), (a, r) in zip(self.level_pairs, self.fused_tables):
+            for (lv, ps), (a, r) in zip(self.level_pairs, self.fused_tables, strict=True):
                 c[lv] = a[expand] * c[lv] + r[expand] * c[ps]
         else:
             for lv, ps in self.level_pairs:
@@ -276,6 +277,7 @@ class KernelPlan:
                 c *= self._cast_row_scale(c.dtype)[expand]
 
     def _apply_update_edges(self, c: np.ndarray, expand) -> None:
+        """Edge-schedule update + scaling, in place on ``c``."""
         parent = self._parent
         if self.row_scaled and self.scaling == "fused":
             d_x, d_ratio = self.edge_scale

@@ -10,9 +10,15 @@ in the paper, giving both the CSR baseline and the CBM kernels the same
 high-performance backend.
 """
 
+from repro.sparse.convert import (
+    from_dense,
+    from_scipy,
+    to_scipy_csr,
+)
 from repro.sparse.coo import COOMatrix
-from repro.sparse.csr import CSRMatrix
 from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.io import load_matrix_market, save_matrix_market
 from repro.sparse.ops import (
     Engine,
     axpy,
@@ -21,12 +27,6 @@ from repro.sparse.ops import (
     spmm,
     spmv,
 )
-from repro.sparse.convert import (
-    from_dense,
-    from_scipy,
-    to_scipy_csr,
-)
-from repro.sparse.io import load_matrix_market, save_matrix_market
 
 __all__ = [
     "COOMatrix",

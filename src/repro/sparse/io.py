@@ -38,13 +38,13 @@ def save_matrix_market(path: PathLike, a: CSRMatrix, *, field: str = "real") -> 
         fh.write(f"{_HEADER} {field} general\n")
         fh.write(f"{a.shape[0]} {a.shape[1]} {coo.nnz}\n")
         if field == "pattern":
-            for r, c in zip(coo.rows, coo.cols):
+            for r, c in zip(coo.rows, coo.cols, strict=True):
                 fh.write(f"{r + 1} {c + 1}\n")
         elif field == "integer":
-            for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            for r, c, v in zip(coo.rows, coo.cols, coo.data, strict=True):
                 fh.write(f"{r + 1} {c + 1} {int(v)}\n")
         else:
-            for r, c, v in zip(coo.rows, coo.cols, coo.data):
+            for r, c, v in zip(coo.rows, coo.cols, coo.data, strict=True):
                 fh.write(f"{r + 1} {c + 1} {float(v):.9g}\n")
 
 

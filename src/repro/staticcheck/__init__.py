@@ -1,0 +1,56 @@
+"""Static invariant auditing for CBM artifacts, plans, and source contracts.
+
+The rest of the repository proves correctness *dynamically* — by
+multiplying against the CSR reference (:mod:`repro.core.verify`), by
+chaos-injecting faults (:mod:`repro.reliability.chaos`), or by soaking
+the serving layer.  This package proves what it can *statically*, from
+the artifact or the code alone, before any kernel runs:
+
+* :mod:`repro.staticcheck.artifact` — audits a CBM artifact (in-memory
+  matrix or ``.npz`` archive): rootedness/acyclicity of the compression
+  tree, delta-set consistency, the paper's Property 1 and Property 2
+  bounds, variant scaling-vector ranges, and archive header/payload
+  agreement.  Reports findings instead of raising, so corrupted
+  artifacts can be *described*, not just rejected.
+* :mod:`repro.staticcheck.hazards` — a race detector for the branch-
+  parallel update stage (paper Section V-B): write-write and
+  read-before-write hazards across a plan's branch decomposition, level
+  schedule ordering, workspace-pool aliasing, and executor watchdog
+  coverage.  It proves branch independence instead of assuming it.
+* :mod:`repro.staticcheck.lint` — an AST-based contract linter over the
+  source tree enforcing the codebase's concurrency/buffer conventions
+  (declared in-place buffer mutation, lock-guarded ``GuardStats``
+  counters, no swallowed broad excepts, no sleeps under a lock) with
+  ruff-style output and a regression baseline.
+
+All three are surfaced as ``repro check {artifact,plan,code}`` in the
+CLI and run as the required ``staticcheck`` CI job.
+"""
+
+from repro.staticcheck.artifact import audit_archive, audit_arrays, audit_cbm
+from repro.staticcheck.hazards import (
+    analyze_branches,
+    analyze_level_schedule,
+    analyze_plan,
+    analyze_pool,
+    analyze_schedule,
+)
+from repro.staticcheck.lint import lint_paths, lint_source, load_baseline
+from repro.staticcheck.report import AuditReport, Finding, Severity
+
+__all__ = [
+    "AuditReport",
+    "Finding",
+    "Severity",
+    "analyze_branches",
+    "analyze_level_schedule",
+    "analyze_plan",
+    "analyze_pool",
+    "analyze_schedule",
+    "audit_archive",
+    "audit_arrays",
+    "audit_cbm",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+]

@@ -1,0 +1,604 @@
+"""Static auditing of CBM artifacts (paper Sections III, V-A, Properties 1–2).
+
+Everything here is proved **from the artifact alone — no matmul runs**:
+
+* **arborescence** — the compression tree is a rooted forest hanging off
+  the virtual empty row: parent indices in range, no self-parents, no
+  cycles (Section III);
+* **delta-set consistency** — the delta CSR is structurally valid, its
+  values are in {+1, −1}, virtual-parent rows carry no −1 deltas, the
+  per-row counts agree with ``tree.weight``, and the *reconstructed* nnz
+  accounting matches the header's ``source_nnz``;
+* **Property 1** — each row's delta count never exceeds its (statically
+  reconstructed) nnz, and the total delta count never exceeds the source
+  nnz;
+* **Property 2** — total scalar operations of one CBM SpMM stay at or
+  below the CSR baseline, computed via :mod:`repro.core.opcount`;
+* **scaling vectors** — diagonal lengths, non-zero/finite entries, and
+  the DAD squareness / D1AD2 row-scale index-range requirements;
+* **archive agreement** — header/payload consistency of a stored
+  ``.npz``: format version, complete checksum table, CRC-32 match for
+  every payload, and header shape vs payload shape.
+
+Unlike :class:`~repro.core.tree.CompressionTree` (whose constructor
+*raises* on a bad structure) the auditor works on **raw arrays** and
+*reports*: a corrupted artifact yields an :class:`AuditReport` that
+names every violated property, which is what the CLI ``repro check
+artifact`` prints and the mutation-validation suite asserts on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.core import opcount
+from repro.core.tree import VIRTUAL
+from repro.sparse.csr import CSRMatrix
+from repro.staticcheck.report import AuditReport, Severity
+
+_MAX_LISTED = 5  # rows listed verbatim in a finding message
+
+_ARCHIVE_PAYLOADS = (
+    "tree_parent",
+    "tree_weight",
+    "delta_indptr",
+    "delta_indices",
+    "delta_data",
+)
+
+_VARIANTS = ("A", "AD", "DAD", "D1AD2")
+
+
+def _fmt_rows(rows: np.ndarray) -> str:
+    listed = ", ".join(str(int(r)) for r in rows[:_MAX_LISTED])
+    more = f", … (+{len(rows) - _MAX_LISTED} more)" if len(rows) > _MAX_LISTED else ""
+    return f"[{listed}{more}]"
+
+
+def _safe_depths(parent: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Depths by relaxation, tolerating corruption.
+
+    Returns ``(depth, bad_parent, unresolved)`` where ``bad_parent`` marks
+    rows whose parent index is out of range or self-referential and
+    ``unresolved`` marks rows whose depth never settles — members of a
+    cycle, or descendants of a ``bad_parent`` row.  Mirrors
+    :meth:`repro.core.tree.CompressionTree.depth` but never raises and
+    never indexes with a corrupted parent.
+    """
+    n = len(parent)
+    idx = np.arange(n)
+    bad_parent = (parent != VIRTUAL) & ((parent < 0) | (parent >= n) | (parent == idx))
+    depth = np.where(parent == VIRTUAL, 0, -1).astype(np.int64)
+    pending = np.flatnonzero((depth < 0) & ~bad_parent)
+    for _ in range(n + 1):
+        if not len(pending):
+            break
+        pd = depth[parent[pending]]
+        ready = pd >= 0
+        if not np.any(ready):
+            break
+        depth[pending[ready]] = pd[ready] + 1
+        pending = pending[~ready]
+    unresolved = np.zeros(n, dtype=bool)
+    unresolved[pending] = True
+    return depth, bad_parent, unresolved
+
+
+def _audit_tree(report: AuditReport, parent: np.ndarray, weight: np.ndarray) -> np.ndarray | None:
+    """Arborescence checks; returns settled depths or None when broken."""
+    n = len(parent)
+    depth, bad_parent, unresolved = _safe_depths(parent)
+
+    oob = np.flatnonzero(
+        (parent != VIRTUAL) & ((parent < 0) | (parent >= n)) & (parent != np.arange(n))
+    )
+    if len(oob):
+        report.add(
+            "CBM-T001",
+            f"tree parent index out of range at rows {_fmt_rows(oob)} — "
+            "orphan branch rows reference a parent that does not exist",
+        )
+    selfp = np.flatnonzero(parent == np.arange(n))
+    if len(selfp):
+        report.add(
+            "CBM-T002",
+            f"rows {_fmt_rows(selfp)} are their own parent — the compression "
+            "tree must be an arborescence rooted at the virtual empty row",
+        )
+    # Cycle members have in-range parents but never resolve; descendants
+    # of bad rows also never resolve.  Separate the two for the message.
+    cyclic = np.flatnonzero(unresolved)
+    if len(cyclic):
+        report.add(
+            "CBM-T003",
+            f"rows {_fmt_rows(cyclic)} never reach the virtual root — the "
+            "compression tree contains a cycle (or rows descend from a "
+            "corrupted parent), violating rootedness/acyclicity",
+        )
+    if len(oob) or len(selfp) or len(cyclic):
+        report.failed("tree.arborescence")
+        depths_ok = None
+    else:
+        report.passed("tree.arborescence")
+        depths_ok = depth
+
+    if len(weight) != n:
+        report.add(
+            "CBM-T004",
+            f"tree weight vector has length {len(weight)}, expected {n}",
+        )
+        report.failed("tree.weights")
+    elif np.any(weight < 0):
+        report.add("CBM-T004", "tree weight vector contains negative delta counts")
+        report.failed("tree.weights")
+    else:
+        report.passed("tree.weights")
+    return depths_ok
+
+
+def _audit_delta_structure(
+    report: AuditReport,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+    shape: tuple[int, int],
+) -> bool:
+    """CSR structural invariants of the delta matrix; True when sound."""
+    n, m = shape
+    ok = True
+    if len(indptr) != n + 1 or (len(indptr) and indptr[0] != 0):
+        report.add(
+            "CBM-D001",
+            f"delta indptr has length {len(indptr)} (expected {n + 1}) or does "
+            "not start at 0",
+        )
+        ok = False
+    elif np.any(np.diff(indptr) < 0):
+        report.add("CBM-D001", "delta indptr is not non-decreasing")
+        ok = False
+    elif indptr[-1] != len(indices) or len(indices) != len(data):
+        report.add(
+            "CBM-D001",
+            f"delta set truncated or padded: indptr accounts for "
+            f"{int(indptr[-1])} deltas but {len(indices)} indices / "
+            f"{len(data)} values are stored",
+        )
+        ok = False
+    if len(indices) and (indices.min() < 0 or indices.max() >= m):
+        report.add(
+            "CBM-D001",
+            f"delta column indices out of range for shape {shape}",
+        )
+        ok = False
+    if ok:
+        report.passed("delta.structure")
+    else:
+        report.failed("delta.structure")
+
+    finite = np.isfinite(data) if np.issubdtype(data.dtype, np.floating) else np.ones(
+        len(data), dtype=bool
+    )
+    bad_vals = ~finite | (np.abs(data) != 1)
+    if len(data) and np.any(bad_vals):
+        report.add(
+            "CBM-D002",
+            f"{int(np.count_nonzero(bad_vals))} delta values outside {{+1, -1}} "
+            "— the unscaled delta matrix must hold pure indicator deltas",
+        )
+        report.failed("delta.values")
+    else:
+        report.passed("delta.values")
+    return ok
+
+
+def _reconstruct(
+    report: AuditReport,
+    parent: np.ndarray,
+    depth: np.ndarray,
+    indptr: np.ndarray,
+    indices: np.ndarray,
+    data: np.ndarray,
+) -> list[np.ndarray] | None:
+    """Statically replay the delta sets into per-row column sets.
+
+    This is the auditor's own tolerant mirror of
+    :func:`repro.core.deltas.reconstruct_rows`: it walks parents-first and
+    reports (rather than raises) when a delta set is inconsistent with
+    its parent row.  Requires a sound tree and delta structure.
+    """
+    n = len(parent)
+    rows: list[np.ndarray | None] = [None] * n
+    overlap_rows: list[int] = []
+    negative_virtual: list[int] = []
+    for x in np.argsort(depth, kind="stable"):
+        x = int(x)
+        lo, hi = int(indptr[x]), int(indptr[x + 1])
+        idx = indices[lo:hi]
+        val = data[lo:hi]
+        plus = idx[val > 0]
+        minus = idx[val < 0]
+        p = int(parent[x])
+        if p == VIRTUAL:
+            if len(minus):
+                negative_virtual.append(x)
+            rows[x] = np.unique(plus)
+            continue
+        base = rows[p]
+        if base is None:  # unreachable with a sound tree; guard anyway
+            rows[x] = np.unique(plus)
+            continue
+        # Δ⁺ must be disjoint from the parent row and Δ⁻ a subset of it,
+        # or the per-row nnz accounting (and the product) silently drifts.
+        if len(np.intersect1d(plus, base)) or len(np.setdiff1d(minus, base)):
+            overlap_rows.append(x)
+        rows[x] = np.setdiff1d(np.union1d(base, plus), minus, assume_unique=False)
+    if negative_virtual:
+        report.add(
+            "CBM-D004",
+            f"virtual-parent rows {_fmt_rows(np.asarray(negative_virtual))} "
+            "carry negative deltas — Δ⁻ against the empty row is undefined",
+        )
+        report.failed("delta.virtual_rows")
+    else:
+        report.passed("delta.virtual_rows")
+    if overlap_rows:
+        report.add(
+            "CBM-D006",
+            f"delta sets of rows {_fmt_rows(np.asarray(overlap_rows))} are "
+            "inconsistent with their parent row (Δ⁺ overlaps the parent or "
+            "Δ⁻ removes absent columns)",
+        )
+        report.failed("delta.set_consistency")
+    else:
+        report.passed("delta.set_consistency")
+    return [r if r is not None else np.empty(0, dtype=np.int64) for r in rows]
+
+
+def audit_arrays(
+    parent,
+    weight,
+    indptr,
+    indices,
+    data,
+    shape: tuple[int, int],
+    *,
+    variant: str = "A",
+    diag=None,
+    diag_left=None,
+    source_nnz: int = 0,
+    alpha=None,
+    subject: str = "cbm-artifact",
+) -> AuditReport:
+    """Audit one CBM artifact given its raw arrays (never raises).
+
+    This is the core engine behind :func:`audit_cbm` and
+    :func:`audit_archive`; see the module docstring for the invariant
+    catalogue.  ``alpha`` is accepted for symmetry with the archive
+    header but only echoed into messages.
+    """
+    report = AuditReport(subject=subject)
+    parent = np.asarray(parent, dtype=np.int64).ravel()
+    weight = np.asarray(weight, dtype=np.int64).ravel()
+    indptr = np.asarray(indptr, dtype=np.int64).ravel()
+    indices = np.asarray(indices, dtype=np.int64).ravel()
+    data = np.asarray(data).ravel()
+    n, m = int(shape[0]), int(shape[1])
+
+    if len(parent) != n:
+        report.add(
+            "CBM-T005",
+            f"tree covers {len(parent)} rows but the artifact shape is {(n, m)}",
+        )
+        report.failed("tree.arborescence")
+        return report
+
+    depth = _audit_tree(report, parent, weight)
+    delta_ok = _audit_delta_structure(report, indptr, indices, data, (n, m))
+    _audit_scaling(report, variant, diag, diag_left, (n, m))
+
+    if depth is None or not delta_ok:
+        # Structure is broken: the delta/row accounting below would index
+        # with corrupted values, so the remaining properties are
+        # unprovable (their checks stay unset, not failed).
+        return report
+
+    # Per-row delta counts vs the tree's recorded weights.
+    counts = np.diff(indptr)
+    recorded = weight if len(weight) == n else np.zeros(n, dtype=np.int64)
+    mismatch = np.flatnonzero((recorded != 0) & (recorded != counts))
+    if len(mismatch):
+        report.add(
+            "CBM-D005",
+            f"rows {_fmt_rows(mismatch)} store a different number of deltas "
+            "than tree.weight records — the delta set was truncated or the "
+            "header is stale",
+        )
+        report.failed("delta.weight_agreement")
+    else:
+        report.passed("delta.weight_agreement")
+
+    rows = _reconstruct(report, parent, depth, indptr, indices, data)
+    row_nnz = np.asarray([len(r) for r in rows], dtype=np.int64)
+    reconstructed_nnz = int(row_nnz.sum())
+
+    if source_nnz and reconstructed_nnz != int(source_nnz):
+        report.add(
+            "CBM-N001",
+            f"reconstructed nnz accounting ({reconstructed_nnz}) does not "
+            f"match the header source_nnz ({int(source_nnz)})",
+        )
+        report.failed("accounting.nnz")
+    else:
+        report.passed("accounting.nnz")
+
+    # Property 1 — per-row delta cost never exceeds the row's nnz.
+    over = np.flatnonzero(counts > row_nnz)
+    if len(over):
+        report.add(
+            "CBM-P101",
+            f"Property 1 violated: rows {_fmt_rows(over)} spend more deltas "
+            "than their row nnz — compressing against the virtual row would "
+            "be cheaper",
+            severity=Severity.WARNING,
+        )
+        report.failed("property1.per_row")
+    else:
+        report.passed("property1.per_row")
+    effective_nnz = int(source_nnz) if source_nnz else reconstructed_nnz
+    if int(indptr[-1]) > effective_nnz:
+        report.add(
+            "CBM-P102",
+            f"Property 1 violated in aggregate: {int(indptr[-1])} total deltas "
+            f"exceed the source nnz ({effective_nnz})",
+            severity=Severity.WARNING,
+        )
+        report.failed("property1.total")
+    else:
+        report.passed("property1.total")
+
+    # Property 2 — total scalar ops at or below the CSR baseline, priced
+    # by the shared opcount accounting (p = 1 columns; both sides scale
+    # linearly in p so one column decides the bound).
+    variant_key = variant if variant in _VARIANTS else "A"
+    try:
+        from repro.core.tree import CompressionTree
+
+        tree_obj = CompressionTree(parent=parent, weight=recorded)
+        delta_obj = CSRMatrix(indptr, indices, np.abs(data).astype(np.float32), (n, m))
+        cbm_ops = opcount.cbm_spmm_ops(delta_obj, tree_obj, 1, variant=variant_key)
+        csr_ops = 2 * effective_nnz
+        if cbm_ops.total > csr_ops:
+            report.add(
+                "CBM-P201",
+                f"Property 2 violated: one CBM SpMM costs {cbm_ops.total} "
+                f"scalar ops per column vs {csr_ops} for CSR — the "
+                "compression does not pay for its update stage",
+                severity=Severity.WARNING,
+            )
+            report.failed("property2.total_ops")
+        else:
+            report.passed("property2.total_ops")
+    except Exception as exc:  # structure passed our audit but not the library's
+        report.add(
+            "CBM-P202",
+            f"Property 2 not provable: container validation rejected the "
+            f"artifact ({type(exc).__name__}: {exc})",
+        )
+        report.failed("property2.total_ops")
+    return report
+
+
+def _audit_scaling(
+    report: AuditReport, variant: str, diag, diag_left, shape: tuple[int, int]
+) -> None:
+    """Diagonal-vector checks for the AD/DAD/D1AD2 factorised forms."""
+    n, m = shape
+    if variant not in _VARIANTS:
+        report.add(
+            "CBM-S003",
+            f"unknown variant {variant!r}; expected one of {_VARIANTS}",
+        )
+        report.failed("scaling.vectors")
+        return
+    ok = True
+    if variant == "A":
+        report.passed("scaling.vectors")
+        return
+    if diag is None:
+        report.add("CBM-S001", f"variant {variant} requires a diagonal vector")
+        ok = False
+    else:
+        d = np.asarray(diag, dtype=np.float64).ravel()
+        if len(d) != m:
+            report.add(
+                "CBM-S001",
+                f"diagonal has length {len(d)} but the matrix has {m} columns "
+                "— column-scale index range violated",
+            )
+            ok = False
+        elif np.any(~np.isfinite(d)) or np.any(d == 0):
+            report.add(
+                "CBM-S001",
+                "diagonal contains zero or non-finite entries; AD/DAD "
+                "round-trips require invertible scaling",
+            )
+            ok = False
+    if variant == "DAD" and n != m:
+        report.add(
+            "CBM-S002",
+            f"variant DAD requires a square matrix but the artifact is "
+            f"{n}×{m} — the single diagonal cannot scale both sides",
+        )
+        ok = False
+    if variant == "D1AD2":
+        if diag_left is None:
+            report.add("CBM-S002", "variant D1AD2 requires diag_left (d1)")
+            ok = False
+        else:
+            d1 = np.asarray(diag_left, dtype=np.float64).ravel()
+            if len(d1) != n:
+                report.add(
+                    "CBM-S002",
+                    f"diag_left has length {len(d1)} but the matrix has {n} "
+                    "rows — row-scale index range violated",
+                )
+                ok = False
+            elif np.any(~np.isfinite(d1)) or np.any(d1 == 0):
+                report.add(
+                    "CBM-S002",
+                    "diag_left contains zero or non-finite entries",
+                )
+                ok = False
+    if ok:
+        report.passed("scaling.vectors")
+    else:
+        report.failed("scaling.vectors")
+
+
+def audit_cbm(cbm, *, subject: str = "CBMMatrix") -> AuditReport:
+    """Audit a live :class:`~repro.core.cbm.CBMMatrix`.
+
+    Works on the matrix's raw arrays, so in-place corruption *after*
+    construction (which the constructor's validation cannot see) is
+    still caught.
+    """
+    return audit_arrays(
+        cbm.tree.parent,
+        cbm.tree.weight,
+        cbm.delta.indptr,
+        cbm.delta.indices,
+        cbm.delta.data,
+        cbm.shape,
+        variant=cbm.variant.value,
+        diag=cbm.diag,
+        diag_left=cbm.diag_left,
+        source_nnz=cbm.source_nnz,
+        alpha=cbm.alpha,
+        subject=subject,
+    )
+
+
+def audit_archive(path, *, subject: str | None = None) -> AuditReport:
+    """Audit a stored CBM ``.npz`` archive without loading it.
+
+    Verifies header/payload agreement (format version, checksum table,
+    CRC-32 of every payload against the header, header shape vs payload
+    shape, variant/diagonal presence) and then runs the full array audit
+    on the raw payloads.  Unlike :func:`repro.core.io.load_cbm` this
+    never raises on corruption — it reports.
+    """
+    from repro.core.io import _LOADABLE_VERSIONS, checksum_array
+
+    report = AuditReport(subject=subject if subject is not None else str(path))
+    try:
+        archive = np.load(path)
+    except (OSError, ValueError) as exc:
+        report.add("CBM-A001", f"not a readable archive: {exc}")
+        report.failed("archive.header")
+        return report
+    with archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+        except (KeyError, ValueError) as exc:
+            report.add("CBM-A001", f"missing or unparseable meta header: {exc}")
+            report.failed("archive.header")
+            return report
+        version = meta.get("version")
+        if version not in _LOADABLE_VERSIONS:
+            report.add("CBM-A002", f"unsupported archive version {version!r}")
+            report.failed("archive.header")
+            return report
+
+        missing = [name for name in _ARCHIVE_PAYLOADS if name not in archive.files]
+        if missing:
+            report.add(
+                "CBM-A005",
+                f"archive is missing payload arrays {missing} — header and "
+                "payload disagree",
+            )
+            report.failed("archive.payloads")
+            return report
+        report.passed("archive.payloads")
+
+        if version >= 2:
+            checksums = meta.get("checksums")
+            if not isinstance(checksums, dict):
+                report.add(
+                    "CBM-A003",
+                    "version-2 archive is missing its checksum table",
+                )
+                report.failed("archive.checksums")
+            else:
+                stale = []
+                for name, expected in checksums.items():
+                    if name not in archive.files:
+                        report.add(
+                            "CBM-A005",
+                            f"checksummed payload {name!r} is absent from the "
+                            "archive",
+                        )
+                        report.failed("archive.checksums")
+                        continue
+                    if checksum_array(archive[name]) != int(expected):
+                        stale.append(name)
+                if stale:
+                    report.add(
+                        "CBM-A004",
+                        f"stale CRC: payload arrays {stale} do not match the "
+                        "header checksums — the archive bytes changed after "
+                        "the header was written",
+                    )
+                    report.failed("archive.checksums")
+                report.passed("archive.checksums")
+
+        arrays = {name: archive[name] for name in _ARCHIVE_PAYLOADS}
+        diag = archive["diag"] if "diag" in archive.files else None
+        diag_left = archive["diag_left"] if "diag_left" in archive.files else None
+
+        shape = meta.get("shape")
+        if (
+            not isinstance(shape, list)
+            or len(shape) != 2
+            or len(arrays["delta_indptr"]) != int(shape[0]) + 1
+            or len(arrays["tree_parent"]) != int(shape[0])
+        ):
+            report.add(
+                "CBM-A006",
+                f"header shape {shape!r} disagrees with the payload arrays "
+                f"({len(arrays['tree_parent'])} tree rows, "
+                f"{max(len(arrays['delta_indptr']) - 1, 0)} delta rows)",
+            )
+            report.failed("archive.header")
+            # Fall back to the payload's own row count so the structural
+            # audit can still describe the damage.
+            shape = [len(arrays["tree_parent"]), int(shape[1]) if shape else 0]
+        else:
+            report.passed("archive.header")
+
+        variant = meta.get("variant", "A")
+        if variant != "A" and diag is None:
+            report.add(
+                "CBM-A007",
+                f"header declares variant {variant!r} but the archive carries "
+                "no diag payload",
+            )
+            report.failed("archive.header")
+
+        inner = audit_arrays(
+            arrays["tree_parent"],
+            arrays["tree_weight"],
+            arrays["delta_indptr"],
+            arrays["delta_indices"],
+            arrays["delta_data"],
+            (int(shape[0]), int(shape[1])),
+            variant=variant,
+            diag=diag,
+            diag_left=diag_left,
+            source_nnz=int(meta.get("source_nnz", 0) or 0),
+            alpha=meta.get("alpha"),
+            subject=report.subject,
+        )
+    report.merge(inner)
+    return report

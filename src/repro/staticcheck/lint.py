@@ -1,0 +1,319 @@
+"""AST-based contract linter for the runtime's concurrency/buffer rules.
+
+The PR2/PR3 layers rely on conventions no general-purpose linter knows:
+
+``SC101``
+    Bare ``except:`` — catches ``KeyboardInterrupt``/``SystemExit`` and
+    hides which failures the handler was designed for.
+``SC102``
+    Broad ``except Exception``/``except BaseException`` that *swallows*:
+    the handler neither re-raises nor uses the bound exception.  In the
+    executor and serving hot paths a swallowed failure becomes a silently
+    wrong product; handlers that record-and-propagate (the executor's
+    worker trampoline) bind the exception and use it, which this rule
+    allows.
+``SC201``
+    :class:`~repro.reliability.guard.GuardStats` counter fields
+    (``calls``, ``fallbacks``, ``input_rejections``,
+    ``warnings_suppressed``, ``reasons``) touched through a ``.stats.``
+    attribute chain outside ``GuardStats`` itself.  The counters are
+    shared across serving threads and must only be read through the
+    locked accessors (``snapshot()``/``as_dict()``/``record_*``).
+``SC301``
+    In-place mutation (subscript assignment, augmented assignment, or
+    ``.fill()``) of a buffer parameter — ``c``, ``out``, ``u``, ``buf``,
+    ``dst`` — inside a function whose docstring does not declare the
+    mutation with "in place"/"in-place".  The restore-or-invalidate
+    contract (PR2) makes callers responsible for buffers a callee may
+    half-write; an undeclared mutator breaks that audit trail.
+``SC401``
+    ``time.sleep`` (or bare ``sleep``) lexically inside a ``with`` block
+    whose context manager mentions a lock.  Sleeping while holding the
+    service lock stalls every other request on the instance.
+
+Findings render ruff-style (``path:line: CODE message``).  A regression
+baseline (:func:`load_baseline`) makes CI fail only on *new* findings,
+and ``# staticcheck: ignore[CODE]`` on the offending line suppresses a
+single finding where the contract is deliberately bent.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.staticcheck.report import Finding, Severity
+
+#: GuardStats counter fields that must only be touched under its lock.
+GUARDSTATS_COUNTERS = frozenset(
+    {"calls", "fallbacks", "input_rejections", "warnings_suppressed", "reasons"}
+)
+
+#: Parameter names the codebase uses for caller-owned output/work buffers.
+BUFFER_PARAMS = frozenset({"c", "out", "u", "buf", "dst"})
+
+_INPLACE_MARKERS = ("in place", "in-place")
+
+_PRAGMA = "staticcheck: ignore"
+
+
+def _pragma_codes(line: str) -> set[str] | None:
+    """Codes suppressed by a ``# staticcheck: ignore[...]`` pragma.
+
+    Returns None when the line has no pragma; an empty set means a bare
+    ``# staticcheck: ignore`` (suppress everything on the line).
+    """
+    idx = line.find(_PRAGMA)
+    if idx < 0 or "#" not in line[:idx]:
+        return None
+    rest = line[idx + len(_PRAGMA) :]
+    if rest.lstrip().startswith("["):
+        inner = rest.lstrip()[1:].split("]", 1)[0]
+        return {c.strip() for c in inner.split(",") if c.strip()}
+    return set()
+
+
+class _ContractVisitor(ast.NodeVisitor):
+    """One pass over a module collecting SC1xx–SC4xx findings."""
+
+    def __init__(self, path: str, lines: list[str]):
+        self.path = path
+        self.lines = lines
+        self.findings: list[Finding] = []
+        # Lexical state.
+        self._func_stack: list[tuple[set[str], bool]] = []  # (buffer params, declared)
+        self._lock_depth = 0
+        self._class_stack: list[str] = []
+
+    # -- helpers -------------------------------------------------------
+    def _emit(self, code: str, line: int, message: str, severity=Severity.ERROR) -> None:
+        src = self.lines[line - 1] if 0 < line <= len(self.lines) else ""
+        codes = _pragma_codes(src)
+        if codes is not None and (not codes or code in codes):
+            return
+        self.findings.append(
+            Finding(code=code, severity=severity, message=message, subject=self.path, line=line)
+        )
+
+    # -- SC101 / SC102: except hygiene ---------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "SC101",
+                node.lineno,
+                "bare `except:` — name the exceptions this handler is for",
+            )
+        elif self._is_broad(node.type) and self._swallows(node):
+            what = ast.unparse(node.type)
+            self._emit(
+                "SC102",
+                node.lineno,
+                f"`except {what}` swallows the failure (no re-raise, bound "
+                "exception unused) — narrow the exception or propagate it",
+            )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_broad(type_node: ast.expr) -> bool:
+        names = []
+        for n in ast.walk(type_node):
+            if isinstance(n, ast.Name):
+                names.append(n.id)
+            elif isinstance(n, ast.Attribute):
+                names.append(n.attr)
+        return any(name in ("Exception", "BaseException") for name in names)
+
+    @staticmethod
+    def _swallows(node: ast.ExceptHandler) -> bool:
+        for n in node.body:
+            for sub in ast.walk(n):
+                if isinstance(sub, ast.Raise):
+                    return False
+                if (
+                    node.name
+                    and isinstance(sub, ast.Name)
+                    and sub.id == node.name
+                ):
+                    return False
+        return True
+
+    # -- SC201: GuardStats counters outside the lock -------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in GUARDSTATS_COUNTERS
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "stats"
+            and self._class_stack[-1:] != ["GuardStats"]
+        ):
+            self._emit(
+                "SC201",
+                node.lineno,
+                f"GuardStats counter `.stats.{node.attr}` touched outside its "
+                "lock — use snapshot()/as_dict() or a record_* accessor",
+            )
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._class_stack.append(node.name)
+        self.generic_visit(node)
+        self._class_stack.pop()
+
+    # -- SC301: undeclared in-place buffer mutation --------------------
+    def _visit_function(self, node) -> None:
+        args = node.args
+        names = {
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        }
+        buffers = names & BUFFER_PARAMS
+        doc = ast.get_docstring(node) or ""
+        declared = any(marker in doc.lower() for marker in _INPLACE_MARKERS)
+        self._func_stack.append((buffers, declared))
+        self.generic_visit(node)
+        self._func_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def _buffer_param(self, expr: ast.expr) -> str | None:
+        """The enclosing function's buffer param this expression writes, if any."""
+        if not self._func_stack:
+            return None
+        buffers, declared = self._func_stack[-1]
+        if declared or not buffers:
+            return None
+        target = expr
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Name) and target.id in buffers:
+            return target.id
+        return None
+
+    def _check_mutation(self, expr: ast.expr, line: int, how: str) -> None:
+        name = self._buffer_param(expr)
+        if name is not None:
+            self._emit(
+                "SC301",
+                line,
+                f"undeclared in-place mutation: {how} buffer parameter "
+                f"`{name}` but the function's docstring does not say "
+                "\"in place\" — callers must know this buffer is written "
+                "(restore-or-invalidate contract)",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                self._check_mutation(target, node.lineno, "subscript-assigns")
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_mutation(node.target, node.lineno, "augments")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr == "fill":
+                self._check_mutation(func.value, node.lineno, "fills")
+        # -- SC401: sleeping while holding a lock ----------------------
+        is_sleep = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "sleep"
+            or isinstance(func, ast.Name)
+            and func.id == "sleep"
+        )
+        if is_sleep and self._lock_depth > 0:
+            self._emit(
+                "SC401",
+                node.lineno,
+                "blocking sleep while holding a lock — every other holder "
+                "stalls for the full sleep",
+            )
+        self.generic_visit(node)
+
+    def visit_With(self, node: ast.With) -> None:
+        holds = any(self._mentions_lock(item.context_expr) for item in node.items)
+        if holds:
+            self._lock_depth += 1
+        self.generic_visit(node)
+        if holds:
+            self._lock_depth -= 1
+
+    @staticmethod
+    def _mentions_lock(expr: ast.expr) -> bool:
+        for n in ast.walk(expr):
+            name = None
+            if isinstance(n, ast.Name):
+                name = n.id
+            elif isinstance(n, ast.Attribute):
+                name = n.attr
+            if name is not None and "lock" in name.lower():
+                return True
+        return False
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Finding]:
+    """Lint one module's source text; returns findings in line order."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                code="SC001",
+                severity=Severity.ERROR,
+                message=f"cannot parse: {exc.msg}",
+                subject=path,
+                line=exc.lineno or 1,
+            )
+        ]
+    visitor = _ContractVisitor(path, source.splitlines())
+    visitor.visit(tree)
+    return sorted(visitor.findings, key=lambda f: (f.line or 0, f.code))
+
+
+def iter_python_files(paths) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return out
+
+
+def lint_paths(paths, *, baseline: set[str] | None = None, root=None) -> list[Finding]:
+    """Lint files/directories, dropping findings present in ``baseline``.
+
+    ``root`` (default: current directory) relativises the paths used in
+    rendered findings so baseline entries are machine-independent.
+    """
+    root = Path(root) if root is not None else Path.cwd()
+    findings: list[Finding] = []
+    for file in iter_python_files(paths):
+        try:
+            rel = str(file.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(file)
+        found = lint_source(file.read_text(encoding="utf-8"), rel)
+        if baseline:
+            found = [f for f in found if f.render() not in baseline]
+        findings.extend(found)
+    return findings
+
+
+def load_baseline(path) -> set[str]:
+    """Read a baseline file: one rendered finding per line; ``#`` comments."""
+    p = Path(path)
+    if not p.exists():
+        return set()
+    out = set()
+    for line in p.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            out.add(line)
+    return out

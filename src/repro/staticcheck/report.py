@@ -1,0 +1,132 @@
+"""Structured findings shared by every static checker.
+
+A :class:`Finding` is one violated invariant: a stable machine-readable
+code (``CBM-T003``, ``HZ-W002``, ``SC102``, ...), a severity, a message
+that names the violated property, and an optional location (``subject``
+is an artifact name or file path; ``line`` is set by the source linter).
+An :class:`AuditReport` aggregates the findings of one audited subject
+together with the ``checks`` that *passed* — the audit is a proof
+artifact, so what was established matters as much as what failed.
+
+Reports are JSON-ready (:meth:`AuditReport.to_dict`) for the CI job's
+uploaded audit artifact, and render as ruff-style one-liners
+(``subject:line: CODE message``) for terminals.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; higher is worse (ordering is meaningful)."""
+
+    WARNING = 1  # contract/performance property violated; products still correct
+    ERROR = 2  # correctness invariant violated; products may be silently wrong
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violated invariant, machine-readable."""
+
+    code: str
+    severity: Severity
+    message: str
+    subject: str = ""
+    line: int | None = None
+
+    def render(self) -> str:
+        """Ruff-style one-liner: ``subject:line: CODE message``."""
+        loc = self.subject or "<artifact>"
+        if self.line is not None:
+            loc = f"{loc}:{self.line}"
+        return f"{loc}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "subject": self.subject,
+            "line": self.line,
+        }
+
+
+@dataclass
+class AuditReport:
+    """Findings plus passed checks for one audited subject.
+
+    ``checks`` maps check names to True (proved) / False (violated or not
+    provable); every False check has at least one corresponding finding.
+    """
+
+    subject: str
+    findings: list[Finding] = field(default_factory=list)
+    checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def add(
+        self,
+        code: str,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+        line: int | None = None,
+    ) -> Finding:
+        finding = Finding(
+            code=code, severity=severity, message=message, subject=self.subject, line=line
+        )
+        self.findings.append(finding)
+        return finding
+
+    def passed(self, name: str) -> None:
+        """Record a check as proved unless a finding already failed it."""
+        self.checks.setdefault(name, True)
+
+    def failed(self, name: str) -> None:
+        self.checks[name] = False
+
+    def merge(self, other: "AuditReport") -> None:
+        """Fold another report's findings and checks into this one."""
+        self.findings.extend(other.findings)
+        for name, ok in other.checks.items():
+            self.checks[name] = self.checks.get(name, True) and ok
+
+    def has(self, code_prefix: str) -> bool:
+        """Whether any finding's code starts with ``code_prefix``."""
+        return any(f.code.startswith(code_prefix) for f in self.findings)
+
+    def to_dict(self) -> dict:
+        return {
+            "subject": self.subject,
+            "ok": self.ok,
+            "checks": dict(self.checks),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+    def render(self) -> str:
+        """Multi-line terminal rendering: verdict, checks, findings."""
+        lines = [f"{self.subject}: {'clean' if self.ok else 'FINDINGS'}"]
+        for name, ok in sorted(self.checks.items()):
+            lines.append(f"  [{'ok' if ok else 'FAIL'}] {name}")
+        for f in self.findings:
+            lines.append(f"  {str(f.severity).upper():7s} {f.code} {f.message}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,5 +1,8 @@
 """Shared utilities: validation, RNG handling, timing, formatting."""
 
+from repro.utils.fmt import format_table, human_bytes, human_time
+from repro.utils.rng import as_rng, spawn_rngs
+from repro.utils.timing import MeasuredTime, Timer, measure
 from repro.utils.validation import (
     check_axis_index,
     check_dense,
@@ -8,9 +11,6 @@ from repro.utils.validation import (
     check_square,
     ensure_array,
 )
-from repro.utils.rng import as_rng, spawn_rngs
-from repro.utils.timing import Timer, measure, MeasuredTime
-from repro.utils.fmt import human_bytes, human_time, format_table
 
 __all__ = [
     "check_axis_index",

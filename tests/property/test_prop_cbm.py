@@ -6,10 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
+from repro.core.arborescence import minimum_arborescence
 from repro.core.builder import build_cbm, build_clustered
 from repro.core.distance import candidate_edges
 from repro.core.mst import kruskal_mst, prim_mst
-from repro.core.arborescence import minimum_arborescence
 from repro.core.opcount import csr_spmm_ops
 from repro.sparse.convert import from_dense
 

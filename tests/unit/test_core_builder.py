@@ -58,7 +58,7 @@ class TestBuildCbm:
     def test_compression_monotone_in_alpha(self):
         a = random_adjacency_csr(40, density=0.4, seed=3)
         ratios = [build_cbm(a, alpha=al)[1].compression_ratio for al in (0, 2, 8, 32)]
-        assert all(r1 >= r2 - 1e-9 for r1, r2 in zip(ratios, ratios[1:]))
+        assert all(r1 >= r2 - 1e-9 for r1, r2 in zip(ratios, ratios[1:], strict=False))
 
     def test_roots_monotone_in_alpha(self):
         a = random_adjacency_csr(40, density=0.4, seed=4)

@@ -11,7 +11,7 @@ from tests.conftest import random_adjacency_csr, random_binary_csr
 
 
 def edge_set(g):
-    return {(int(s), int(d), int(w)) for s, d, w in zip(g.src, g.dst, g.weight)}
+    return {(int(s), int(d), int(w)) for s, d, w in zip(g.src, g.dst, g.weight, strict=True)}
 
 
 class TestCandidateEdges:
@@ -28,7 +28,7 @@ class TestCandidateEdges:
         a = random_binary_csr(15, density=0.4, seed=2)
         dense = a.toarray()
         g = candidate_edges(a, None)
-        for s, d, w in zip(g.src, g.dst, g.weight):
+        for s, d, w in zip(g.src, g.dst, g.weight, strict=True):
             assert w == np.sum(dense[s] != dense[d])
 
     def test_matches_brute_force_undirected(self):
@@ -53,12 +53,12 @@ class TestCandidateEdges:
         a = random_adjacency_csr(25, density=0.4, seed=6)
         alpha = 3
         g = candidate_edges(a, alpha)
-        for d, w in zip(g.dst, g.weight):
+        for d, w in zip(g.dst, g.weight, strict=True):
             assert g.row_nnz[d] - w > alpha
 
     def test_undirected_no_duplicate_pairs(self):
         g = candidate_edges(random_adjacency_csr(25, density=0.4, seed=7), None)
-        pairs = set(zip(g.src.tolist(), g.dst.tolist()))
+        pairs = set(zip(g.src.tolist(), g.dst.tolist(), strict=True))
         assert len(pairs) == g.num_edges
         assert all(s > d for s, d in pairs)
 
@@ -68,7 +68,7 @@ class TestCandidateEdges:
         d[:3, :3] = 1 - np.eye(3)
         d[3:, 3:] = 1 - np.eye(3)
         g = candidate_edges(from_dense(d), None)
-        for s, dd in zip(g.src, g.dst):
+        for s, dd in zip(g.src, g.dst, strict=True):
             assert (s < 3) == (dd < 3)
 
     def test_validate_passes(self):

@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.cli import main
 from repro.core.builder import build_cbm
 from repro.core.io import load_cbm, save_cbm
 from repro.errors import FormatError
-from repro.cli import main
 from repro.sparse.io import save_matrix_market
 
 from tests.conftest import random_adjacency_csr

@@ -1,9 +1,8 @@
 """Unit tests for the MST and arborescence constructions."""
 
+import networkx as nx
 import numpy as np
 import pytest
-
-import networkx as nx
 
 from repro.core.arborescence import minimum_arborescence
 from repro.core.distance import DistanceGraph, candidate_edges
@@ -42,7 +41,7 @@ def _mst_weight_networkx(g: DistanceGraph) -> int:
     n = g.n
     for x in range(n):
         G.add_edge(n, x, weight=int(g.row_nnz[x]))
-    for s, d, w in zip(g.src, g.dst, g.weight):
+    for s, d, w in zip(g.src, g.dst, g.weight, strict=True):
         u, v, w = int(s), int(d), int(w)
         if not G.has_edge(u, v) or G[u][v]["weight"] > w:
             G.add_edge(u, v, weight=w)
@@ -106,7 +105,7 @@ class TestArborescence:
         n = g.n
         for x in range(n):
             G.add_edge(n, x, weight=int(g.row_nnz[x]))
-        for s, d, w in zip(g.src, g.dst, g.weight):
+        for s, d, w in zip(g.src, g.dst, g.weight, strict=True):
             G.add_edge(int(s), int(d), weight=int(w))
         arb = nx.algorithms.tree.branchings.minimum_spanning_arborescence(G)
         oracle = sum(d["weight"] for _, _, d in arb.edges(data=True))

@@ -3,11 +3,11 @@
 import pytest
 
 from repro.bench.experiments import (
+    _scales,
     run_figure2,
     run_table2,
     run_table3,
     run_table4,
-    _scales,
 )
 from repro.graphs.datasets import load_dataset, paper_stats
 

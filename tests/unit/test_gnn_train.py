@@ -108,7 +108,7 @@ class TestGcnBackward:
         params = model.parameters()
         eps = 1e-3
         rng = np.random.default_rng(3)
-        for p, g in zip(params, analytic):
+        for p, g in zip(params, analytic, strict=True):
             # Spot-check a few coordinates per parameter tensor.
             flat_idx = rng.choice(p.size, size=min(4, p.size), replace=False)
             for k in flat_idx:

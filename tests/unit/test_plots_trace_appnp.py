@@ -85,7 +85,7 @@ class TestTrace:
             by_thread.setdefault(e.thread, []).append(e)
         for events in by_thread.values():
             events.sort(key=lambda e: e.start)
-            for a, b in zip(events, events[1:]):
+            for a, b in zip(events, events[1:], strict=False):
                 assert a.end <= b.start + 1e-12
 
     def test_busy_and_utilisation(self):

@@ -18,7 +18,7 @@ import pytest
 from repro.core.builder import build_cbm
 from repro.core.cbm import CBMMatrix
 from repro.core.io import load_cbm, save_cbm
-from repro.core.tree import CompressionTree, VIRTUAL
+from repro.core.tree import VIRTUAL, CompressionTree
 from repro.core.verify import verify_cbm
 from repro.errors import (
     CheckpointError,
@@ -528,7 +528,7 @@ class TestTrainingReliability:
                 lr=float("inf"), resume_from=ck,
             )
         assert exc_info.value.last_good is ck
-        for p, saved in zip(model.parameters(), ck.params):
+        for p, saved in zip(model.parameters(), ck.params, strict=True):
             np.testing.assert_array_equal(p, saved)
 
     def test_checkpoint_requires_path(self):

@@ -5,9 +5,9 @@ import numpy as np
 from repro.core.analysis import savings_histogram
 from repro.core.builder import build_cbm
 from repro.gnn.adjacency import make_operator
+from repro.gnn.data import synthetic_node_classification
 from repro.gnn.gcn import GCN
 from repro.gnn.train import train_gcn
-from repro.gnn.data import synthetic_node_classification
 from repro.graphs.ordering import bfs_order, rcm_order, signature_order
 from repro.sparse.convert import from_dense
 from repro.staf import build_staf

@@ -14,12 +14,12 @@ import numpy as np
 import pytest
 
 from repro.core.builder import build_cbm
+from repro.errors import ShapeError
 from repro.parallel.cache import plan_working_set
 from repro.parallel.executor import ThreadedUpdateExecutor, parallel_matmul
 from repro.parallel.schedule import plan_update_schedule
 from repro.runtime import KernelPlan, WorkspacePool
 from repro.sparse.ops import Engine
-from repro.errors import ShapeError
 
 from tests.conftest import random_adjacency_csr
 
@@ -234,7 +234,7 @@ class TestSharedPlanThreadSafety:
         for t in workers:
             t.join()
         assert not errors
-        for got, want in zip(results, expected):
+        for got, want in zip(results, expected, strict=True):
             np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
 
     def test_branch_parallel_executor_shares_plan(self):

@@ -29,7 +29,7 @@ class TestStrongScaling:
         assert all(pt.csr_s > 0 and pt.cbm_s > 0 for pt in curve)
 
     def test_times_non_increasing(self, curve):
-        for a, b in zip(curve, curve[1:]):
+        for a, b in zip(curve, curve[1:], strict=False):
             assert b.csr_s <= a.csr_s * 1.001
             assert b.cbm_s <= a.cbm_s * 1.001
 

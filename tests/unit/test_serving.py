@@ -71,9 +71,9 @@ class FakeClock:
 
 class TestDeadline:
     def test_budget_must_be_positive(self):
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             Deadline(0.0)
-        with pytest.raises(Exception):
+        with pytest.raises(ValueError):
             Deadline(-1.0)
 
     def test_remaining_counts_down_and_clamps(self):
