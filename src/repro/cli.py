@@ -17,6 +17,11 @@ Commands
     Static invariant checks (no kernel runs): audit CBM artifacts and
     archives, prove kernel plans race-free, and contract-lint the source
     tree.  Nonzero exit on any finding.
+``crash-soak``
+    Kill-9 chaos soak of the persistence tier: writer/trainer workloads
+    SIGKILLed at randomized durability sync points, then recovered and
+    checked against the crash-safety invariants.  Nonzero exit on any
+    violation.
 
 ``<graph>`` is a registry name (see ``datasets``) or a path to a
 MatrixMarket ``.mtx`` file.
@@ -384,6 +389,62 @@ def cmd_check_code(args) -> int:
     return 0
 
 
+def cmd_crash_soak(args) -> int:
+    """Kill-9 soak of the persistence tier (see repro.recovery.crashsim).
+
+    Exit 0 only when every durability invariant held across all trials:
+    no committed generation lost, latest() never corrupt, every torn
+    temp file quarantined, recovery time within budget.  With
+    ``--break-protocol`` the harness runs a deliberately buggy writer
+    and the expected outcome inverts: a nonzero exit proves the
+    invariant checks detect the bug.
+    """
+    import json
+
+    from repro.recovery.crashsim import run_soak
+
+    def progress(done, total, trial):
+        if args.verbose:
+            status = "ok" if trial.ok else "VIOLATION"
+            print(
+                f"  [{done:3d}/{total}] {trial.workload:8s} crash_at={trial.crash_at:3d} "
+                f"{'killed' if trial.killed else 'clean '} "
+                f"committed={len(trial.announced)} kept={len(trial.kept)} "
+                f"quarantined={trial.quarantined} {status}"
+            )
+
+    workloads = ("archive",) if args.break_protocol else ("archive", "trainer", "multi")
+    report = run_soak(
+        trials=args.trials,
+        seed=args.seed,
+        workloads=workloads,
+        iterations=args.iterations,
+        break_protocol=args.break_protocol,
+        recovery_budget_s=args.recovery_budget,
+        progress=progress,
+    )
+    print(f"crash soak — {report['trials']} trials, "
+          f"{report['killed']} SIGKILLed, {report['clean_exits']} clean exits "
+          f"({report['elapsed_s']:.1f}s)")
+    print(f"  commits observed        {report['commits_observed']}")
+    print(f"  generations quarantined {report['generations_quarantined']}")
+    print(f"  stray tmp quarantined   {report['stray_tmp_quarantined']}")
+    print(f"  max recovery time       {report['max_recovery_s'] * 1e3:.1f} ms "
+          f"(budget {report['recovery_budget_s']:.1f}s)")
+    for name, stats in report["workloads"].items():
+        print(f"  {name:8s} trials={stats['trials']} kills={stats['kills']} "
+              f"violations={stats['violations']}")
+    for v in report["violations"]:
+        print(f"  violation: {v}")
+    print(f"  {'OK' if report['ok'] else 'FAIL'}: "
+          f"{len(report['violations'])} violated invariant(s)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"  report written to {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_verify(args) -> int:
     from repro.core.verify import verify_cbm
 
@@ -487,6 +548,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="baseline file of accepted findings (CI fails only on regressions)",
     )
     pc.set_defaults(fn=cmd_check_code)
+
+    p = sub.add_parser(
+        "crash-soak",
+        help="kill-9 soak of the persistence tier: SIGKILL writer/trainer "
+        "workloads at randomized sync points, recover, and assert the "
+        "durability invariants (nonzero exit on any violation)",
+    )
+    p.add_argument("--trials", type=int, default=60, help="spawn/kill/recover cycles")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--iterations", type=int, default=3,
+                   help="commits each worker attempts before exiting cleanly")
+    p.add_argument("--recovery-budget", type=float, default=10.0,
+                   help="max seconds a single recovery may take")
+    p.add_argument("--break-protocol", action="store_true",
+                   help="run the deliberately buggy commit-marker-first writer; "
+                   "the soak must then FAIL (negative control)")
+    p.add_argument("--json", help="write the full JSON report here")
+    p.add_argument("--verbose", action="store_true", help="print every trial")
+    p.set_defaults(fn=cmd_crash_soak)
 
     p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
     p.add_argument("graph")

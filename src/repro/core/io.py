@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 import zlib
 from typing import Union
 
@@ -28,6 +29,7 @@ import numpy as np
 from repro.core.cbm import CBMMatrix, Variant
 from repro.core.tree import CompressionTree
 from repro.errors import FormatError, IntegrityError
+from repro.recovery.atomic import atomic_write
 from repro.sparse.csr import CSRMatrix
 
 PathLike = Union[str, os.PathLike]
@@ -61,7 +63,10 @@ def save_cbm(path: PathLike, cbm: CBMMatrix) -> None:
     """Write ``cbm`` to ``path`` as a compressed ``.npz`` archive.
 
     The ``meta`` header embeds a CRC-32 per payload array so
-    :func:`load_cbm` can detect corruption of the stored bytes.
+    :func:`load_cbm` can detect corruption of the stored bytes.  The
+    archive lands via :func:`repro.recovery.atomic_write`: a crash mid-
+    save leaves any previous version of ``path`` intact instead of a
+    torn file.
     """
     arrays = _payload_arrays(cbm)
     meta = {
@@ -73,7 +78,11 @@ def save_cbm(path: PathLike, cbm: CBMMatrix) -> None:
         "checksums": {name: checksum_array(arr) for name, arr in arrays.items()},
     }
     arrays["meta"] = np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8)
-    np.savez_compressed(path, **arrays)
+    path = os.fspath(path)
+    if not path.endswith(".npz"):
+        path += ".npz"  # np.savez appended it for plain paths; keep that contract
+    with atomic_write(path, mode="wb") as fh:
+        np.savez_compressed(fh, **arrays)
 
 
 def _verify_checksums(meta: dict, archive, path: PathLike) -> None:
@@ -92,6 +101,12 @@ def _verify_checksums(meta: dict, archive, path: PathLike) -> None:
             )
 
 
+#: Exceptions the zip/deflate layer raises on a physically damaged file;
+#: :func:`load_cbm` maps them to :class:`~repro.errors.IntegrityError` so
+#: a torn archive fails with the same typed error as a stale checksum.
+_TORN_ARCHIVE_ERRORS = (zipfile.BadZipFile, EOFError, zlib.error)
+
+
 def load_cbm(path: PathLike) -> CBMMatrix:
     """Load a CBM matrix previously stored with :func:`save_cbm`.
 
@@ -100,31 +115,51 @@ def load_cbm(path: PathLike) -> CBMMatrix:
     structural checks — a corrupted archive raises
     :class:`~repro.errors.IntegrityError` /
     :class:`~repro.errors.FormatError` or a tree/CSR validation error
-    rather than yielding silently wrong products.
+    rather than yielding silently wrong products.  A *physically*
+    truncated or torn file (e.g. a crash mid-copy) also surfaces as
+    :class:`~repro.errors.IntegrityError`, never as a bare
+    ``zipfile.BadZipFile``.
     """
-    with np.load(path) as archive:
-        try:
-            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
-        except (KeyError, ValueError) as exc:
-            raise FormatError(f"not a CBM archive: {path}") from exc
-        if meta.get("version") not in _LOADABLE_VERSIONS:
-            raise FormatError(
-                f"unsupported CBM archive version {meta.get('version')!r} in {path}"
+    try:
+        archive = np.load(path)
+    except FileNotFoundError:
+        raise
+    except _TORN_ARCHIVE_ERRORS as exc:
+        raise IntegrityError(
+            f"CBM archive {path} is truncated or torn ({exc}) — "
+            "the file was damaged after (or while) being written"
+        ) from exc
+    except (ValueError, OSError) as exc:
+        raise FormatError(f"not a CBM archive: {path} ({exc})") from exc
+    try:
+        with archive:
+            try:
+                meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            except (KeyError, ValueError) as exc:
+                raise FormatError(f"not a CBM archive: {path}") from exc
+            if meta.get("version") not in _LOADABLE_VERSIONS:
+                raise FormatError(
+                    f"unsupported CBM archive version {meta.get('version')!r} in {path}"
+                )
+            if meta["version"] in _CHECKSUMMED_VERSIONS:
+                _verify_checksums(meta, archive, path)
+            shape = tuple(meta["shape"])
+            tree = CompressionTree(
+                parent=archive["tree_parent"], weight=archive["tree_weight"]
             )
-        if meta["version"] in _CHECKSUMMED_VERSIONS:
-            _verify_checksums(meta, archive, path)
-        shape = tuple(meta["shape"])
-        tree = CompressionTree(
-            parent=archive["tree_parent"], weight=archive["tree_weight"]
-        )
-        delta = CSRMatrix(
-            archive["delta_indptr"],
-            archive["delta_indices"],
-            archive["delta_data"],
-            shape,
-        )
-        diag = archive["diag"] if "diag" in archive.files else None
-        diag_left = archive["diag_left"] if "diag_left" in archive.files else None
+            delta = CSRMatrix(
+                archive["delta_indptr"],
+                archive["delta_indices"],
+                archive["delta_data"],
+                shape,
+            )
+            diag = archive["diag"] if "diag" in archive.files else None
+            diag_left = archive["diag_left"] if "diag_left" in archive.files else None
+    except _TORN_ARCHIVE_ERRORS as exc:
+        raise IntegrityError(
+            f"CBM archive {path} is truncated or torn ({exc}) — "
+            "a payload member could not be read back"
+        ) from exc
     return CBMMatrix(
         tree=tree,
         delta=delta,

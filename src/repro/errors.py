@@ -91,6 +91,12 @@ class CheckpointError(ReproError, RuntimeError):
     """A training checkpoint could not be saved, loaded, or resumed from."""
 
 
+class RecoveryError(ReproError, RuntimeError):
+    """The durable generation store (:mod:`repro.recovery`) was misused or
+    has no usable state (e.g. no committed generation to load or roll back
+    to).  Corrupted *content* raises :class:`IntegrityError` instead."""
+
+
 class GNNError(ReproError, ValueError):
     """Invalid GNN model configuration or input."""
 

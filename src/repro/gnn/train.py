@@ -21,15 +21,31 @@ numerical blow-ups and process restarts.
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import CheckpointError, ConvergenceError, GNNError
+from repro.errors import (
+    CheckpointError,
+    ConvergenceError,
+    GNNError,
+    IntegrityError,
+    RecoveryError,
+)
 from repro.gnn.adjacency import AdjacencyOp, prepare_operator
 from repro.gnn.gcn import GCN
 from repro.gnn.layers import softmax
+from repro.recovery.atomic import atomic_write
 from repro.utils.validation import all_finite
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a hard import
+    from repro.recovery.store import GenerationStore
+
+#: Payload name a training checkpoint uses inside a generation store.
+CHECKPOINT_PAYLOAD = "checkpoint.npz"
 
 
 def cross_entropy(
@@ -167,7 +183,12 @@ class TrainCheckpoint:
 
 
 def save_checkpoint(path, ck: TrainCheckpoint) -> None:
-    """Persist a :class:`TrainCheckpoint` as a compressed ``.npz``."""
+    """Persist a :class:`TrainCheckpoint` as a compressed ``.npz``.
+
+    The file lands via :func:`repro.recovery.atomic_write`: a crash
+    mid-save leaves the previous checkpoint intact rather than a torn
+    archive that would poison the next resume.
+    """
     meta = {
         "epoch": ck.epoch,
         "adam_t": ck.adam_t,
@@ -181,11 +202,55 @@ def save_checkpoint(path, ck: TrainCheckpoint) -> None:
         arrays[f"param_{i}"] = p
         arrays[f"adam_m_{i}"] = m
         arrays[f"adam_v_{i}"] = v
-    np.savez_compressed(path, **arrays)
+    with atomic_write(path, mode="wb") as fh:
+        np.savez_compressed(fh, **arrays)
 
 
-def load_checkpoint(path) -> TrainCheckpoint:
-    """Load a checkpoint written by :func:`save_checkpoint`."""
+def _validate_checkpoint(ck: TrainCheckpoint, model: GCN, path) -> None:
+    """Check a loaded checkpoint against the model's parameter signature.
+
+    Raises :class:`~repro.errors.IntegrityError` naming the first
+    mismatching array — *before* anything is restored — instead of the
+    deep numpy broadcast error a shape-swapped checkpoint used to raise
+    mid-``restore``.
+    """
+    expected = model.parameters()
+    if len(ck.params) != len(expected):
+        raise IntegrityError(
+            f"checkpoint {path} holds {len(ck.params)} parameter arrays, "
+            f"model expects {len(expected)}"
+        )
+    for i, (saved, p) in enumerate(zip(ck.params, expected, strict=True)):
+        if saved.shape != p.shape:
+            raise IntegrityError(
+                f"checkpoint {path}: param_{i} has shape {saved.shape}, "
+                f"model parameter {i} expects {p.shape}"
+            )
+        if not np.can_cast(saved.dtype, p.dtype, casting="same_kind"):
+            raise IntegrityError(
+                f"checkpoint {path}: param_{i} has dtype {saved.dtype}, "
+                f"model parameter {i} expects {p.dtype}"
+            )
+    for kind, arrays in (("adam_m", ck.adam_m), ("adam_v", ck.adam_v)):
+        for i, (saved, p) in enumerate(zip(arrays, expected, strict=True)):
+            if saved.shape != p.shape:
+                raise IntegrityError(
+                    f"checkpoint {path}: {kind}_{i} has shape {saved.shape}, "
+                    f"optimiser state for parameter {i} expects {p.shape}"
+                )
+
+
+def load_checkpoint(path, *, model: GCN | None = None) -> TrainCheckpoint:
+    """Load a checkpoint written by :func:`save_checkpoint`.
+
+    A physically torn/truncated archive raises
+    :class:`~repro.errors.IntegrityError`; other unreadable states raise
+    :class:`~repro.errors.CheckpointError`.  With ``model`` given, every
+    array's shape/dtype is validated against the model's parameter
+    signature first (also :class:`~repro.errors.IntegrityError`), so a
+    mismatched checkpoint fails with a clear message instead of a deep
+    numpy broadcast error during restore.
+    """
     try:
         with np.load(path) as archive:
             meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
@@ -193,9 +258,13 @@ def load_checkpoint(path) -> TrainCheckpoint:
             params = [archive[f"param_{i}"] for i in range(n)]
             adam_m = [archive[f"adam_m_{i}"] for i in range(n)]
             adam_v = [archive[f"adam_v_{i}"] for i in range(n)]
+    except (zipfile.BadZipFile, EOFError, zlib.error) as exc:
+        raise IntegrityError(
+            f"training checkpoint {path} is truncated or torn: {exc}"
+        ) from exc
     except (KeyError, ValueError, OSError) as exc:
         raise CheckpointError(f"cannot load training checkpoint {path}: {exc}") from exc
-    return TrainCheckpoint(
+    ck = TrainCheckpoint(
         epoch=int(meta["epoch"]),
         params=params,
         adam_m=adam_m,
@@ -205,6 +274,33 @@ def load_checkpoint(path) -> TrainCheckpoint:
         train_accuracy=list(meta["train_accuracy"]),
         val_accuracy=list(meta["val_accuracy"]),
     )
+    if model is not None:
+        _validate_checkpoint(ck, model, path)
+    return ck
+
+
+def save_checkpoint_generation(store: "GenerationStore", ck: TrainCheckpoint):
+    """Commit one checkpoint as a durable generation; returns it."""
+    with store.begin(meta={"kind": "train-checkpoint", "epoch": ck.epoch}) as txn:
+        save_checkpoint(txn.path(CHECKPOINT_PAYLOAD, kind="checkpoint"), ck)
+    return txn.generation
+
+
+def load_latest_checkpoint(
+    store: "GenerationStore", *, model: GCN | None = None
+) -> TrainCheckpoint | None:
+    """Newest committed checkpoint a killed run left behind, or None.
+
+    Walks committed generations newest-first, skipping any whose payload
+    fails integrity/signature validation — a half-corrupted store still
+    resumes from the best surviving epoch.
+    """
+    for gen in reversed(store.generations()):
+        try:
+            return load_checkpoint(gen.file(CHECKPOINT_PAYLOAD), model=model)
+        except (IntegrityError, CheckpointError, RecoveryError):
+            continue
+    return None
 
 
 def train_gcn(
@@ -220,6 +316,7 @@ def train_gcn(
     divergence_check: bool = True,
     checkpoint_every: int | None = None,
     checkpoint_path=None,
+    checkpoint_store: "GenerationStore | None" = None,
     resume_from: "TrainCheckpoint | str | None" = None,
 ) -> TrainResult:
     """Full-batch transductive training of a GCN with Adam.
@@ -239,24 +336,44 @@ def train_gcn(
     checkpoint_every / checkpoint_path:
         Write a resumable checkpoint to ``checkpoint_path`` every k
         completed epochs (and after the final one).
+    checkpoint_every / checkpoint_store:
+        With a :class:`~repro.recovery.GenerationStore` instead of a
+        path, each periodic checkpoint is *committed* as a durable
+        generation (fsynced payload + manifest commit marker) — a run
+        killed at any instant, even mid-write, resumes from the last
+        committed epoch.
     resume_from:
         A :class:`TrainCheckpoint` or a path to one; training restores
         parameters, Adam state, and history, then continues until
-        ``epochs`` *total* epochs are done.
+        ``epochs`` *total* epochs are done.  The string ``"latest"``
+        (requires ``checkpoint_store``) resumes from the newest
+        committed checkpoint generation — or starts fresh when the
+        store is empty, so a supervisor can always relaunch the same
+        command after a crash.
     """
     if not model.requires_grad:
         raise GNNError("train_gcn requires a model built with requires_grad=True")
     if checkpoint_every is not None:
         if checkpoint_every <= 0:
             raise CheckpointError(f"checkpoint_every must be positive, got {checkpoint_every}")
-        if checkpoint_path is None:
-            raise CheckpointError("checkpoint_every requires checkpoint_path")
+        if checkpoint_path is None and checkpoint_store is None:
+            raise CheckpointError(
+                "checkpoint_every requires checkpoint_path or checkpoint_store"
+            )
+    if isinstance(resume_from, str) and resume_from == "latest":
+        if checkpoint_store is None:
+            raise CheckpointError('resume_from="latest" requires checkpoint_store')
+        resume_from = load_latest_checkpoint(checkpoint_store, model=model)
     opt = Adam(model.parameters(), lr=lr)
     out = TrainResult()
     start_epoch = 0
     last_good: TrainCheckpoint | None = None
     if resume_from is not None:
-        ck = resume_from if isinstance(resume_from, TrainCheckpoint) else load_checkpoint(resume_from)
+        ck = (
+            resume_from
+            if isinstance(resume_from, TrainCheckpoint)
+            else load_checkpoint(resume_from, model=model)
+        )
         ck.restore(model, opt)
         out.losses = list(ck.losses)
         out.train_accuracy = list(ck.train_accuracy)
@@ -308,5 +425,9 @@ def train_gcn(
         if checkpoint_every is not None and (
             done % checkpoint_every == 0 or done == epochs
         ):
-            save_checkpoint(checkpoint_path, TrainCheckpoint.capture(model, opt, out))
+            snapshot = TrainCheckpoint.capture(model, opt, out)
+            if checkpoint_store is not None:
+                save_checkpoint_generation(checkpoint_store, snapshot)
+            if checkpoint_path is not None:
+                save_checkpoint(checkpoint_path, snapshot)
     return out

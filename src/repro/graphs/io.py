@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.errors import FormatError
 from repro.graphs.adjacency import adjacency_from_edges
+from repro.recovery.atomic import atomic_write
 from repro.sparse.csr import CSRMatrix
 
 PathLike = Union[str, os.PathLike]
@@ -76,8 +77,13 @@ def load_edge_list(
 
 
 def save_edge_list(path: PathLike, a: CSRMatrix, *, header: str | None = None) -> None:
-    """Write the upper triangle of a symmetric adjacency as ``u v`` lines."""
-    with open(path, "w", encoding="utf-8") as fh:
+    """Write the upper triangle of a symmetric adjacency as ``u v`` lines.
+
+    The file lands atomically (:func:`repro.recovery.atomic_write`) so a
+    crash mid-write cannot leave a truncated edge list that would later
+    load as a silently smaller graph.
+    """
+    with atomic_write(path, mode="w", encoding="utf-8") as fh:
         if header:
             for line in header.splitlines():
                 fh.write(f"# {line}\n")

@@ -1,0 +1,147 @@
+"""Atomic, durable file replacement — the write primitive under every
+persistent artifact.
+
+A bare ``open(path, "w")`` / ``np.savez_compressed(path)`` torn by a
+crash (power loss, ``kill -9``, OOM kill) leaves *the destination itself*
+half-written: the CRC layer in :mod:`repro.core.io` detects the damage
+only after it has already destroyed the previous good version.
+:func:`atomic_write` removes that window entirely with the classic
+four-step protocol:
+
+1. write to a temporary file **in the same directory** (same filesystem,
+   so the final rename cannot degrade to a copy);
+2. ``flush`` + ``fsync`` the temp file so its bytes are durable;
+3. ``os.replace`` the temp file onto the destination — atomic on POSIX
+   and NTFS, so readers see either the old file or the new one, never a
+   mix;
+4. ``fsync`` the containing directory so the rename itself survives a
+   crash.
+
+A crash at any point before step 3 leaves the destination untouched plus
+at most one stray ``*.tmp-*`` file (which
+:meth:`repro.recovery.store.GenerationStore.recover` quarantines); a
+crash after step 3 leaves the complete new file.
+
+Testability: the module exposes an injectable *sync hook*
+(:func:`set_sync_hook`) invoked at the named protocol points
+(``"wrote"``, ``"replace"``, ``"renamed"``).  The kill-9 harness
+(:mod:`repro.recovery.crashsim`) installs a hook that ``SIGKILL``\\ s the
+process at a randomized point, driving real process death into every
+window of the protocol — including between the rename and the directory
+sync.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+#: Suffix shared by every in-flight temp file, so recovery can recognise
+#: (and quarantine) the debris of a torn write.
+TMP_SUFFIX = ".tmp-atomic"
+
+#: Protocol points at which the sync hook fires, in order.
+SYNC_POINTS = ("wrote", "replace", "renamed")
+
+_sync_hook: Callable[[str, str], None] | None = None
+
+
+def set_sync_hook(hook: Callable[[str, str], None] | None) -> Callable[[str, str], None] | None:
+    """Install ``hook(point, path)`` to be called at each protocol point.
+
+    Returns the previously installed hook (None if there was none) so
+    tests can restore it.  Pass ``None`` to uninstall.
+    """
+    global _sync_hook
+    previous = _sync_hook
+    _sync_hook = hook
+    return previous
+
+
+def _checkpoint(point: str, path: str) -> None:
+    if _sync_hook is not None:
+        _sync_hook(point, path)
+
+
+def fsync_dir(path: str | os.PathLike) -> None:
+    """``fsync`` a directory so a just-completed rename inside it is durable.
+
+    Platforms whose directory handles reject ``fsync`` (e.g. Windows)
+    silently skip — the rename is still atomic there, just not yet
+    guaranteed durable, which matches the best those platforms offer.
+    """
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def is_tmp_debris(name: str) -> bool:
+    """Whether a file name is the leftover of a torn :func:`atomic_write`."""
+    return TMP_SUFFIX in name
+
+
+@contextmanager
+def atomic_write(
+    path: str | os.PathLike,
+    *,
+    mode: str = "wb",
+    encoding: str | None = None,
+    durable: bool = True,
+) -> Iterator:
+    """Context manager yielding a file object whose contents replace
+    ``path`` atomically on clean exit.
+
+    On an exception inside the block the destination is untouched and
+    the temp file is removed.  ``mode`` must be a write mode (``"wb"``
+    or ``"w"``); ``encoding`` applies to text mode.  ``durable=False``
+    skips the two fsyncs (step 2 and 4) — the replacement is still
+    atomic with respect to concurrent readers, but not guaranteed to
+    survive power loss; use it only for derived/report files.
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write requires a fresh write mode, got {mode!r}")
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=TMP_SUFFIX
+    )
+    try:
+        with os.fdopen(fd, mode, encoding=encoding) as fh:
+            yield fh
+            fh.flush()
+            _checkpoint("wrote", path)
+            if durable:
+                os.fsync(fh.fileno())
+        _checkpoint("replace", path)
+        os.replace(tmp, path)
+        _checkpoint("renamed", path)
+        if durable:
+            fsync_dir(directory)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def fsync_file(path: str | os.PathLike) -> None:
+    """``fsync`` an already-written file's bytes (read-only open).
+
+    Used by the store's commit step to guarantee every payload is
+    durable *before* the manifest — the commit marker — lands.
+    """
+    fd = os.open(os.fspath(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

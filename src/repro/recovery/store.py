@@ -1,0 +1,436 @@
+"""Journaled generation store — crash-safe directory-level persistence.
+
+A :class:`GenerationStore` owns one root directory and persists *whole
+artifact sets* ("generations") with an explicit commit point, so the
+serving and training layers always have a last-known-good version to
+fall back to:
+
+.. code-block:: text
+
+    root/
+      gen-000001/                committed generation (immutable)
+        adjacency.npz
+        MANIFEST.json            <- the commit marker, written last
+      gen-000002/                crash debris: no MANIFEST -> uncommitted
+        adjacency.npz.k3j2.tmp-atomic
+      quarantine/                corrupt/uncommitted state, preserved
+        gen-000002--uncommitted/
+        QUARANTINE.log
+
+Commit protocol (:meth:`GenerationStore.begin`):
+
+1. a fresh ``gen-NNNNNN/`` directory is created; the caller writes its
+   payload files into it (through :func:`repro.recovery.atomic_write`
+   -backed savers);
+2. on clean exit of the transaction every payload is fsynced, its size
+   and CRC-32 recorded, and the directory fsynced;
+3. ``MANIFEST.json`` — carrying ``"committed": true`` and the per-file
+   checksum table — is written **last**, itself atomically and durably.
+
+A generation without a valid, committed manifest does not exist as far
+as :meth:`latest` is concerned.  Killing the process at *any* point
+therefore leaves the store in one of exactly two observable states: the
+new generation fully committed, or the previous generation still latest
+plus some debris that :meth:`recover` sweeps into ``quarantine/``
+(never deleted — torn state is evidence, not garbage).
+
+Startup recovery (:meth:`recover`) re-validates every candidate
+generation — manifest parse, payload presence, size, CRC-32, and (for
+CBM archives) the :mod:`repro.staticcheck` artifact audit — and
+quarantines anything that fails, with the reason logged.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import shutil
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import IntegrityError, RecoveryError
+from repro.recovery.atomic import (
+    _checkpoint,
+    atomic_write,
+    fsync_dir,
+    fsync_file,
+    is_tmp_debris,
+)
+
+MANIFEST_NAME = "MANIFEST.json"
+_GEN_RE = re.compile(r"^gen-(\d{6,})$")
+_STORE_FORMAT = 1
+
+
+def _crc32_file(path: Path, chunk: int = 1 << 20) -> int:
+    crc = 0
+    with open(path, "rb") as fh:
+        while True:
+            block = fh.read(chunk)
+            if not block:
+                return crc
+            crc = zlib.crc32(block, crc)
+
+
+@dataclass
+class Generation:
+    """One committed artifact set: its index, directory, and manifest."""
+
+    index: int
+    path: Path
+    manifest: dict
+
+    @property
+    def files(self) -> dict:
+        return self.manifest.get("files", {})
+
+    @property
+    def meta(self) -> dict:
+        return self.manifest.get("meta", {})
+
+    def file(self, name: str) -> Path:
+        """Path of a payload listed in the manifest."""
+        if name not in self.files:
+            raise RecoveryError(
+                f"generation {self.index} has no payload {name!r} "
+                f"(manifest lists {sorted(self.files)})"
+            )
+        return self.path / name
+
+    def verify(self) -> None:
+        """Re-check every payload against the manifest's size/CRC table.
+
+        Raises :class:`~repro.errors.IntegrityError` naming the first
+        payload whose stored bytes no longer match.
+        """
+        reason = _validate_payloads(self.path, self.manifest)
+        if reason is not None:
+            raise IntegrityError(f"generation {self.index} ({self.path}): {reason}")
+
+
+@dataclass
+class RecoveryReport:
+    """What startup recovery found and did (never raises on corruption)."""
+
+    root: str
+    examined: int = 0
+    kept: list = field(default_factory=list)  # committed generation indices
+    quarantined: list = field(default_factory=list)  # (name, reason) pairs
+    stray_tmp: int = 0
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "examined": self.examined,
+            "kept": list(self.kept),
+            "quarantined": [list(q) for q in self.quarantined],
+            "stray_tmp": self.stray_tmp,
+            "elapsed_s": self.elapsed_s,
+        }
+
+
+def _parse_manifest(gen_dir: Path) -> dict | None:
+    try:
+        return json.loads((gen_dir / MANIFEST_NAME).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _validate_payloads(gen_dir: Path, manifest: dict) -> str | None:
+    """First size/CRC violation of a manifest's payload table, or None."""
+    files = manifest.get("files")
+    if not isinstance(files, dict) or not files:
+        return "manifest has no payload table"
+    for name, entry in files.items():
+        path = gen_dir / name
+        if not path.is_file():
+            return f"missing payload {name!r}"
+        size = path.stat().st_size
+        if size != int(entry.get("bytes", -1)):
+            return (
+                f"payload {name!r} is {size} bytes, manifest recorded "
+                f"{entry.get('bytes')} — torn or rewritten"
+            )
+        crc = _crc32_file(path)
+        if crc != int(entry.get("crc32", -1)):
+            return (
+                f"payload {name!r} CRC-32 {crc:#010x} != manifest "
+                f"{int(entry.get('crc32', -1)):#010x} — corrupted"
+            )
+    return None
+
+
+class GenerationTxn:
+    """One in-flight generation: write payloads, commit on clean exit.
+
+    Use via ``with store.begin() as txn:`` — an exception inside the
+    block leaves the directory uncommitted (and immediately quarantined,
+    reason ``"aborted"``), so a failed build can never become
+    :meth:`GenerationStore.latest`.
+    """
+
+    def __init__(self, store: "GenerationStore", index: int, path: Path, meta: dict):
+        self.store = store
+        self.index = index
+        self.dir = path
+        self.meta = dict(meta)
+        self._kinds: dict[str, str] = {}
+        self._open = True
+        self.generation: Generation | None = None
+
+    def path(self, name: str, *, kind: str | None = None) -> str:
+        """Destination path for payload ``name`` inside this generation.
+
+        ``kind="cbm"`` marks the file as a CBM archive, opting it into
+        the :mod:`repro.staticcheck` artifact audit during recovery.
+        """
+        if not self._open:
+            raise RecoveryError("transaction is already closed")
+        if os.sep in name or name == MANIFEST_NAME:
+            raise RecoveryError(f"invalid payload name {name!r}")
+        if kind is not None:
+            self._kinds[name] = kind
+        return str(self.dir / name)
+
+    def __enter__(self) -> "GenerationTxn":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._open = False
+        if exc_type is not None:
+            self.store._quarantine(self.dir, "aborted")
+            return
+        self.generation = self.store._commit(self)
+
+
+class GenerationStore:
+    """Crash-safe, journaled storage of versioned artifact sets.
+
+    Parameters
+    ----------
+    root:
+        Directory owning the generations (created if missing).
+    retain:
+        When set, :meth:`prune` runs after every commit keeping only the
+        newest ``retain`` committed generations.
+    audit_archives:
+        Whether :meth:`recover` runs the static artifact audit on
+        payloads of kind ``"cbm"`` (CRC validation always runs).
+    """
+
+    def __init__(self, root, *, retain: int | None = None, audit_archives: bool = True):
+        if retain is not None and retain < 1:
+            raise RecoveryError(f"retain must be >= 1, got {retain}")
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.retain = retain
+        self.audit_archives = audit_archives
+
+    # ------------------------------------------------------------------
+    # Layout helpers
+    # ------------------------------------------------------------------
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _gen_dirs(self) -> list[tuple[int, Path]]:
+        out = []
+        for entry in self.root.iterdir():
+            m = _GEN_RE.match(entry.name)
+            if m and entry.is_dir():
+                out.append((int(m.group(1)), entry))
+        return sorted(out)
+
+    def _next_index(self) -> int:
+        dirs = self._gen_dirs()
+        return (dirs[-1][0] + 1) if dirs else 1
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def begin(self, meta: dict | None = None) -> GenerationTxn:
+        """Open a new generation transaction (see :class:`GenerationTxn`)."""
+        index = self._next_index()
+        path = self.root / f"gen-{index:06d}"
+        path.mkdir()
+        return GenerationTxn(self, index, path, meta or {})
+
+    def _commit(self, txn: GenerationTxn) -> Generation:
+        files = {}
+        for entry in sorted(txn.dir.iterdir()):
+            if not entry.is_file() or entry.name == MANIFEST_NAME:
+                continue
+            if is_tmp_debris(entry.name):
+                raise RecoveryError(
+                    f"torn temp file {entry.name!r} left in generation "
+                    f"{txn.index} — a payload write failed before commit"
+                )
+            fsync_file(entry)
+            record = {"bytes": entry.stat().st_size, "crc32": _crc32_file(entry)}
+            kind = txn._kinds.get(entry.name)
+            if kind is not None:
+                record["kind"] = kind
+            files[entry.name] = record
+        if not files:
+            raise RecoveryError(f"generation {txn.index} has no payload files")
+        fsync_dir(txn.dir)
+        manifest = {
+            "store_format": _STORE_FORMAT,
+            "generation": txn.index,
+            "committed": True,
+            "meta": txn.meta,
+            "files": files,
+        }
+        # The manifest is the commit marker: everything above is durable
+        # before it lands, and its own atomic_write makes the marker
+        # itself all-or-nothing.  The sync-point below lets the crash
+        # harness kill exactly between payload durability and commit.
+        _checkpoint("commit", str(txn.dir / MANIFEST_NAME))
+        with atomic_write(txn.dir / MANIFEST_NAME, mode="w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1, sort_keys=True)
+        fsync_dir(self.root)
+        if self.retain is not None:
+            self.prune(keep=self.retain)
+        return Generation(index=txn.index, path=txn.dir, manifest=manifest)
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def generations(self) -> list[Generation]:
+        """Committed generations, oldest first (corrupt payloads are not
+        re-verified here — use :meth:`Generation.verify` or
+        :meth:`recover` for that)."""
+        out = []
+        for index, path in self._gen_dirs():
+            manifest = _parse_manifest(path)
+            if manifest is not None and manifest.get("committed") is True:
+                out.append(Generation(index=index, path=path, manifest=manifest))
+        return out
+
+    def latest(self) -> Generation | None:
+        """Newest committed generation (None for an empty store)."""
+        gens = self.generations()
+        return gens[-1] if gens else None
+
+    # ------------------------------------------------------------------
+    # History management
+    # ------------------------------------------------------------------
+    def rollback(self, n: int = 1) -> Generation | None:
+        """Retire the newest ``n`` committed generations into quarantine
+        (reason ``"rolled-back"``); returns the new :meth:`latest`."""
+        if n < 1:
+            raise RecoveryError(f"rollback needs n >= 1, got {n}")
+        gens = self.generations()
+        if n > len(gens):
+            raise RecoveryError(
+                f"cannot roll back {n} generation(s): only {len(gens)} committed"
+            )
+        for gen in reversed(gens[-n:]):
+            self._quarantine(gen.path, "rolled-back")
+        return self.latest()
+
+    def prune(self, *, keep: int) -> list[int]:
+        """Delete committed generations beyond the newest ``keep``.
+
+        Retention is the one path that deletes (old good versions are
+        superseded, not suspect); corruption always goes to quarantine.
+        Returns the pruned indices.
+        """
+        if keep < 1:
+            raise RecoveryError(f"prune needs keep >= 1, got {keep}")
+        gens = self.generations()
+        pruned = []
+        for gen in gens[:-keep]:
+            shutil.rmtree(gen.path)
+            pruned.append(gen.index)
+        if pruned:
+            fsync_dir(self.root)
+        return pruned
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def _quarantine(self, path: Path, reason: str) -> Path:
+        """Move a file/directory into ``quarantine/``, preserving it."""
+        qdir = self.quarantine_dir
+        qdir.mkdir(exist_ok=True)
+        short = re.sub(r"[^A-Za-z0-9_-]+", "-", reason.split(":", 1)[0]).strip("-")[:40]
+        dest = qdir / f"{path.name}--{short}"
+        k = 1
+        while dest.exists():
+            dest = qdir / f"{path.name}--{short}.{k}"
+            k += 1
+        os.replace(path, dest)
+        with open(qdir / "QUARANTINE.log", "a", encoding="utf-8") as fh:
+            fh.write(f"{dest.name}\t{reason}\n")
+        fsync_dir(qdir)
+        fsync_dir(self.root)
+        return dest
+
+    def quarantine_generation(self, gen: Generation, reason: str) -> Path:
+        """Retire a committed-but-unusable generation (e.g. it failed to
+        load during a serving swap) without deleting the evidence."""
+        return self._quarantine(gen.path, reason)
+
+    def _audit_reason(self, gen_dir: Path, manifest: dict) -> str | None:
+        """First static-audit finding on the generation's CBM archives."""
+        from repro.staticcheck import audit_archive
+
+        for name, entry in manifest.get("files", {}).items():
+            if entry.get("kind") != "cbm":
+                continue
+            report = audit_archive(gen_dir / name, subject=name)
+            if not report.ok:
+                finding = report.findings[0]
+                return f"audit:{finding.code}: {name}: {finding.message}"
+        return None
+
+    def recover(self) -> RecoveryReport:
+        """Validate every candidate generation; quarantine what fails.
+
+        Never raises on corruption and never deletes: a generation (or
+        stray temp file) that cannot be proven good moves to
+        ``quarantine/`` with its reason logged, and the committed
+        history that *does* validate is reported intact.
+        """
+        t0 = time.perf_counter()
+        report = RecoveryReport(root=str(self.root))
+        for entry in sorted(self.root.iterdir()):
+            if entry.is_file() and is_tmp_debris(entry.name):
+                self._quarantine(entry, "torn-temp")
+                report.stray_tmp += 1
+                report.quarantined.append((entry.name, "torn-temp"))
+        for index, gen_dir in self._gen_dirs():
+            report.examined += 1
+            manifest = _parse_manifest(gen_dir)
+            if manifest is None:
+                has_manifest = (gen_dir / MANIFEST_NAME).exists()
+                reason = "manifest-unreadable" if has_manifest else "uncommitted"
+            elif manifest.get("committed") is not True:
+                reason = "uncommitted"
+            elif manifest.get("store_format") != _STORE_FORMAT:
+                reason = f"unknown-store-format:{manifest.get('store_format')!r}"
+            else:
+                reason = _validate_payloads(gen_dir, manifest)
+                if reason is None:
+                    # Torn temp debris inside a committed generation is
+                    # swept out file by file; the payloads just proved
+                    # intact, so the generation itself stays.
+                    for entry in sorted(gen_dir.iterdir()):
+                        if entry.is_file() and is_tmp_debris(entry.name):
+                            self._quarantine(entry, "torn-temp")
+                            report.stray_tmp += 1
+                            report.quarantined.append((entry.name, "torn-temp"))
+                    if self.audit_archives:
+                        reason = self._audit_reason(gen_dir, manifest)
+            if reason is None:
+                report.kept.append(index)
+            else:
+                self._quarantine(gen_dir, reason)
+                report.quarantined.append((gen_dir.name, reason))
+        report.elapsed_s = time.perf_counter() - t0
+        return report

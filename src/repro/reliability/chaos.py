@@ -70,7 +70,8 @@ def corrupt_archive(
         del arrays[array]
     else:
         raise ValueError(f"unknown corruption mode {mode!r}")
-    np.savez_compressed(path, **arrays)
+    # Deliberately torn/corrupt output — this *is* the fault injector.
+    np.savez_compressed(path, **arrays)  # staticcheck: ignore[SC501]
     return array
 
 

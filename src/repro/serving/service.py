@@ -34,6 +34,7 @@ from repro.core.cbm import CBMMatrix
 from repro.core.io import load_cbm
 from repro.errors import (
     DeadlineExceeded,
+    IntegrityError,
     NumericalError,
     OverloadError,
     ReproError,
@@ -569,6 +570,61 @@ class InferenceService:
         """
         slot = AdjacencySlot.from_archive(path)
         return self.swap_slot(slot, warm_width=warm_width)
+
+    def swap_generation(
+        self,
+        store,
+        *,
+        warm_width: int | None = None,
+        payload: str = "adjacency.npz",
+        quarantine_bad: bool = True,
+    ) -> dict:
+        """Hot-swap to the newest *committed* generation of a
+        :class:`~repro.recovery.GenerationStore`.
+
+        Only committed generations (manifest commit marker present) are
+        ever candidates — an in-flight or torn write simply does not
+        exist to this path.  When the newest committed generation fails
+        to load (:class:`~repro.errors.IntegrityError` from the CRC
+        layer, a format error, or unreadable bytes), it is quarantined
+        (``quarantine_bad=True``) and the swap *falls back to the
+        previous committed generation*, walking history until one loads;
+        the old slot keeps serving throughout.  Raises
+        :class:`~repro.errors.RecoveryError` on an empty store and
+        :class:`~repro.errors.IntegrityError` when no committed
+        generation is loadable.
+        """
+        from repro.errors import FormatError, RecoveryError
+
+        gens = store.generations()
+        if not gens:
+            raise RecoveryError(
+                f"generation store {store.root} has no committed generation to serve"
+            )
+        fallbacks = 0
+        last_exc: Exception | None = None
+        for gen in reversed(gens):
+            try:
+                slot = AdjacencySlot.from_archive(gen.file(payload))
+            except (FormatError, RecoveryError, OSError) as exc:
+                # FormatError covers IntegrityError (its subclass): both
+                # mean this generation is unusable, not that older ones are.
+                last_exc = exc
+                fallbacks += 1
+                if quarantine_bad:
+                    store.quarantine_generation(
+                        gen, f"swap-rejected:{type(exc).__name__}: {exc}"
+                    )
+                continue
+            summary = self.swap_slot(slot, warm_width=warm_width)
+            summary["store_generation"] = gen.index
+            summary["fallbacks"] = fallbacks
+            return summary
+        err = IntegrityError(
+            f"no loadable committed generation in {store.root} "
+            f"({len(gens)} candidate(s) rejected)"
+        )
+        raise err from last_exc
 
     # ------------------------------------------------------------------
     # Health

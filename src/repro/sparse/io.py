@@ -15,6 +15,7 @@ from typing import Union
 import numpy as np
 
 from repro.errors import FormatError
+from repro.recovery.atomic import atomic_write
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -30,11 +31,13 @@ def save_matrix_market(path: PathLike, a: CSRMatrix, *, field: str = "real") -> 
 
     ``field='pattern'`` stores only the sparsity structure (the right
     choice for binary adjacency matrices: one-third the file size).
+    The file is replaced atomically — a crash mid-write can no longer
+    leave a half-written file that later parses as a truncated graph.
     """
     if field not in _FIELDS:
         raise ValueError(f"unsupported field {field!r}; choose from {sorted(_FIELDS)}")
     coo = a.tocoo()
-    with open(path, "w", encoding="ascii") as fh:
+    with atomic_write(path, mode="w", encoding="ascii") as fh:
         fh.write(f"{_HEADER} {field} general\n")
         fh.write(f"{a.shape[0]} {a.shape[1]} {coo.nnz}\n")
         if field == "pattern":

@@ -30,6 +30,17 @@ The PR2/PR3 layers rely on conventions no general-purpose linter knows:
     ``time.sleep`` (or bare ``sleep``) lexically inside a ``with`` block
     whose context manager mentions a lock.  Sleeping while holding the
     service lock stalls every other request on the instance.
+``SC501``
+    Non-atomic persistent-artifact write outside :mod:`repro.recovery`:
+    a direct ``np.savez``/``np.savez_compressed`` whose destination is
+    not a file handle bound by an enclosing
+    ``with atomic_write(...) as fh:`` block, or — inside a
+    ``save_*``/``write_*``/``dump_*``/``persist_*`` function — a plain
+    ``open(path, "w"/"wb"/...)`` or ``Path.write_text``/``write_bytes``.
+    A crash mid-write tears the destination itself; every durable
+    artifact must land through :func:`repro.recovery.atomic_write`
+    (PR5's crash-safety contract).  Modules under ``repro/recovery``
+    are exempt — they *implement* the protocol.
 
 Findings render ruff-style (``path:line: CODE message``).  A regression
 baseline (:func:`load_baseline`) makes CI fail only on *new* findings,
@@ -53,6 +64,14 @@ GUARDSTATS_COUNTERS = frozenset(
 BUFFER_PARAMS = frozenset({"c", "out", "u", "buf", "dst"})
 
 _INPLACE_MARKERS = ("in place", "in-place")
+
+#: Function-name prefixes that mark a persistence routine for SC501.
+PERSIST_FUNC_PREFIXES = ("save", "write", "dump", "persist")
+
+#: numpy archive writers that must target an atomic_write handle.
+_SAVEZ_NAMES = frozenset({"savez", "savez_compressed"})
+
+_WRITE_MODES = frozenset("wax")
 
 _PRAGMA = "staticcheck: ignore"
 
@@ -82,8 +101,13 @@ class _ContractVisitor(ast.NodeVisitor):
         self.findings: list[Finding] = []
         # Lexical state.
         self._func_stack: list[tuple[set[str], bool]] = []  # (buffer params, declared)
+        self._func_names: list[str] = []
         self._lock_depth = 0
         self._class_stack: list[str] = []
+        self._atomic_handles: list[str] = []  # names bound by `with atomic_write(...) as f`
+        # repro.recovery implements the atomic protocol; SC501 is for
+        # everyone writing *around* it.
+        self._recovery_module = "recovery" in Path(path).parts
 
     # -- helpers -------------------------------------------------------
     def _emit(self, code: str, line: int, message: str, severity=Severity.ERROR) -> None:
@@ -171,7 +195,9 @@ class _ContractVisitor(ast.NodeVisitor):
         doc = ast.get_docstring(node) or ""
         declared = any(marker in doc.lower() for marker in _INPLACE_MARKERS)
         self._func_stack.append((buffers, declared))
+        self._func_names.append(node.name)
         self.generic_visit(node)
+        self._func_names.pop()
         self._func_stack.pop()
 
     visit_FunctionDef = _visit_function
@@ -232,13 +258,98 @@ class _ContractVisitor(ast.NodeVisitor):
                 "blocking sleep while holding a lock — every other holder "
                 "stalls for the full sleep",
             )
+        self._check_persistent_write(node)
         self.generic_visit(node)
+
+    # -- SC501: non-atomic persistent-artifact writes ------------------
+    def _in_persist_function(self) -> bool:
+        return bool(self._func_names) and self._func_names[-1].startswith(
+            PERSIST_FUNC_PREFIXES
+        )
+
+    @staticmethod
+    def _open_write_mode(node: ast.Call) -> str | None:
+        """The literal write mode of an ``open`` call, if any."""
+        mode = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            if set(mode.value) & _WRITE_MODES:
+                return mode.value
+        return None
+
+    def _check_persistent_write(self, node: ast.Call) -> None:
+        if self._recovery_module:
+            return
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SAVEZ_NAMES
+            or isinstance(func, ast.Name)
+            and func.id in _SAVEZ_NAMES
+        ):
+            target = node.args[0] if node.args else None
+            if not (
+                isinstance(target, ast.Name) and target.id in self._atomic_handles
+            ):
+                name = func.attr if isinstance(func, ast.Attribute) else func.id
+                self._emit(
+                    "SC501",
+                    node.lineno,
+                    f"`{name}` writes a persistent archive non-atomically — "
+                    "route it through `with atomic_write(path) as fh: "
+                    f"{name}(fh, ...)` so a crash cannot tear the artifact",
+                )
+            return
+        if not self._in_persist_function():
+            return
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = self._open_write_mode(node)
+            if mode is not None:
+                self._emit(
+                    "SC501",
+                    node.lineno,
+                    f"`open(..., {mode!r})` in a persistence function writes "
+                    "the destination in place — a crash mid-write leaves a "
+                    "torn file; use `repro.recovery.atomic_write`",
+                )
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write_text",
+            "write_bytes",
+        ):
+            self._emit(
+                "SC501",
+                node.lineno,
+                f"`.{func.attr}()` in a persistence function writes the "
+                "destination in place — a crash mid-write leaves a torn "
+                "file; use `repro.recovery.atomic_write`",
+            )
 
     def visit_With(self, node: ast.With) -> None:
         holds = any(self._mentions_lock(item.context_expr) for item in node.items)
+        handles = []
+        for item in node.items:
+            call = item.context_expr
+            if (
+                isinstance(call, ast.Call)
+                and (
+                    isinstance(call.func, ast.Name)
+                    and call.func.id == "atomic_write"
+                    or isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "atomic_write"
+                )
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                handles.append(item.optional_vars.id)
         if holds:
             self._lock_depth += 1
+        self._atomic_handles.extend(handles)
         self.generic_visit(node)
+        for _ in handles:
+            self._atomic_handles.pop()
         if holds:
             self._lock_depth -= 1
 

@@ -1,0 +1,118 @@
+"""Archive-version compatibility and physical-damage error mapping.
+
+PR 5's contract: a version-1 archive (no checksum table) still loads; a
+*physically* truncated/torn version-2 archive raises the typed
+:class:`~repro.errors.IntegrityError` — never a bare
+``zipfile.BadZipFile`` — and a stale CRC (bytes flipped after the
+checksum table was written) is detected as corruption.
+"""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_cbm
+from repro.core.io import load_cbm, save_cbm
+from repro.errors import FormatError, IntegrityError
+
+from tests.conftest import random_adjacency_csr
+
+
+@pytest.fixture
+def archive(tmp_path):
+    a = random_adjacency_csr(25, seed=0)
+    cbm, _ = build_cbm(a, alpha=2)
+    path = tmp_path / "g.npz"
+    save_cbm(path, cbm)
+    return path, cbm
+
+
+def _rewrite_meta(path, mutate):
+    """Load the archive, mutate its meta dict, and write it back."""
+    data = dict(np.load(path))
+    meta = json.loads(bytes(data["meta"]).decode())
+    mutate(meta, data)
+    data["meta"] = np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)
+    np.savez(path, **data)
+
+
+class TestVersionCompatibility:
+    def test_v1_archive_without_checksums_loads(self, archive):
+        path, cbm = archive
+
+        def downgrade(meta, data):
+            meta["version"] = 1
+            meta.pop("checksums")
+
+        _rewrite_meta(path, downgrade)
+        back = load_cbm(path)
+        x = np.random.default_rng(1).random((25, 4)).astype(np.float32)
+        assert np.allclose(back.matmul(x), cbm.matmul(x), rtol=1e-6)
+
+    def test_v2_missing_checksum_table_rejected(self, archive):
+        path, _ = archive
+        _rewrite_meta(path, lambda meta, data: meta.pop("checksums"))
+        with pytest.raises(IntegrityError, match="checksum table"):
+            load_cbm(path)
+
+    def test_future_version_rejected_as_format_error(self, archive):
+        path, _ = archive
+
+        def bump(meta, data):
+            meta["version"] = 99
+
+        _rewrite_meta(path, bump)
+        with pytest.raises(FormatError, match="version"):
+            load_cbm(path)
+
+
+class TestPhysicalDamage:
+    def test_truncated_archive_is_integrity_error(self, archive):
+        path, _ = archive
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IntegrityError, match="truncated or torn"):
+            load_cbm(path)
+        # The typed error is the contract: the raw zip error must not escape.
+        try:
+            load_cbm(path)
+        except IntegrityError:
+            pass
+        else:  # pragma: no cover - the raises above already guards this
+            pytest.fail("torn archive loaded")
+
+    @pytest.mark.parametrize("keep_bytes", [0, 10, 100])
+    def test_every_truncation_depth_is_typed(self, archive, keep_bytes):
+        path, _ = archive
+        blob = path.read_bytes()
+        path.write_bytes(blob[:keep_bytes])
+        with pytest.raises((IntegrityError, FormatError)) as err:
+            load_cbm(path)
+        assert not isinstance(err.value, zipfile.BadZipFile)
+
+    def test_stale_crc_detected(self, archive):
+        path, _ = archive
+
+        def corrupt(meta, data):
+            data["delta_data"] = data["delta_data"].copy()
+            data["delta_data"][0] += 1.0  # bytes change, checksum table doesn't
+
+        _rewrite_meta(path, corrupt)
+        with pytest.raises(IntegrityError, match="checksum mismatch"):
+            load_cbm(path)
+
+    def test_missing_payload_member_detected(self, archive):
+        path, _ = archive
+
+        def drop(meta, data):
+            del data["tree_weight"]
+
+        _rewrite_meta(path, drop)
+        with pytest.raises(IntegrityError, match="missing payload"):
+            load_cbm(path)
+
+    def test_missing_file_still_filenotfound(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_cbm(tmp_path / "nope.npz")

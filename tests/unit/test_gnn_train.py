@@ -170,3 +170,78 @@ class TestSyntheticTask:
     def test_labels_match_blocks(self):
         task = synthetic_node_classification(40, classes=4, seed=11)
         assert len(np.unique(task.labels)) == 4
+
+
+class TestCheckpointSignatureValidation:
+    """``load_checkpoint(..., model=)`` rejects mismatched checkpoints
+    with a clear :class:`IntegrityError` *before* anything is restored."""
+
+    def _checkpoint(self, tmp_path, dims=(6, 5, 2), seed=7):
+        from repro.gnn.train import TrainCheckpoint, save_checkpoint
+
+        model = GCN(list(dims), seed=seed, requires_grad=True)
+        opt = Adam(model.parameters(), lr=0.01)
+        ck = TrainCheckpoint.capture(model, opt, TrainResult(losses=[1.0]))
+        path = tmp_path / "ck.npz"
+        save_checkpoint(path, ck)
+        return path, model
+
+    def test_matching_model_loads_and_validates(self, tmp_path):
+        from repro.gnn.train import load_checkpoint
+
+        path, model = self._checkpoint(tmp_path)
+        ck = load_checkpoint(path, model=model)
+        assert ck.epoch == 1
+        for p, saved in zip(model.parameters(), ck.params, strict=True):
+            assert p.shape == saved.shape
+
+    def test_shape_mismatch_is_named_integrity_error(self, tmp_path):
+        from repro.errors import IntegrityError
+        from repro.gnn.train import load_checkpoint
+
+        path, _ = self._checkpoint(tmp_path, dims=(6, 5, 2))
+        other = GCN([6, 9, 2], seed=7, requires_grad=True)
+        with pytest.raises(IntegrityError, match=r"param_0 has shape"):
+            load_checkpoint(path, model=other)
+
+    def test_param_count_mismatch_is_integrity_error(self, tmp_path):
+        from repro.errors import IntegrityError
+        from repro.gnn.train import load_checkpoint
+
+        path, _ = self._checkpoint(tmp_path, dims=(6, 5, 2))
+        deeper = GCN([6, 5, 5, 2], seed=7, requires_grad=True)
+        with pytest.raises(IntegrityError, match="parameter arrays"):
+            load_checkpoint(path, model=deeper)
+
+    def test_incompatible_dtype_is_integrity_error(self, tmp_path):
+        import json
+
+        from repro.errors import IntegrityError
+        from repro.gnn.train import load_checkpoint
+
+        path, model = self._checkpoint(tmp_path)
+        data = dict(np.load(path))
+        data["param_0"] = data["param_0"].astype(np.complex64)
+        meta = json.loads(bytes(data.pop("meta")).decode())
+        arrays = {"meta": np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8)}
+        arrays.update(data)
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(IntegrityError, match=r"param_0 has dtype"):
+            load_checkpoint(path, model=model)
+
+    def test_torn_checkpoint_is_integrity_error(self, tmp_path):
+        from repro.errors import IntegrityError
+        from repro.gnn.train import load_checkpoint
+
+        path, model = self._checkpoint(tmp_path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(IntegrityError, match="truncated or torn"):
+            load_checkpoint(path, model=model)
+
+    def test_without_model_no_signature_check(self, tmp_path):
+        from repro.gnn.train import load_checkpoint
+
+        path, _ = self._checkpoint(tmp_path)
+        ck = load_checkpoint(path)  # structural load only
+        assert ck.adam_t == 0

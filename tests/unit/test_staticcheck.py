@@ -342,6 +342,69 @@ class TestLintRules:
         src = "import time\ndef f(fh):\n    with fh:\n        time.sleep(1)\n"
         assert lint_source(src) == []
 
+    def test_sc501_bare_savez(self):
+        src = "import numpy as np\ndef f(path, arrays):\n    np.savez(path, **arrays)\n"
+        assert [f.code for f in lint_source(src)] == ["SC501"]
+
+    def test_sc501_bare_savez_compressed_anywhere(self):
+        # savez is flagged even outside save_*/write_* functions: the
+        # destination is torn regardless of who calls it.
+        src = (
+            "import numpy as np\n"
+            "def refresh(path, arrays):\n"
+            "    np.savez_compressed(path, **arrays)\n"
+        )
+        assert [f.code for f in lint_source(src)] == ["SC501"]
+
+    def test_sc501_savez_through_atomic_handle_ok(self):
+        src = (
+            "import numpy as np\n"
+            "from repro.recovery import atomic_write\n"
+            "def save_thing(path, arrays):\n"
+            "    with atomic_write(path) as fh:\n"
+            "        np.savez_compressed(fh, **arrays)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sc501_open_write_in_persist_function(self):
+        src = (
+            "def save_report(path, body):\n"
+            "    with open(path, 'w') as fh:\n"
+            "        fh.write(body)\n"
+        )
+        assert [f.code for f in lint_source(src)] == ["SC501"]
+
+    def test_sc501_open_write_mode_keyword(self):
+        src = "def dump_state(path):\n    fh = open(path, mode='wb')\n"
+        assert [f.code for f in lint_source(src)] == ["SC501"]
+
+    def test_sc501_open_read_in_persist_function_ok(self):
+        src = "def save_copy(path):\n    data = open(path, 'rb').read()\n"
+        assert lint_source(src) == []
+
+    def test_sc501_open_write_outside_persist_function_ok(self):
+        # open-for-write is only a persistence smell inside save_*/
+        # write_*/dump_*/persist_* functions (scratch files elsewhere
+        # are legitimate); savez has no such carve-out.
+        src = "def make_scratch(path):\n    fh = open(path, 'w')\n"
+        assert lint_source(src) == []
+
+    def test_sc501_write_text_in_persist_function(self):
+        src = "def write_config(path, body):\n    path.write_text(body)\n"
+        assert [f.code for f in lint_source(src)] == ["SC501"]
+
+    def test_sc501_recovery_module_exempt(self):
+        src = "import numpy as np\ndef f(path, arrays):\n    np.savez(path, **arrays)\n"
+        assert lint_source(src, path="src/repro/recovery/atomic.py") == []
+
+    def test_sc501_pragma_suppresses(self):
+        src = (
+            "import numpy as np\n"
+            "def corrupt(path, arrays):\n"
+            "    np.savez_compressed(path, **arrays)  # staticcheck: ignore[SC501]\n"
+        )
+        assert lint_source(src) == []
+
     def test_pragma_suppresses_one_code(self):
         src = "def f(c):\n    c[0] += 1  # staticcheck: ignore[SC301]\n"
         assert lint_source(src) == []
