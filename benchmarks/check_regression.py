@@ -1,0 +1,159 @@
+"""CI perf-regression gate for the micro-batched serving benchmark.
+
+Compares a freshly measured ``bench_serving_batch`` record against a
+committed baseline and fails (exit 1) when batched throughput regressed
+by more than ``--max-regression`` (default 15%).
+
+Records are compared level-by-level, keyed on ``(dataset, concurrency)``
+— a level present in only one record is reported and skipped, and the
+gate fails when *zero* levels are comparable (a silent "nothing matched,
+nothing failed" pass is itself a regression of the gate).
+
+Throughput is **calibration-normalised** by default: each record carries
+``calibration_rps`` — the rate of a fixed reference SpMM measured on the
+same machine just before the levels ran — so the quantity compared is
+``rps / calibration_rps``, a machine-portable "requests per reference
+SpMM".  A CI runner that is simply slower than the machine that produced
+the baseline scales both numbers equally and passes; an actual serving-
+layer slowdown moves only the numerator and fails.  ``--absolute``
+compares raw requests/sec instead (useful when both records came from
+the same machine).
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --current BENCH_PR6.json \
+        --baseline benchmarks/baselines/serving_batch_smoke.json
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+DEFAULT_BASELINE = (
+    pathlib.Path(__file__).resolve().parent / "baselines" / "serving_batch_smoke.json"
+)
+DEFAULT_MAX_REGRESSION = 0.15
+
+
+def _normalized(record: dict, level: dict, *, absolute: bool) -> float:
+    rps = float(level["batched"]["rps"])
+    if absolute:
+        return rps
+    calibration = float(record["calibration_rps"])
+    if calibration <= 0:
+        raise ValueError("record has non-positive calibration_rps")
+    return rps / calibration
+
+
+def _levels_by_key(record: dict) -> dict:
+    dataset = record["workload"]["dataset"]
+    return {(dataset, int(lv["concurrency"])): lv for lv in record["levels"]}
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    *,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    absolute: bool = False,
+) -> dict:
+    """Compare two bench records; returns a report dict with ``ok``."""
+    cur_levels = _levels_by_key(current)
+    base_levels = _levels_by_key(baseline)
+    rows = []
+    failures = []
+    for key in sorted(base_levels):
+        if key not in cur_levels:
+            rows.append({"key": list(key), "status": "missing-in-current"})
+            continue
+        base_val = _normalized(baseline, base_levels[key], absolute=absolute)
+        cur_val = _normalized(current, cur_levels[key], absolute=absolute)
+        if base_val <= 0:
+            rows.append({"key": list(key), "status": "empty-baseline"})
+            continue
+        change = cur_val / base_val - 1.0
+        regressed = change < -max_regression
+        rows.append(
+            {
+                "key": list(key),
+                "status": "regressed" if regressed else "ok",
+                "baseline": base_val,
+                "current": cur_val,
+                "change": change,
+            }
+        )
+        if regressed:
+            failures.append(rows[-1])
+    compared = [r for r in rows if "change" in r]
+    ok = bool(compared) and not failures
+    return {
+        "metric": "rps" if absolute else "rps/calibration_rps",
+        "max_regression": max_regression,
+        "rows": rows,
+        "compared": len(compared),
+        "failures": len(failures),
+        "ok": ok,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"serving-batch regression gate "
+        f"(metric {report['metric']}, threshold -{report['max_regression']:.0%})"
+    ]
+    for row in report["rows"]:
+        dataset, clients = row["key"]
+        if "change" not in row:
+            lines.append(f"  {dataset} @{clients:3d} clients: {row['status']}")
+            continue
+        lines.append(
+            f"  {dataset} @{clients:3d} clients: "
+            f"{row['baseline']:.4g} -> {row['current']:.4g} "
+            f"({row['change']:+.1%}) [{row['status']}]"
+        )
+    if report["compared"] == 0:
+        lines.append("  FAIL: no comparable levels between current and baseline")
+    elif report["failures"]:
+        lines.append(f"  FAIL: {report['failures']} level(s) regressed")
+    else:
+        lines.append(f"  ok: {report['compared']} level(s) within threshold")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--current", type=pathlib.Path, required=True,
+        help="freshly measured bench_serving_batch JSON record",
+    )
+    ap.add_argument(
+        "--baseline", type=pathlib.Path, default=DEFAULT_BASELINE,
+        help=f"committed baseline record (default {DEFAULT_BASELINE})",
+    )
+    ap.add_argument(
+        "--max-regression", type=float, default=DEFAULT_MAX_REGRESSION,
+        help="fail when normalised throughput drops more than this fraction "
+        f"(default {DEFAULT_MAX_REGRESSION})",
+    )
+    ap.add_argument(
+        "--absolute", action="store_true",
+        help="compare raw requests/sec instead of calibration-normalised",
+    )
+    args = ap.parse_args(argv)
+
+    current = json.loads(args.current.read_text())
+    baseline = json.loads(args.baseline.read_text())
+    report = compare(
+        current,
+        baseline,
+        max_regression=args.max_regression,
+        absolute=args.absolute,
+    )
+    print(render(report))
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -252,9 +252,54 @@ def cmd_serve_bench(args) -> int:
     import warnings as _warnings
 
     from repro.reliability.guard import FallbackWarning
-    from repro.serving import run_soak
+    from repro.serving import run_batched_soak, run_soak
 
     name, a = _load_graph(args.graph)
+    if args.batched:
+        report = run_batched_soak(
+            a,
+            alpha=args.alpha,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            max_width=args.columns,
+            deadline_s=args.deadline,
+            workers=args.workers,
+            max_columns=args.max_columns,
+            latency_budget_s=args.budget_ms / 1e3,
+            seed=args.seed,
+        )
+        print(f"batched serving soak — {name} (alpha={args.alpha}, "
+              f"{args.clients} clients, max_width={args.columns}, "
+              f"batch<= {args.max_columns} cols, budget {args.budget_ms:.1f}ms)")
+        rows = []
+        for ph in report["phases"]:
+            rows.append([
+                ph["phase"], ph["requests"], ph["ok"], ph["wrong"],
+                ph["cross_generation"], ph["shed"], ph["deadline_misses"],
+                ph["input_rejected"], ph["errors"], ph["hung"],
+                f"{ph['latency_p50_ms']:.2f}" if ph["latency_p50_ms"] is not None else "-",
+                f"{ph['latency_p99_ms']:.2f}" if ph["latency_p99_ms"] is not None else "-",
+            ])
+        print(format_table(
+            ["phase", "req", "ok", "wrong", "xgen", "shed", "dl", "rej",
+             "err", "hung", "p50 ms", "p99 ms"],
+            rows,
+        ))
+        sv = report["service"]
+        bt = report["batching"]
+        print(f"  service: {sv['batches']} batches, {sv['coalesced']} coalesced, "
+              f"{sv['batch_victims']} batch victims, {sv['retries']} retries, "
+              f"{sv['swaps']} swaps")
+        print(f"  collector: {bt['collector']}")
+        for key, ok in report["checks"].items():
+            print(f"  [{'ok' if ok else 'FAIL'}] {key}")
+        for v in report["violations"]:
+            print(f"  violation: {v}")
+        if args.json:
+            with open(args.json, "w") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+            print(f"  report written to {args.json}")
+        return 0 if report["ok"] else 1
     with _warnings.catch_warnings():
         if not args.verbose:
             _warnings.simplefilter("ignore", FallbackWarning)
@@ -352,13 +397,27 @@ def cmd_check_artifact(args) -> int:
 
 
 def cmd_check_plan(args) -> int:
-    """Statically prove a kernel plan's update stage race-free."""
+    """Statically prove a kernel plan's update stage race-free.
+
+    Also audits the batched-serving schedule: a representative
+    stacked-operand :class:`BatchLayout` (mixed member widths up to the
+    column cap, quantised) is proven free of cross-member aliasing,
+    bounds violations, and unowned gap columns alongside each plan.
+    """
+    from repro.serving.batching import BatchConfig, BatchLayout
     from repro.staticcheck import analyze_plan
 
+    cfg = BatchConfig(max_columns=args.batch_columns)
+    widths = []
+    w = 1
+    while sum(widths) + w <= cfg.max_columns:
+        widths.append(w)
+        w = min(w * 2, cfg.max_columns - sum(widths) or 1)
     reports = []
     for spec in args.target:
         name, a = _load_graph(spec)
         cbm, _ = build_cbm(a, alpha=args.alpha)
+        layout = BatchLayout.pack(widths, quantum=cfg.quantum, n_rows=cbm.shape[0])
         for update in ("level", "edge"):
             plan = cbm.plan(update=update)
             reports.append(
@@ -367,6 +426,7 @@ def cmd_check_plan(args) -> int:
                     threads=args.threads,
                     p=args.columns,
                     branch_timeout=args.branch_timeout,
+                    batch_layout=layout,
                     subject=f"{name}(alpha={args.alpha},update={update})",
                 )
             )
@@ -524,6 +584,13 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("-p", "--columns", type=int, default=16)
     pc.add_argument("-t", "--threads", type=int, default=16)
     pc.add_argument(
+        "--batch-columns",
+        type=int,
+        default=64,
+        help="column cap of the representative stacked-operand batch "
+        "layout audited alongside each plan",
+    )
+    pc.add_argument(
         "--branch-timeout",
         type=float,
         default=30.0,
@@ -617,6 +684,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stall-rate", type=float, default=0.15,
                    help="chaos-phase worker-stall probability per executor")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--batched", action="store_true",
+                   help="soak the micro-batching stage instead: mixed-width "
+                   "coalescing, hot-swap storm (generation purity), and "
+                   "poisoned-member attribution")
+    p.add_argument("--max-columns", type=int, default=32,
+                   help="batched mode: stacked-operand column cap per batch")
+    p.add_argument("--budget-ms", type=float, default=3.0,
+                   help="batched mode: batch collection latency budget (ms)")
     p.add_argument("--json", help="also write the full JSON report here")
     p.add_argument("--verbose", action="store_true",
                    help="let the guard's FallbackWarnings through to stderr")

@@ -28,6 +28,7 @@ class PoolStats:
     hits: int = 0
     releases: int = 0
     discarded: int = 0
+    stacked_acquires: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -83,6 +84,33 @@ class WorkspacePool:
                 free.append(arr)
             else:
                 self.stats.discarded += 1
+
+    def acquire_stacked(
+        self, rows: int, columns: int, dtype=np.float32, *, quantum: int = 1
+    ) -> np.ndarray:
+        """A pooled 2-D buffer for a *stacked* (micro-batched) operand.
+
+        Batch widths vary request-to-request, so exact-shape pooling
+        would miss on almost every acquire; instead the width is rounded
+        up to a multiple of ``quantum`` (see
+        :func:`repro.serving.batching.quantize_columns` for the
+        rationale) and the trailing padding columns are **zero-filled**
+        before the buffer is handed out — padding feeds the kernels, and
+        recycled garbage there would poison the output-validation scan.
+        The caller owns the first ``columns`` columns; release with
+        :meth:`release` as usual.
+        """
+        if quantum < 1:
+            raise ValueError(f"quantum must be >= 1, got {quantum}")
+        if columns < 1:
+            raise ValueError(f"columns must be >= 1, got {columns}")
+        padded = ((columns + quantum - 1) // quantum) * quantum
+        buf = self.acquire((int(rows), padded), dtype)
+        with self._lock:
+            self.stats.stacked_acquires += 1
+        if padded > columns:
+            buf[:, columns:] = 0
+        return buf
 
     def warm(self, shape: tuple[int, ...], dtype=np.float32, count: int = 1) -> None:
         """Pre-populate the pool so the first executions skip allocation."""

@@ -321,6 +321,30 @@ class KernelPlan:
         """Acquire a pooled output buffer shaped for this plan's products."""
         return self.pool.acquire((self.shape[0], int(columns)), dtype)
 
+    def stacked_operand(
+        self, columns: int, dtype=np.float32, *, quantum: int = 1
+    ) -> np.ndarray:
+        """Pooled staging buffer for a micro-batched (stacked) operand.
+
+        Shaped ``(shape[1], quantised columns)`` — the serving layer's
+        batch collector copies each member's feature block into its
+        column span before one stacked :meth:`execute`.  Width
+        quantisation (``quantum``) keeps the pool key space small across
+        variable batch widths; padding columns come back zero-filled so
+        they are inert through the multiply and update stages.
+        """
+        return self.pool.acquire_stacked(
+            self.shape[1], int(columns), dtype, quantum=quantum
+        )
+
+    def stacked_out(
+        self, columns: int, dtype=np.float32, *, quantum: int = 1
+    ) -> np.ndarray:
+        """Pooled output buffer matching a :meth:`stacked_operand` width."""
+        return self.pool.acquire_stacked(
+            self.shape[0], int(columns), dtype, quantum=quantum
+        )
+
     def release(self, buf: np.ndarray) -> None:
         """Return a buffer obtained from :meth:`out_buffer` to the pool."""
         self.pool.release(buf)

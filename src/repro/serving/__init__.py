@@ -10,6 +10,15 @@ and the deadline propagation path.
 """
 
 from repro.serving.backoff import RetryPolicy, is_transient
+from repro.serving.batching import (
+    KIND_GCN,
+    KIND_PRODUCT,
+    Batch,
+    BatchCollector,
+    BatchConfig,
+    BatchLayout,
+    quantize_columns,
+)
 from repro.serving.breaker import BreakerState, CircuitBreaker, ServeTier
 from repro.serving.deadline import Deadline
 from repro.serving.service import (
@@ -19,10 +28,16 @@ from repro.serving.service import (
     ServiceState,
     ServiceStats,
 )
-from repro.serving.soak import run_soak
+from repro.serving.soak import run_batched_soak, run_soak
 
 __all__ = [
+    "KIND_GCN",
+    "KIND_PRODUCT",
     "AdjacencySlot",
+    "Batch",
+    "BatchCollector",
+    "BatchConfig",
+    "BatchLayout",
     "BreakerState",
     "CircuitBreaker",
     "Deadline",
@@ -33,5 +48,7 @@ __all__ = [
     "ServiceState",
     "ServiceStats",
     "is_transient",
+    "quantize_columns",
+    "run_batched_soak",
     "run_soak",
 ]

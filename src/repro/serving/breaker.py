@@ -71,6 +71,14 @@ class CircuitBreaker:
         promotion.
     probe_budget:
         Consecutive successful half-open probes required to climb one tier.
+    probe_width:
+        Maximum stacked-operand width (dense columns) a half-open probe
+        may carry.  The micro-batching stage executes whole batches at
+        one tier, so an unbounded probe would expose up to
+        ``max_columns`` coalesced requests to the faster (suspect) tier
+        at once; with a cap, wide batches keep serving at the safe tier
+        and only narrow batches probe.  ``None`` (default) disables the
+        cap — the pre-batching behaviour.
     """
 
     def __init__(
@@ -82,6 +90,7 @@ class CircuitBreaker:
         cooldown_s: float = 1.0,
         max_cooldown_s: float = 30.0,
         probe_budget: int = 3,
+        probe_width: int | None = None,
         clock=time.monotonic,
     ):
         if window < 1 or failure_threshold < 1 or probe_budget < 1:
@@ -90,6 +99,9 @@ class CircuitBreaker:
             raise ValueError(f"failure_rate must lie in (0, 1], got {failure_rate}")
         if cooldown_s <= 0 or max_cooldown_s < cooldown_s:
             raise ValueError("need 0 < cooldown_s <= max_cooldown_s")
+        if probe_width is not None and probe_width < 1:
+            raise ValueError(f"probe_width must be >= 1 or None, got {probe_width}")
+        self.probe_width = probe_width
         self.window = window
         self.failure_threshold = failure_threshold
         self.failure_rate = failure_rate
@@ -150,12 +162,16 @@ class CircuitBreaker:
             self._record_transition("promote")
 
     # ------------------------------------------------------------------
-    def acquire(self) -> tuple[ServeTier, bool]:
-        """Pick the tier for one request; returns ``(tier, is_probe)``.
+    def acquire(self, *, width: int = 1) -> tuple[ServeTier, bool]:
+        """Pick the tier for one execution; returns ``(tier, is_probe)``.
 
-        In HALF_OPEN state up to ``probe_budget`` in-flight requests are
-        routed one tier faster than the current one (the probe); everyone
-        else serves at the safe tier.
+        In HALF_OPEN state up to ``probe_budget`` in-flight executions
+        are routed one tier faster than the current one (the probe);
+        everyone else serves at the safe tier.  ``width`` is the stacked
+        operand width of the execution (1 for a plain request): when
+        ``probe_width`` is configured, executions wider than it never
+        probe — a coalesced batch is many requests, and the blast radius
+        of a failed probe should stay one request wide.
         """
         with self._lock:
             if (
@@ -171,6 +187,7 @@ class CircuitBreaker:
             if (
                 self.state is BreakerState.HALF_OPEN
                 and self._probes_issued < self.probe_budget
+                and (self.probe_width is None or width <= self.probe_width)
             ):
                 self._probes_issued += 1
                 return ServeTier(self.tier - 1), True
@@ -227,6 +244,7 @@ class CircuitBreaker:
                 "cooldown_s": self._cooldown_s,
                 "transitions": len(self.transitions),
                 "probe_budget": self.probe_budget,
+                "probe_width": self.probe_width,
             }
 
     def transition_log(self) -> list[dict]:

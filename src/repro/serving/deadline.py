@@ -36,6 +36,18 @@ class Deadline:
         """Seconds left before expiry (clamped at 0)."""
         return max(0.0, self.expires_at - self._clock())
 
+    @staticmethod
+    def tightest(deadlines) -> float:
+        """Earliest absolute expiry among ``deadlines``.
+
+        The micro-batching stage closes an open batch against this
+        instant (minus its close margin) so that coalescing never
+        violates the most impatient member's budget, and forwards it to
+        the executor watchdog so one stacked run is cancelled when the
+        tightest member's budget passes.
+        """
+        return min(d.expires_at for d in deadlines)
+
     @property
     def expired(self) -> bool:
         return self._clock() >= self.expires_at

@@ -43,6 +43,14 @@ from repro.errors import (
 )
 from repro.reliability.guard import GuardedAdjacency, GuardedKernel, GuardStats
 from repro.serving.backoff import RetryPolicy, is_transient
+from repro.serving.batching import (
+    KIND_GCN,
+    KIND_PRODUCT,
+    Batch,
+    BatchCollector,
+    BatchConfig,
+    BatchLayout,
+)
 from repro.serving.breaker import CircuitBreaker, ServeTier
 from repro.serving.deadline import Deadline
 from repro.sparse.csr import CSRMatrix
@@ -69,6 +77,9 @@ class ServiceStats:
         "input_rejections",
         "retries",
         "swaps",
+        "batches",
+        "coalesced",
+        "batch_victims",
     )
 
     def __init__(self) -> None:
@@ -92,12 +103,20 @@ class InferenceFuture:
     returning the product or raising the typed error the request ended
     with; on timeout it raises :class:`TimeoutError` (a *harness* signal —
     the service itself always resolves within the deadline budget).
+
+    ``generation`` records which adjacency generation served the request
+    (set just before the future resolves, ``None`` until then and for
+    rejected requests).  Clients swap-storming the service use it to
+    verify each result against the reference matrix of the generation
+    that actually produced it — the observable form of the batching
+    stage's generation-purity invariant.
     """
 
     def __init__(self) -> None:
         self._done = threading.Event()
         self._value: np.ndarray | None = None
         self._exc: BaseException | None = None
+        self.generation: int | None = None
 
     def _resolve(self, value: np.ndarray) -> None:
         self._value = value
@@ -124,13 +143,22 @@ class InferenceFuture:
 
 
 class _Request:
-    __slots__ = ("x", "deadline", "future", "vector")
+    __slots__ = ("x", "deadline", "future", "vector", "kind", "attempts")
 
-    def __init__(self, x: np.ndarray, deadline: Deadline, vector: bool):
+    def __init__(
+        self, x: np.ndarray, deadline: Deadline, vector: bool, kind: str = KIND_PRODUCT
+    ):
         self.x = x
         self.deadline = deadline
         self.future = InferenceFuture()
         self.vector = vector
+        self.kind = kind
+        self.attempts = 0
+
+    @property
+    def width(self) -> int:
+        """Dense columns this request occupies in a stacked operand."""
+        return 1 if self.vector else int(self.x.shape[1])
 
 
 class AdjacencySlot:
@@ -228,6 +256,15 @@ class InferenceService:
         request's serving tier.
     executor_factory:
         Forwarded to the guarded kernels' threaded path (chaos soak hook).
+    batch:
+        A :class:`~repro.serving.batching.BatchConfig` switches the
+        workers to the micro-batching executor: queued requests
+        targeting the same adjacency generation and operator kind are
+        coalesced into one stacked-feature forward within the config's
+        latency budget, and the stacked result is split back per
+        requester (bitwise identical to the unbatched products — see
+        :mod:`repro.serving.batching`).  ``None`` keeps the one-forward-
+        per-request path.
     """
 
     def __init__(
@@ -243,6 +280,7 @@ class InferenceService:
         breaker: CircuitBreaker | None = None,
         weights: tuple[np.ndarray, np.ndarray] | None = None,
         executor_factory=None,
+        batch: BatchConfig | None = None,
         validate: bool = True,
         seed: int = 0,
     ):
@@ -269,6 +307,10 @@ class InferenceService:
         self.stats = ServiceStats()
 
         self._queue: "queue.Queue[_Request | None]" = queue.Queue(maxsize=queue_capacity)
+        self.batch_config = batch
+        self._collector = (
+            BatchCollector(self._queue, batch) if batch is not None else None
+        )
         self._state = ServiceState.STARTING
         self._state_lock = threading.Lock()
         self._swap_lock = threading.Lock()
@@ -288,12 +330,22 @@ class InferenceService:
             if self._started:
                 return self
             self._started = True
+            # With batching enabled the batch *is* the concurrency: the
+            # stacked kernels already aggregate every queued request, and
+            # a second compute thread only interleaves with the first at
+            # the interpreter level (measured ~5x per-kernel inflation on
+            # a contended GIL), so the batched service runs exactly one
+            # compute worker regardless of ``workers``.
+            if self._collector is None:
+                target, count = self._worker_loop, self.workers
+            else:
+                target, count = self._worker_loop_batched, 1
             self._threads = [
                 threading.Thread(
-                    target=self._worker_loop, args=(i,), daemon=True,
+                    target=target, args=(i,), daemon=True,
                     name=f"repro-serve-{i}",
                 )
-                for i in range(self.workers)
+                for i in range(count)
             ]
             for t in self._threads:
                 t.start()
@@ -344,6 +396,10 @@ class InferenceService:
             if item is not None:
                 item.future._reject(ServiceUnavailable("service stopped"))
                 self._finish_pending()
+        if self._collector is not None:
+            for item in self._collector.drain_pending():
+                item.future._reject(ServiceUnavailable("service stopped"))
+                self._finish_pending()
 
     @property
     def state(self) -> str:
@@ -375,8 +431,16 @@ class InferenceService:
         n = self._slot.cbm.shape[1]
         if x.shape[0] != n:
             raise ShapeError.mismatch("request operand", (n,), x.shape)
+        kind = KIND_PRODUCT
+        if self.weights is not None:
+            kind = KIND_GCN
+            p = int(self.weights[0].shape[0])
+            if x.shape[1] != p:
+                raise ShapeError.mismatch(
+                    "GCN feature block vs W0", (n, p), tuple(x.shape)
+                )
         deadline = Deadline(deadline_s if deadline_s is not None else self.default_deadline_s)
-        req = _Request(x, deadline, vector=x.ndim == 1)
+        req = _Request(x, deadline, vector=x.ndim == 1, kind=kind)
         with self._pending_cond:
             self._pending += 1
         try:
@@ -415,9 +479,9 @@ class InferenceService:
             finally:
                 self._finish_pending()
 
-    def _finish_pending(self) -> None:
+    def _finish_pending(self, count: int = 1) -> None:
         with self._pending_cond:
-            self._pending -= 1
+            self._pending -= count
             if self._pending <= 0:
                 self._pending_cond.notify_all()
 
@@ -439,7 +503,7 @@ class InferenceService:
         t0 = time.monotonic()
         while True:
             attempt += 1
-            tier, probe = self.breaker.acquire()
+            tier, probe = self.breaker.acquire(width=req.width)
             try:
                 y = self._compute(req, tier)
             except ReproError as exc:
@@ -479,6 +543,7 @@ class InferenceService:
 
     def _compute(self, req: _Request, tier: ServeTier) -> np.ndarray:
         slot = self._slot  # one atomic read: swaps do not tear a request
+        req.future.generation = slot.generation
         x = req.x
         if tier is ServeTier.DEGRADED:
             if self.weights is not None:
@@ -535,6 +600,309 @@ class InferenceService:
                 self._ewma_s = seconds
             else:
                 self._ewma_s = 0.8 * self._ewma_s + 0.2 * seconds
+
+    # ------------------------------------------------------------------
+    # Micro-batched execution (active when a BatchConfig was supplied)
+    # ------------------------------------------------------------------
+    def _settle_reject(self, req: _Request, exc: BaseException) -> None:
+        """One request leaves the system with a typed error."""
+        req.future._reject(exc)
+        self._finish_pending()
+
+    def _worker_loop_batched(self, index: int) -> None:
+        rng = np.random.default_rng(self._seed * 7919 + index)
+        while True:
+            batch = self._collector.next_batch(lambda: self._slot)
+            if batch is None:
+                return
+            try:
+                self._handle_batch(batch, rng)
+            except Exception as exc:  # defensive: never strand a member
+                for req in batch.members:
+                    if not req.future.done():
+                        self._settle_reject(
+                            req,
+                            ServiceUnavailable(
+                                f"internal serving failure: {type(exc).__name__}: {exc}"
+                            ),
+                        )
+
+    def _handle_batch(self, batch: Batch, rng: np.random.Generator) -> None:
+        """Execute one coalesced batch: per-batch tier, per-request outcomes.
+
+        The batch executes at one serving tier (guard fallbacks and
+        breaker transitions apply to the whole stacked forward), but
+        every *outcome* is attributed per request: deadline expiry and
+        input rejection are decided member-by-member, and members hit by
+        a transient batch failure re-enter the collector for their own
+        retry rather than failing with the batch.
+        """
+        if self._state == ServiceState.STOPPED:
+            for req in batch.members:
+                self._settle_reject(req, ServiceUnavailable("service stopped"))
+            return
+        live = []
+        for req in batch.members:
+            if req.deadline.expired:
+                self.stats.bump("deadline_misses")
+                self._settle_reject(
+                    req,
+                    DeadlineExceeded(
+                        f"deadline budget ({req.deadline.budget_s:.3f}s) expired "
+                        "while the request was queued"
+                    ),
+                )
+            else:
+                live.append(req)
+        if not live:
+            return
+        batch.members = live
+        t0 = time.monotonic()
+        tier, probe = self.breaker.acquire(width=batch.width)
+        try:
+            outs = self._compute_batch(batch, tier)
+        except ReproError as exc:
+            if getattr(exc, "input_rejection", False):
+                # A poisoned operand somewhere in the stack: not a path
+                # failure, so the breaker hears nothing — attribute it.
+                self._attribute_poison(batch, exc)
+                return
+            self.breaker.record(tier, False, probe=probe)
+            self._retry_or_fail_batch(batch, exc, rng)
+            return
+        self.breaker.record(tier, True, probe=probe)
+        self.stats.bump("batches")
+        if len(live) > 1:
+            self.stats.bump("coalesced", by=len(live))
+        self._observe_latency((time.monotonic() - t0) / len(live))
+        self.stats.bump("completed", by=len(live))
+        for req, y in zip(live, outs):
+            req.future.generation = batch.generation
+            req.future._resolve(y)
+        self._finish_pending(len(live))
+
+    def _compute_batch(self, batch: Batch, tier: ServeTier) -> list[np.ndarray]:
+        """Stack the members, run one forward, split the result.
+
+        Every member's output slice is bitwise identical to the product
+        it would have received unbatched: the SpMM/update-stage kernels
+        are column-wise independent, and the GCN GEMM stages run on
+        contiguous per-member blocks (see :mod:`repro.serving.batching`).
+        Quantised padding columns are zero-filled by the pool and inert.
+        """
+        slot = batch.slot
+        cfg = self.batch_config
+        members = batch.members
+        layout = batch.layout(quantum=cfg.quantum)
+        plan = slot.cbm.plan()
+        xs = plan.stacked_operand(layout.used_columns, np.float32, quantum=cfg.quantum)
+        try:
+            for req, (lo, hi) in zip(members, layout.spans()):
+                col = np.asarray(req.x, dtype=np.float32)
+                xs[:, lo:hi] = col[:, None] if req.vector else col
+            if tier is ServeTier.DEGRADED:
+                def product(arr: np.ndarray) -> np.ndarray:
+                    return spmm(slot.source, arr)
+            else:
+                guarded = tier is ServeTier.GUARDED
+                guard = GuardedKernel(
+                    slot.cbm,
+                    source=slot.source if guarded else None,
+                    strict=not guarded,
+                    threads=self.threads,
+                    branch_timeout=self.branch_timeout,
+                    deadline=(
+                        batch.tightest_expiry() if self.threads is not None else None
+                    ),
+                    executor_factory=self.executor_factory,
+                    stats=slot.stats,
+                    validate_outputs=self.validate,
+                    on_degrade=(
+                        (lambda exc: self.breaker.note_internal_failure())
+                        if guarded
+                        else None
+                    ),
+                )
+                product = guard.matmul
+            if self.weights is not None:
+                outs = self._compute_batch_gcn(product, xs, layout, plan, cfg)
+            else:
+                ys = product(xs)
+                try:
+                    outs = [
+                        ys[:, lo].copy() if req.vector else np.ascontiguousarray(ys[:, lo:hi])
+                        for req, (lo, hi) in zip(members, layout.spans())
+                    ]
+                finally:
+                    plan.release(ys)
+            if tier is ServeTier.DEGRADED and self.validate:
+                # The guarded tiers validate inside GuardedKernel; the CSR
+                # reference tier validates here, mirroring _compute.
+                if not all(all_finite(y) for y in outs):
+                    if not all_finite(xs):
+                        err = NumericalError(
+                            "a stacked operand contains NaN/Inf; no serving "
+                            "tier can repair a corrupted input"
+                        )
+                        err.input_rejection = True
+                        slot.stats.record_input_rejection()
+                        raise err
+                    raise NumericalError(
+                        "CSR reference product is non-finite; the stored matrix "
+                        "or an operand is corrupted beyond recovery"
+                    )
+            return outs
+        finally:
+            plan.release(xs)
+
+    def _compute_batch_gcn(self, product, xs, layout, plan, cfg) -> list[np.ndarray]:
+        """Batched two-layer GCN: stacked SpMM stages, per-member GEMMs.
+
+        ``W⁰`` maps each member's feature width to the hidden width, so
+        the GEMM stages cannot run on the stacked operand directly; each
+        runs on that member's contiguous block of the stacked aggregate,
+        which keeps every member bitwise identical to its unbatched
+        ``Â σ(Â X W⁰) W¹``.
+
+        When every member has the same feature width the per-member GEMM
+        loop collapses into two whole-batch GEMMs on reshaped views —
+        ``(n·m, p) @ W⁰`` row-partitions exactly like ``m`` separate
+        ``(n, p) @ W⁰`` products, so the results stay bitwise identical
+        while the per-member dispatch and strided block copies (the
+        dominant single-core batch cost) disappear.
+        """
+        w0, w1 = self.weights
+        hidden = int(w0.shape[1])
+        c1 = product(xs)
+        try:
+            spans = layout.spans()
+            widths = {hi - lo for lo, hi in spans}
+            if len(widths) == 1:
+                return self._batch_gcn_uniform(
+                    product, c1, len(spans), widths.pop(), plan
+                )
+            h_layout = BatchLayout.pack(
+                [hidden] * len(layout.members), quantum=cfg.quantum, n_rows=layout.n_rows
+            )
+            hs = plan.stacked_operand(
+                h_layout.used_columns, np.float32, quantum=cfg.quantum
+            )
+            try:
+                for (lo, hi), (hlo, hhi) in zip(spans, h_layout.spans()):
+                    block = np.ascontiguousarray(c1[:, lo:hi])
+                    hs[:, hlo:hhi] = np.maximum(block @ w0, 0.0)
+                c2 = product(hs)
+                try:
+                    return [
+                        np.ascontiguousarray(c2[:, hlo:hhi]) @ w1
+                        for hlo, hhi in h_layout.spans()
+                    ]
+                finally:
+                    plan.release(c2)
+            finally:
+                plan.release(hs)
+        finally:
+            plan.release(c1)
+
+    def _batch_gcn_uniform(self, product, c1, members, width, plan) -> list[np.ndarray]:
+        """Whole-batch GEMM stages for a batch of equal-width members.
+
+        ``c1[:, :members*width]`` reshaped to ``(n·m, width)`` puts every
+        member's aggregate rows through one GEMM; the hidden activations
+        come back already laid out as the stacked operand of the second
+        SpMM (member-major within each row), so no workspace packing or
+        per-member extraction happens between the two stacked products.
+        """
+        w0, w1 = self.weights
+        hidden = int(w0.shape[1])
+        n = c1.shape[0]
+        used = members * width
+        # The pool may have quantised c1 wider than the batch; reshape
+        # falls back to one contiguous copy in that case.
+        flat = c1[:, :used].reshape(n * members, width)
+        h1 = flat @ w0
+        np.maximum(h1, 0.0, out=h1)
+        hs = h1.reshape(n, members * hidden)
+        c2 = product(hs)
+        try:
+            classes = int(w1.shape[1])
+            o = c2[:, : members * hidden].reshape(n * members, hidden) @ w1
+            stacked = np.ascontiguousarray(
+                o.reshape(n, members, classes).transpose(1, 0, 2)
+            )
+            return [stacked[i].copy() for i in range(members)]
+        finally:
+            plan.release(c2)
+
+    def _attribute_poison(self, batch: Batch, exc: ReproError) -> None:
+        """Batch-level input rejection → per-member attribution.
+
+        Members whose operand really is non-finite are rejected with
+        ``input_rejection``; innocent co-travellers re-enter the
+        collector as batch victims with *no attempt charged* — sharing a
+        batch with a poisoned request must not consume retry budget.
+        """
+        poisoned, clean = [], []
+        for req in batch.members:
+            x = np.asarray(req.x, dtype=np.float32)
+            (clean if all_finite(x) else poisoned).append(req)
+        if not poisoned:
+            # Attribution failed (should not happen): fail everyone with
+            # the original error rather than requeueing forever.
+            for req in batch.members:
+                self.stats.bump("failed")
+                self._settle_reject(req, exc)
+            return
+        for req in poisoned:
+            self.stats.bump("input_rejections")
+            err = NumericalError(
+                "request operand contains NaN/Inf; no serving tier can "
+                "repair a corrupted input"
+            )
+            err.input_rejection = True
+            err.__cause__ = exc
+            self._settle_reject(req, err)
+        if clean:
+            self.stats.bump("batch_victims", by=len(clean))
+            self._collector.requeue(clean)
+
+    def _retry_or_fail_batch(
+        self, batch: Batch, exc: ReproError, rng: np.random.Generator
+    ) -> None:
+        """A transient batch failure charges every member one attempt;
+        members with retry budget and deadline room re-enter the
+        collector (retries never bypass the batching stage), the rest
+        resolve with the typed error."""
+        transient = is_transient(exc)
+        delay = next(self.retry.delays(rng))
+        retryable, terminal = [], []
+        for req in batch.members:
+            req.attempts += 1
+            if (
+                transient
+                and req.attempts < self.retry.max_attempts
+                and req.deadline.remaining() > delay
+            ):
+                retryable.append(req)
+            else:
+                terminal.append(req)
+        for req in terminal:
+            self.stats.bump("failed")
+            if req.deadline.expired:
+                self.stats.bump("deadline_misses")
+                final: ReproError = DeadlineExceeded(
+                    f"deadline budget ({req.deadline.budget_s:.3f}s) "
+                    f"exhausted after {req.attempts} attempt(s); last error: "
+                    f"{type(exc).__name__}: {exc}"
+                )
+                final.__cause__ = exc
+            else:
+                final = exc
+            self._settle_reject(req, final)
+        if retryable:
+            self.stats.bump("retries", by=len(retryable))
+            time.sleep(delay)
+            self._collector.requeue(retryable)
 
     # ------------------------------------------------------------------
     # Hot swap
@@ -633,6 +1001,17 @@ class InferenceService:
         """Liveness + readiness + the counters an operator would page on."""
         with self._ewma_lock:
             ewma = self._ewma_s
+        batching = None
+        if self._collector is not None:
+            cfg = self.batch_config
+            batching = {
+                "max_columns": cfg.max_columns,
+                "latency_budget_s": cfg.latency_budget_s,
+                "close_margin_s": cfg.close_margin_s,
+                "quantum": cfg.quantum,
+                "pending": self._collector.pending_count(),
+                "collector": self._collector.stats.snapshot(),
+            }
         return {
             "state": self._state,
             "ready": self.ready(),
@@ -642,6 +1021,7 @@ class InferenceService:
             "ewma_latency_s": ewma,
             "generation": self._slot.generation,
             "breaker": self.breaker.describe(),
+            "batching": batching,
             "service": self.stats.snapshot(),
             "guard": self._slot.stats.snapshot(),
         }

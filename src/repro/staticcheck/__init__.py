@@ -29,6 +29,7 @@ CLI and run as the required ``staticcheck`` CI job.
 
 from repro.staticcheck.artifact import audit_archive, audit_arrays, audit_cbm
 from repro.staticcheck.hazards import (
+    analyze_batch_layout,
     analyze_branches,
     analyze_level_schedule,
     analyze_plan,
@@ -42,6 +43,7 @@ __all__ = [
     "AuditReport",
     "Finding",
     "Severity",
+    "analyze_batch_layout",
     "analyze_branches",
     "analyze_level_schedule",
     "analyze_plan",

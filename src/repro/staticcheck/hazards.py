@@ -382,6 +382,92 @@ def analyze_schedule(
     return report
 
 
+def analyze_batch_layout(layout, *, subject: str = "batch-layout") -> AuditReport:
+    """Prove a stacked-operand :class:`~repro.serving.batching.BatchLayout`
+    free of cross-member hazards before anything executes.
+
+    The micro-batching stage packs several requests' operands into one
+    stacked buffer and splits the product back by column span; the
+    layout is the static contract the split step relies on.  Detects:
+
+    * **cross-member aliasing** — two member spans overlapping, so one
+      output column would be handed to two requesters (the stacked-operand
+      form of the Property 3 violation the pool detector catches);
+    * **out-of-bounds spans** — a member span outside the stacked
+      buffer's ``total_columns``;
+    * **uninitialised gaps** — columns between member spans that no one
+      owns: they are neither written by a member nor zero-filled as
+      trailing padding, so recycled pool garbage would feed the kernel;
+    * **non-positive widths** — a zero- or negative-width member, which
+      would silently resolve to an empty (or aliasing) output slice.
+    """
+    report = AuditReport(subject=subject)
+    spans = sorted(layout.spans())
+
+    bad_width = [(lo, hi) for lo, hi in spans if hi - lo <= 0]
+    if bad_width:
+        report.add(
+            "HZ-X004",
+            f"batch layout: member span(s) {bad_width[:_MAX_LISTED]} have "
+            "non-positive width — the member would receive an empty or "
+            "aliasing output slice",
+        )
+        report.failed("batch.widths")
+    else:
+        report.passed("batch.widths")
+
+    overlaps = [
+        (spans[i], spans[i + 1])
+        for i in range(len(spans) - 1)
+        if spans[i + 1][0] < spans[i][1]
+    ]
+    if overlaps:
+        report.add(
+            "HZ-X001",
+            f"cross-member aliasing: member spans {overlaps[:_MAX_LISTED]} "
+            "overlap — one stacked output column would be split to two "
+            "requesters (Property 3 ownership broken)",
+        )
+        report.failed("batch.disjoint")
+    else:
+        report.passed("batch.disjoint")
+
+    oob = [
+        (lo, hi)
+        for lo, hi in spans
+        if lo < 0 or hi > layout.total_columns
+    ]
+    if oob:
+        report.add(
+            "HZ-X002",
+            f"batch layout: member span(s) {oob[:_MAX_LISTED]} fall outside "
+            f"the {layout.total_columns}-column stacked buffer",
+        )
+        report.failed("batch.bounds")
+    else:
+        report.passed("batch.bounds")
+
+    gaps = [
+        (spans[i][1], spans[i + 1][0])
+        for i in range(len(spans) - 1)
+        if spans[i + 1][0] > spans[i][1]
+    ]
+    if spans and spans[0][0] > 0:
+        gaps.insert(0, (0, spans[0][0]))
+    if gaps:
+        report.add(
+            "HZ-X003",
+            f"batch layout: column gap(s) {gaps[:_MAX_LISTED]} between member "
+            "spans are owned by no member — unlike trailing quantisation "
+            "padding they are never zero-filled, so recycled workspace "
+            "garbage would feed the kernel",
+        )
+        report.failed("batch.contiguous")
+    else:
+        report.passed("batch.contiguous")
+    return report
+
+
 def analyze_plan(
     plan,
     *,
@@ -390,6 +476,7 @@ def analyze_plan(
     branch_timeout: float | None = None,
     deadline: float | None = None,
     watchdog: bool = True,
+    batch_layout=None,
     subject: str | None = None,
 ) -> AuditReport:
     """Full hazard analysis of a built :class:`KernelPlan`.
@@ -399,7 +486,9 @@ def analyze_plan(
     given, additionally simulates ``plan_update_schedule`` and
     sanity-checks its accounting.  ``watchdog=False`` skips the
     timeout-ownership check for callers that run the update stage
-    sequentially (no workers to stall).
+    sequentially (no workers to stall).  ``batch_layout`` audits a
+    stacked-operand column map alongside the plan (the batched-serving
+    schedule: one plan execution, many requesters).
     """
     name = subject if subject is not None else f"plan({plan.variant.value},{plan.update})"
     report = AuditReport(subject=name)
@@ -417,6 +506,8 @@ def analyze_plan(
                 subject=name,
             )
         )
+    if batch_layout is not None:
+        report.merge(analyze_batch_layout(batch_layout, subject=name))
     if threads is not None:
         from repro.parallel.schedule import (
             branch_costs_from_branches,
