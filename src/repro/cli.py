@@ -473,7 +473,11 @@ def cmd_crash_soak(args) -> int:
                 f"quarantined={trial.quarantined} {status}"
             )
 
-    workloads = ("archive",) if args.break_protocol else ("archive", "trainer", "multi")
+    workloads = (
+        ("archive",)
+        if args.break_protocol
+        else ("archive", "trainer", "multi", "streaming")
+    )
     report = run_soak(
         trials=args.trials,
         seed=args.seed,
@@ -501,6 +505,74 @@ def cmd_crash_soak(args) -> int:
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(report, fh, indent=1, sort_keys=True)
+        print(f"  report written to {args.json}")
+    return 0 if report["ok"] else 1
+
+
+def cmd_stream_soak(args) -> int:
+    """Mutation-storm soak of the streaming tier (repro.streaming.soak).
+
+    Concurrent edge mutations + batched inference + background rebuilds
+    + kill-9 rebuild crashes over one live system.  Exit 0 only when
+    every served result bitwise-matched a published generation within
+    the staleness budget, no request was dropped or hung, every crashed
+    rebuild recovered or quarantined, the pinned generation survived
+    retention pruning, and both the patched and the rebuilt artifacts
+    passed their static audits.
+    """
+    import json
+
+    from repro.streaming import run_mutation_soak
+
+    a = None
+    if args.graph:
+        _, a = _load_graph(args.graph)
+
+    def progress(msg):
+        if args.verbose:
+            print(f"  {msg}")
+
+    report = run_mutation_soak(
+        a,
+        seed=args.seed,
+        clients=args.clients,
+        requests_per_client=args.requests,
+        mutator_batches=args.mutations,
+        edges_per_batch=args.edges,
+        staleness_budget=args.staleness_budget,
+        max_drift=args.max_drift,
+        crash_trials=args.crash_trials,
+        min_requests=args.min_requests,
+        progress=progress,
+    )
+    w = report["workload"]
+    print(
+        f"mutation soak — {w['nodes']} nodes, {w['nnz_initial']} edges, "
+        f"{w['clients']} clients ({report['elapsed_s']:.1f}s)"
+    )
+    print(f"  requests served        {report['requests']} "
+          f"(verified {report['verified_ok']}, wrong {report['wrong']}, "
+          f"hung {report['hung']}, dropped {report['dropped']}, "
+          f"errors {report['errors']})")
+    print(f"  patches applied        {report['patches_applied']} "
+          f"(p50 {report['patch_p50_ms'] or 0:.2f} ms, "
+          f"max staleness {report['max_staleness']}/{w['staleness_budget']})")
+    print(f"  rebuilds completed     {report['rebuilds']} "
+          f"(wall {report['rebuild_wall_s']})")
+    print(f"  generations committed  {report['generations_committed']}")
+    for t in report["crash"]:
+        print(f"  crash trial            crash_at={t['crash_at']} "
+              f"{'killed' if t['killed'] else 'clean'} kept={t['kept']} "
+              f"quarantined={t['quarantined']} {'ok' if t['ok'] else 'VIOLATION'}")
+    for name, ok in report["checks"].items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    for v in report["violations"]:
+        print(f"  violation: {v}")
+    print(f"  {'OK' if report['ok'] else 'FAIL'}: "
+          f"{len(report['violations'])} violation(s)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True, default=str)
         print(f"  report written to {args.json}")
     return 0 if report["ok"] else 1
 
@@ -634,6 +706,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="write the full JSON report here")
     p.add_argument("--verbose", action="store_true", help="print every trial")
     p.set_defaults(fn=cmd_crash_soak)
+
+    p = sub.add_parser(
+        "stream-soak",
+        help="mutation-storm soak of the streaming tier: concurrent edge "
+        "mutations + batched inference + background rebuilds + kill-9 "
+        "rebuild crashes, with bitwise verification of every served "
+        "result (nonzero exit on any violation)",
+    )
+    p.add_argument("--graph", default=None,
+                   help="dataset name or .npz path (default: synthetic graph)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--clients", type=int, default=4)
+    p.add_argument("--requests", type=int, default=40,
+                   help="storm-phase requests per client")
+    p.add_argument("--mutations", type=int, default=18,
+                   help="edge batches applied by the mutator")
+    p.add_argument("--edges", type=int, default=3,
+                   help="insertions and deletions per batch")
+    p.add_argument("--staleness-budget", type=int, default=12,
+                   help="max patch batches a served snapshot may lag")
+    p.add_argument("--max-drift", type=float, default=0.2,
+                   help="fractional op-count growth that triggers a rebuild")
+    p.add_argument("--crash-trials", type=int, default=3,
+                   help="kill-9 rebuild trials after the storm")
+    p.add_argument("--min-requests", type=int, default=200,
+                   help="fail the soak if fewer requests were served")
+    p.add_argument("--json", help="write the full JSON report here")
+    p.add_argument("--verbose", action="store_true", help="print phase progress")
+    p.set_defaults(fn=cmd_stream_soak)
 
     p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
     p.add_argument("graph")

@@ -130,3 +130,21 @@ class DeadlineExceeded(ServingError):
 class ServiceUnavailable(ServingError):
     """The service is not accepting requests (not started, draining, or
     stopped)."""
+
+
+class StalenessError(ServingError):
+    """Mutation pressure exceeded the streaming staleness budget.
+
+    Raised by :class:`repro.streaming.DriftTracker` (when enforcement is
+    enabled) as backpressure against further in-place patches: the live
+    CBM has absorbed more patch batches since its last fresh rebuild than
+    the configured budget allows, so the writer must wait for (or
+    trigger) a rebuild before mutating further.  ``staleness`` is the
+    observed patch count since the last rebuild, ``budget`` the
+    configured limit it exceeded.
+    """
+
+    def __init__(self, message: str, *, staleness: int = 0, budget: int = 0):
+        super().__init__(message)
+        self.staleness = int(staleness)
+        self.budget = int(budget)

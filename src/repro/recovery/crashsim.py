@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from repro.recovery import atomic
 from repro.recovery.store import GenerationStore
 
-WORKLOADS = ("archive", "trainer", "multi")
+WORKLOADS = ("archive", "trainer", "multi", "streaming")
 
 #: Sync points per store commit: one payload ``atomic_write`` (3) + the
 #: ``commit`` marker point (1) + the manifest ``atomic_write`` (3).
@@ -149,6 +149,44 @@ def _worker_multi(store: GenerationStore, iterations: int, seed: int) -> None:
                     json.dump({"values": rng.integers(0, 100, 32).tolist()}, fh)
 
 
+def _worker_streaming(
+    store: GenerationStore, iterations: int, seed: int, graph: str | None = None
+) -> None:
+    """The streaming rebuilder's commit path: patch, recompress, commit.
+
+    Each iteration applies one random edge batch to a
+    :class:`~repro.streaming.MutableAdjacency`, rebuilds a fresh CBM
+    from the patched adjacency, and commits it as a new generation
+    (``graph_version`` in the manifest meta records which mutation step
+    the artifact represents).  Sync-point span per iteration is the same
+    7 as the archive workload: one atomic payload write (3) + the commit
+    marker (1) + the manifest write (3) — a kill anywhere in between
+    must leave the previous generation as the loadable latest.
+    """
+    from repro.core.builder import build_cbm
+    from repro.core.io import load_cbm, save_cbm
+    from repro.streaming.mutable import EdgeBatch, MutableAdjacency
+
+    if graph is not None:
+        cbm0 = load_cbm(graph)
+        a = cbm0.tocsr()
+    else:
+        a = _tiny_adjacency()
+    mutable = MutableAdjacency.from_graph(a)
+    for i in range(iterations):
+        _, _, source = mutable.snapshot()
+        batch = EdgeBatch.random(
+            source, inserts=3, deletes=2, seed=seed * 1009 + i
+        )
+        mutable.apply(batch)
+        version, _, patched_source = mutable.snapshot()
+        fresh, _ = build_cbm(patched_source, alpha=0)
+        with store.begin(
+            meta={"kind": "cbm-archive", "streaming": True, "graph_version": version}
+        ) as txn:
+            save_cbm(txn.path("adjacency.npz", kind="cbm"), fresh)
+
+
 def _worker_broken_protocol(store: GenerationStore, iterations: int, seed: int) -> None:
     """Deliberately buggy writer: commit marker BEFORE the payload.
 
@@ -191,6 +229,7 @@ def run_worker(
     seed: int,
     iterations: int,
     break_protocol: bool = False,
+    graph: str | None = None,
 ) -> None:
     """Subprocess entry point: run the workload until killed (or done)."""
     _install_kill_hook(crash_at)
@@ -203,6 +242,8 @@ def run_worker(
         _worker_trainer(store, iterations, seed)
     elif workload == "multi":
         _worker_multi(store, iterations, seed)
+    elif workload == "streaming":
+        _worker_streaming(store, iterations, seed, graph=graph)
     else:
         raise SystemExit(f"unknown workload {workload!r}")
     print("DONE", flush=True)
@@ -256,7 +297,7 @@ def _check_latest_loads(store: GenerationStore, workload: str) -> str | None:
             from repro.gnn.train import CHECKPOINT_PAYLOAD, load_checkpoint
 
             load_checkpoint(gen.file(CHECKPOINT_PAYLOAD))
-        elif workload == "archive":
+        elif workload in ("archive", "streaming"):
             from repro.core.io import load_cbm
 
             load_cbm(gen.file("adjacency.npz"))
@@ -277,12 +318,15 @@ def run_trial(
     break_protocol: bool = False,
     recovery_budget_s: float = 10.0,
     worker_timeout_s: float = 120.0,
+    graph: str | None = None,
 ) -> TrialResult:
     """Spawn one worker, let the hook SIGKILL it, recover, assert.
 
     A root created by the trial itself is deleted when every invariant
     holds and preserved (``result.root``) when any is violated, so a
-    failing soak leaves its evidence on disk.
+    failing soak leaves its evidence on disk.  ``graph`` (streaming
+    workload only) points the worker at a saved CBM archive to mutate,
+    so a parent soak can crash rebuilds of *its own* live graph.
     """
     owned = root is None
     if owned:
@@ -299,6 +343,7 @@ def run_trial(
             break_protocol=break_protocol,
             recovery_budget_s=recovery_budget_s,
             worker_timeout_s=worker_timeout_s,
+            graph=graph,
         )
     finally:
         if owned:
@@ -321,6 +366,7 @@ def _run_trial_inner(
     break_protocol: bool,
     recovery_budget_s: float,
     worker_timeout_s: float,
+    graph: str | None = None,
 ) -> TrialResult:
     cmd = [
         sys.executable,
@@ -339,6 +385,8 @@ def _run_trial_inner(
     ]
     if break_protocol:
         cmd.append("--break-protocol")
+    if graph is not None:
+        cmd.extend(["--graph", graph])
     env = dict(os.environ)
     src_dir = os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
     env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
@@ -491,6 +539,8 @@ def main(argv=None) -> int:
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--iterations", type=int, default=3)
     ap.add_argument("--break-protocol", action="store_true")
+    ap.add_argument("--graph", default=None,
+                    help="CBM archive to mutate (streaming workload)")
     args = ap.parse_args(argv)
     if args.worker:
         run_worker(
@@ -500,6 +550,7 @@ def main(argv=None) -> int:
             seed=args.seed,
             iterations=args.iterations,
             break_protocol=args.break_protocol,
+            graph=args.graph,
         )
         return 0
     ap.error("this module is the worker entry point; use `repro crash-soak` to drive it")

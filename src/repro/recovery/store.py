@@ -46,6 +46,7 @@ import json
 import os
 import re
 import shutil
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -229,6 +230,13 @@ class GenerationStore:
         self.root.mkdir(parents=True, exist_ok=True)
         self.retain = retain
         self.audit_archives = audit_archives
+        # Pin refcounts keyed by generation index.  A pinned generation is
+        # in active use by a reader (e.g. a live AdjacencySlot, or a loader
+        # mid-swap) and must survive retention pruning: before pins, a
+        # `retain=`-triggered prune racing a slow swap could rmtree the
+        # directory out from under the loader.
+        self._pins: dict[int, int] = {}
+        self._pin_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Layout helpers
@@ -333,18 +341,59 @@ class GenerationStore:
             self._quarantine(gen.path, "rolled-back")
         return self.latest()
 
+    def pin(self, index: int) -> int:
+        """Protect generation ``index`` from :meth:`prune` (refcounted).
+
+        Call before loading a generation's payloads; pair every ``pin``
+        with exactly one :meth:`release`.  Returns the new refcount.
+        Pinning does not verify the generation exists — a pin taken just
+        before a racing prune would otherwise have nothing to protect.
+        """
+        with self._pin_lock:
+            count = self._pins.get(index, 0) + 1
+            self._pins[index] = count
+            return count
+
+    def release(self, index: int) -> int:
+        """Drop one pin from generation ``index``; returns the remaining
+        refcount.  Releasing an unpinned generation is a protocol bug and
+        raises :class:`RecoveryError`."""
+        with self._pin_lock:
+            count = self._pins.get(index, 0)
+            if count <= 0:
+                raise RecoveryError(
+                    f"release of generation {index} without a matching pin"
+                )
+            count -= 1
+            if count:
+                self._pins[index] = count
+            else:
+                del self._pins[index]
+            return count
+
+    def pinned(self) -> set[int]:
+        """Indices currently pinned (snapshot)."""
+        with self._pin_lock:
+            return set(self._pins)
+
     def prune(self, *, keep: int) -> list[int]:
         """Delete committed generations beyond the newest ``keep``.
 
         Retention is the one path that deletes (old good versions are
         superseded, not suspect); corruption always goes to quarantine.
-        Returns the pruned indices.
+        Generations pinned via :meth:`pin` are skipped — they are in
+        active use by a reader and reclaiming them would delete the
+        directory out from under a load in progress; they become
+        prunable again once released.  Returns the pruned indices.
         """
         if keep < 1:
             raise RecoveryError(f"prune needs keep >= 1, got {keep}")
         gens = self.generations()
+        pinned = self.pinned()
         pruned = []
         for gen in gens[:-keep]:
+            if gen.index in pinned:
+                continue
             shutil.rmtree(gen.path)
             pruned.append(gen.index)
         if pruned:

@@ -95,6 +95,59 @@ def inject_nan(x: np.ndarray, *, fraction: float = 0.01, seed: int = 0) -> np.nd
     return x
 
 
+def random_edge_batch(
+    a,
+    *,
+    inserts: int = 4,
+    deletes: int = 4,
+    symmetric: bool = True,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """A deterministic random edge-mutation batch for ``a`` (binary CSR).
+
+    Returns ``(ins, del)``: two ``(k, 2)`` int arrays of edges to insert
+    (currently absent, no self-loops) and delete (currently present).
+    With ``symmetric=True`` every edge appears with its mirror so an
+    undirected adjacency stays undirected.  This is the mutation-storm
+    injector: the streaming soak feeds these straight into
+    :meth:`repro.streaming.MutableAdjacency.apply`.
+    """
+    rng = np.random.default_rng(seed)
+    n, m = a.shape
+    pairs_del: set[tuple[int, int]] = set()
+    nnz = a.nnz
+    if nnz and deletes:
+        for pos in rng.integers(0, nnz, size=4 * deletes):
+            u = int(np.searchsorted(a.indptr, pos, side="right") - 1)
+            v = int(a.indices[pos])
+            if symmetric and u > v:
+                u, v = v, u
+            pairs_del.add((u, v))
+            if len(pairs_del) >= deletes:
+                break
+    pairs_ins: set[tuple[int, int]] = set()
+    if inserts:
+        for u, v in rng.integers(0, (n, m), size=(8 * inserts, 2)):
+            u, v = int(u), int(v)
+            if symmetric and u > v:
+                u, v = v, u
+            if u == v or v in a.row(u) or (u, v) in pairs_del:
+                continue
+            pairs_ins.add((u, v))
+            if len(pairs_ins) >= inserts:
+                break
+
+    def _expand(pairs: set[tuple[int, int]]) -> np.ndarray:
+        out = []
+        for u, v in sorted(pairs):
+            out.append((u, v))
+            if symmetric and u != v:
+                out.append((v, u))
+        return np.asarray(out, dtype=np.int64).reshape(-1, 2)
+
+    return _expand(pairs_ins), _expand(pairs_del)
+
+
 def corrupt_deltas(cbm: CBMMatrix, *, mode: str = "nan", seed: int = 0) -> None:
     """Corrupt the delta values of ``cbm`` **in place** (plans invalidated).
 

@@ -175,6 +175,7 @@ class AdjacencySlot:
         *,
         generation: int = 0,
         stats: GuardStats | None = None,
+        tracker=None,
     ):
         if cbm.shape != source.shape:
             raise ShapeError.mismatch("slot cbm vs source", cbm.shape, source.shape)
@@ -182,6 +183,15 @@ class AdjacencySlot:
         self.source = source
         self.generation = generation
         self.stats = stats if stats is not None else GuardStats()
+        # Streaming metadata: a DriftTracker whose counters health()
+        # surfaces, and the graph version this slot's content represents
+        # (set by repro.streaming publishers; None for static slots).
+        self.tracker = tracker
+        self.graph_version: int | None = None
+        # (store, index) pin held while this slot serves a store-backed
+        # generation — released by retire() so retention pruning can
+        # reclaim the directory only after the slot stops serving it.
+        self._pin: tuple | None = None
 
     @classmethod
     def from_graph(
@@ -220,7 +230,16 @@ class AdjacencySlot:
             plan.pool.warm((self.cbm.shape[0], int(width)), np.float32, count=1)
 
     def retire(self) -> int:
-        """Drain the retiring matrix's pooled workspaces; return bytes freed."""
+        """Drain the retiring matrix's pooled workspaces; return bytes freed.
+
+        Also releases the slot's generation pin (if it was loaded from a
+        :class:`~repro.recovery.GenerationStore`), making the directory
+        prunable again now that nothing serves from it.
+        """
+        pin, self._pin = self._pin, None
+        if pin is not None:
+            store, index = pin
+            store.release(index)
         return self.cbm.drain_workspaces()
 
 
@@ -971,12 +990,20 @@ class InferenceService:
             )
         fallbacks = 0
         last_exc: Exception | None = None
+        can_pin = hasattr(store, "pin")
         for gen in reversed(gens):
+            # Pin before touching the payload: a retention prune running
+            # concurrently (e.g. a background rebuilder committing with
+            # retain=) must not rmtree this directory mid-load.
+            if can_pin:
+                store.pin(gen.index)
             try:
                 slot = AdjacencySlot.from_archive(gen.file(payload))
             except (FormatError, RecoveryError, OSError) as exc:
                 # FormatError covers IntegrityError (its subclass): both
                 # mean this generation is unusable, not that older ones are.
+                if can_pin:
+                    store.release(gen.index)
                 last_exc = exc
                 fallbacks += 1
                 if quarantine_bad:
@@ -984,7 +1011,20 @@ class InferenceService:
                         gen, f"swap-rejected:{type(exc).__name__}: {exc}"
                     )
                 continue
-            summary = self.swap_slot(slot, warm_width=warm_width)
+            if can_pin:
+                # The pin transfers to the slot and is released by
+                # retire() when a later swap retires it.
+                slot._pin = (store, gen.index)
+            meta = gen.manifest.get("meta", {})
+            if isinstance(meta, dict) and "graph_version" in meta:
+                slot.graph_version = int(meta["graph_version"])
+            try:
+                summary = self.swap_slot(slot, warm_width=warm_width)
+            except Exception:
+                if can_pin:
+                    slot._pin = None
+                    store.release(gen.index)
+                raise
             summary["store_generation"] = gen.index
             summary["fallbacks"] = fallbacks
             return summary
@@ -1012,6 +1052,18 @@ class InferenceService:
                 "pending": self._collector.pending_count(),
                 "collector": self._collector.stats.snapshot(),
             }
+        slot = self._slot
+        streaming = None
+        tracker = getattr(slot, "tracker", None)
+        if tracker is not None:
+            # Per-slot mutation pressure: drift vs the fresh-build op
+            # count, patches/edges absorbed since the last rebuild, and
+            # the staleness budget — what an operator watches to decide
+            # whether rebuilds are keeping up with the write rate.
+            streaming = tracker.snapshot()
+            streaming["graph_version"] = slot.graph_version
+            pin = getattr(slot, "_pin", None)
+            streaming["pinned_store_generation"] = pin[1] if pin else None
         return {
             "state": self._state,
             "ready": self.ready(),
@@ -1019,9 +1071,10 @@ class InferenceService:
             "queue_depth": self._queue.qsize(),
             "queue_capacity": self.queue_capacity,
             "ewma_latency_s": ewma,
-            "generation": self._slot.generation,
+            "generation": slot.generation,
             "breaker": self.breaker.describe(),
             "batching": batching,
+            "streaming": streaming,
             "service": self.stats.snapshot(),
-            "guard": self._slot.stats.snapshot(),
+            "guard": slot.stats.snapshot(),
         }

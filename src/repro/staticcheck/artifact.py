@@ -270,6 +270,7 @@ def audit_arrays(
     source_nnz: int = 0,
     alpha=None,
     subject: str = "cbm-artifact",
+    staleness_budget: int = 0,
 ) -> AuditReport:
     """Audit one CBM artifact given its raw arrays (never raises).
 
@@ -277,6 +278,16 @@ def audit_arrays(
     :func:`audit_archive`; see the module docstring for the invariant
     catalogue.  ``alpha`` is accepted for symmetry with the archive
     header but only echoed into messages.
+
+    ``staleness_budget`` relaxes the Property 1/2 bounds by that many
+    deltas (and the matching ``2 * budget`` scalar ops for Property 2):
+    a CBM patched in place by :mod:`repro.streaming` legitimately
+    carries up to the configured budget of extra deltas between
+    rebuilds, and auditing such an artifact against the fresh-build
+    bound would report the staleness the streaming tier already tracks
+    as a violation.  All structural checks (tree, ±1 deltas, weight
+    agreement, nnz accounting, CRC) stay exact — only the two
+    compression-quality bounds are budgeted.
     """
     report = AuditReport(subject=subject)
     parent = np.asarray(parent, dtype=np.int64).ravel()
@@ -333,25 +344,31 @@ def audit_arrays(
     else:
         report.passed("accounting.nnz")
 
-    # Property 1 — per-row delta cost never exceeds the row's nnz.
+    # Property 1 — per-row delta cost never exceeds the row's nnz.  With
+    # a staleness budget, in-place patches may push individual rows over
+    # as long as the aggregate overshoot stays inside the budget.
+    budget = max(0, int(staleness_budget))
     over = np.flatnonzero(counts > row_nnz)
-    if len(over):
+    overshoot = int((counts - row_nnz)[over].sum()) if len(over) else 0
+    if len(over) and overshoot > budget:
         report.add(
             "CBM-P101",
             f"Property 1 violated: rows {_fmt_rows(over)} spend more deltas "
             "than their row nnz — compressing against the virtual row would "
-            "be cheaper",
+            "be cheaper"
+            + (f" (overshoot {overshoot} > staleness budget {budget})" if budget else ""),
             severity=Severity.WARNING,
         )
         report.failed("property1.per_row")
     else:
         report.passed("property1.per_row")
     effective_nnz = int(source_nnz) if source_nnz else reconstructed_nnz
-    if int(indptr[-1]) > effective_nnz:
+    if int(indptr[-1]) > effective_nnz + budget:
         report.add(
             "CBM-P102",
             f"Property 1 violated in aggregate: {int(indptr[-1])} total deltas "
-            f"exceed the source nnz ({effective_nnz})",
+            f"exceed the source nnz ({effective_nnz})"
+            + (f" plus the staleness budget ({budget})" if budget else ""),
             severity=Severity.WARNING,
         )
         report.failed("property1.total")
@@ -368,7 +385,9 @@ def audit_arrays(
         tree_obj = CompressionTree(parent=parent, weight=recorded)
         delta_obj = CSRMatrix(indptr, indices, np.abs(data).astype(np.float32), (n, m))
         cbm_ops = opcount.cbm_spmm_ops(delta_obj, tree_obj, 1, variant=variant_key)
-        csr_ops = 2 * effective_nnz
+        # Each budgeted extra delta costs 2 scalar ops per column, so the
+        # staleness allowance translates directly into the op bound.
+        csr_ops = 2 * effective_nnz + 2 * budget
         if cbm_ops.total > csr_ops:
             report.add(
                 "CBM-P201",
@@ -457,12 +476,15 @@ def _audit_scaling(
         report.failed("scaling.vectors")
 
 
-def audit_cbm(cbm, *, subject: str = "CBMMatrix") -> AuditReport:
+def audit_cbm(
+    cbm, *, subject: str = "CBMMatrix", staleness_budget: int = 0
+) -> AuditReport:
     """Audit a live :class:`~repro.core.cbm.CBMMatrix`.
 
     Works on the matrix's raw arrays, so in-place corruption *after*
     construction (which the constructor's validation cannot see) is
-    still caught.
+    still caught.  ``staleness_budget`` relaxes the Property 1/2 bounds
+    for stream-patched matrices (see :func:`audit_arrays`).
     """
     return audit_arrays(
         cbm.tree.parent,
@@ -477,10 +499,13 @@ def audit_cbm(cbm, *, subject: str = "CBMMatrix") -> AuditReport:
         source_nnz=cbm.source_nnz,
         alpha=cbm.alpha,
         subject=subject,
+        staleness_budget=staleness_budget,
     )
 
 
-def audit_archive(path, *, subject: str | None = None) -> AuditReport:
+def audit_archive(
+    path, *, subject: str | None = None, staleness_budget: int = 0
+) -> AuditReport:
     """Audit a stored CBM ``.npz`` archive without loading it.
 
     Verifies header/payload agreement (format version, checksum table,
@@ -599,6 +624,7 @@ def audit_archive(path, *, subject: str | None = None) -> AuditReport:
             source_nnz=int(meta.get("source_nnz", 0) or 0),
             alpha=meta.get("alpha"),
             subject=report.subject,
+            staleness_budget=staleness_budget,
         )
     report.merge(inner)
     return report

@@ -1,0 +1,39 @@
+"""Streaming graph mutations: incremental CBM maintenance.
+
+The streaming tier keeps a CBM-compressed adjacency *exact* under a
+stream of edge insertions/deletions by patching only the delta rows the
+paper's §V-B locality argument shows can change (mutated rows and their
+direct compression-tree children), while a :class:`DriftTracker` meters
+how far compression quality has drifted from the fresh-build optimum
+and a :class:`BackgroundRebuilder` recompresses off the hot path,
+committing each rebuild durably and hot-swapping the serving slot with
+zero downtime.
+
+Public surface:
+
+* :class:`EdgeBatch` / :func:`patch_cbm` / :class:`MutableAdjacency` —
+  incremental maintenance (``mutable``);
+* :class:`DriftPolicy` / :class:`DriftTracker` — drift/staleness
+  metering and backpressure (``drift``);
+* :class:`BackgroundRebuilder` / :func:`publish_snapshot` — off-path
+  recompression and zero-downtime publication (``rebuild``);
+* :func:`run_mutation_soak` — the mutation-storm chaos soak (``soak``).
+"""
+
+from repro.streaming.drift import DriftPolicy, DriftTracker
+from repro.streaming.mutable import EdgeBatch, MutableAdjacency, PatchReport, patch_cbm
+from repro.streaming.rebuild import BackgroundRebuilder, RebuildReport, publish_snapshot
+from repro.streaming.soak import run_mutation_soak
+
+__all__ = [
+    "BackgroundRebuilder",
+    "DriftPolicy",
+    "DriftTracker",
+    "EdgeBatch",
+    "MutableAdjacency",
+    "PatchReport",
+    "RebuildReport",
+    "patch_cbm",
+    "publish_snapshot",
+    "run_mutation_soak",
+]

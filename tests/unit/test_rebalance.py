@@ -107,6 +107,65 @@ class TestSplitBranches:
             split_branches(cbm, 0)
 
 
+class TestRebalanceRoundTrip:
+    """Rebalanced CBMs survive the archive round-trip bitwise and pass
+    the full static artifact audit (Properties 1-2, structure, CRC)."""
+
+    def test_cut_depth_archive_round_trip_bitwise(self, tmp_path):
+        from repro.core.io import load_cbm, save_cbm
+
+        a, cbm = deep_cbm(20)
+        cut = cut_depth(cbm, 2)
+        path = tmp_path / "cut.npz"
+        save_cbm(path, cut)
+        loaded = load_cbm(path)
+        x = np.random.default_rng(4).random((a.shape[0], 8)).astype(np.float32)
+        assert np.array_equal(loaded.matmul(x), cut.matmul(x))
+        assert np.array_equal(loaded.tocsr().toarray(), a.toarray())
+
+    def test_split_branches_archive_round_trip_bitwise(self, tmp_path):
+        from repro.core.io import load_cbm, save_cbm
+
+        a, cbm = deep_cbm(21)
+        split = split_branches(cbm, 4)
+        path = tmp_path / "split.npz"
+        save_cbm(path, split)
+        loaded = load_cbm(path)
+        x = np.random.default_rng(5).random((a.shape[0], 8)).astype(np.float32)
+        assert np.array_equal(loaded.matmul(x), split.matmul(x))
+        assert np.array_equal(loaded.tocsr().toarray(), a.toarray())
+
+    def test_rebalanced_passes_full_artifact_audit(self, tmp_path):
+        from repro.core.io import save_cbm
+        from repro.staticcheck import audit_archive, audit_cbm
+
+        a, cbm = deep_cbm(22)
+        rebalanced = split_branches(cut_depth(cbm, 3), 6)
+        in_memory = audit_cbm(rebalanced, subject="rebalanced")
+        assert in_memory.ok, [f"{f.code}: {f.message}" for f in in_memory.findings]
+        path = tmp_path / "rebalanced.npz"
+        save_cbm(path, rebalanced)
+        on_disk = audit_archive(path)
+        assert on_disk.ok, [f"{f.code}: {f.message}" for f in on_disk.findings]
+
+    def test_rebuild_after_patches_matches_rebalanced(self):
+        """A drifted matrix rebuilt + rebalanced equals its source exactly."""
+        from repro.core.builder import build_cbm as rebuild
+        from repro.streaming import EdgeBatch, MutableAdjacency
+
+        a, _ = deep_cbm(23)
+        m = MutableAdjacency.from_graph(a)
+        for j in range(3):
+            _, _, src = m.snapshot()
+            m.apply(EdgeBatch.random(src, inserts=3, deletes=3, seed=j))
+        _, _, src = m.snapshot()
+        fresh, _ = rebuild(src, alpha=0)
+        rebalanced = cut_depth(fresh, 2)
+        assert np.array_equal(rebalanced.tocsr().toarray(), src.toarray())
+        x = np.random.default_rng(6).random((a.shape[0], 4)).astype(np.float32)
+        assert np.allclose(rebalanced.matmul(x), fresh.matmul(x), rtol=1e-4)
+
+
 class TestExtractRows:
     def test_subset_and_order(self):
         a = random_adjacency_csr(20, seed=11)
