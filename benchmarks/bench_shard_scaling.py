@@ -1,0 +1,300 @@
+"""Shard-scaling benchmark — multi-process speedup vs the simulated-machine model.
+
+Executes one :class:`~repro.parallel.ShardedPlan` (degree-aware row
+blocks, per-shard compression trees, operands in shared memory) at
+several worker counts, three ways per level:
+
+* **threads**  — ``plan.execute_threaded``, the single-process DEGRADED
+  tier (worker count is irrelevant; measured once as the floor);
+* **raw**      — :func:`~repro.parallel.unsupervised_execute` over a
+  warm persistent pool: bare shard dispatch with no heartbeats, no
+  commit verification, no retry machinery;
+* **supervised** — :class:`~repro.parallel.ShardSupervisor` at the FAST
+  tier (epoch verification, heartbeat watchdog armed, breaker wrapped).
+
+The record (``BENCH_PR8.json``) carries, per level, measured speedup
+over 1 worker and the speedup :func:`~repro.parallel.predict_cbm_spmm`
+predicts for ``min(workers, cpu_count)`` cores of the simulated
+machine — the PR 3 model validated against *threads* is here validated
+against *processes*.  Checks:
+
+* ``supervision_overhead`` — supervised throughput within
+  ``overhead_budget`` (10%) of raw dispatch at every level: crash
+  isolation must be near-free when nothing crashes;
+* ``process_speedup`` — with >= 4 physical cores (GitHub CI runners),
+  4 supervised workers must beat 1 worker by ``speedup_floor``;
+* ``model_agreement`` — measured speedup within ``model_tolerance`` of
+  predicted at every level (both sides clamped by the cores actually
+  available, so a single-core box predicts ~1x and trivially agrees).
+
+The ``batched`` key of each level holds the supervised numbers and
+``calibration_rps`` a fixed reference SpMM rate, keeping the record
+compatible with ``benchmarks/check_regression.py``
+(machine-portable metric: supervised executions per reference SpMM).
+
+Run standalone::
+
+    python benchmarks/bench_shard_scaling.py            # full (PubMed)
+    python benchmarks/bench_shard_scaling.py --smoke    # CI-sized (Cora)
+
+or under pytest-benchmark like the other ``bench_*`` modules.
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.core.builder import build_cbm
+from repro.graphs.datasets import load_dataset
+from repro.parallel import ShardedPlan, ShardSupervisor, predict_cbm_spmm, shm
+from repro.parallel.supervisor import _pool_context, unsupervised_execute
+from repro.sparse.ops import spmm
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_JSON = REPO_ROOT / "BENCH_PR8.json"
+
+# Supervision cost is a fixed per-dispatch bookkeeping term (~100 us:
+# breaker round-trip, wait() setup, epoch verification), so the p here
+# must make a single execution large enough to amortise it the way real
+# workloads do — at Cora p=8 an execution is ~1.5 ms and the fixed term
+# alone reads as ~10% "overhead".  executions x passes are sized so the
+# best-of-passes estimator is stable against scheduler noise.
+FULL = dict(
+    dataset="PubMed", alpha=0, variant="DAD", p=32, workers=(1, 2, 4, 8),
+    executions=10, passes=4, seed=7, overhead_budget=0.10,
+    speedup_floor=1.25, model_tolerance=0.60,
+)
+SMOKE = dict(
+    dataset="Cora", alpha=0, variant="DAD", p=64, workers=(1, 2, 4),
+    executions=16, passes=4, seed=7, overhead_budget=0.10,
+    speedup_floor=1.15, model_tolerance=0.60,
+)
+
+
+def _calibrate(source, *, repeats: int = 20) -> float:
+    """Ops/sec of a fixed reference SpMM (same estimator as PR 6/7)."""
+    x = np.random.default_rng(0).standard_normal((source.shape[1], 16))
+    x = x.astype(np.float32)
+    spmm(source, x)  # warm
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        spmm(source, x)
+        times.append(time.perf_counter() - t0)
+    return 1.0 / min(times)
+
+
+def _best_rps(fn, *, executions: int, passes: int) -> float:
+    """Executions/sec, best of ``passes`` (minimum-noise estimator)."""
+    best = 0.0
+    for _ in range(passes):
+        t0 = time.perf_counter()
+        for _ in range(executions):
+            fn()
+        elapsed = time.perf_counter() - t0
+        best = max(best, executions / elapsed if elapsed > 0 else 0.0)
+    return best
+
+
+def _paired_rps(raw_fn, sup_fn, *, executions: int, passes: int):
+    """Best-of-passes rps for raw and supervised dispatch, interleaved.
+
+    The two paths alternate pass by pass (R,S,R,S,...) so slow drift in
+    background load hits both equally — measuring them in separate blocks
+    on a busy box turns scheduler drift into fake supervision overhead.
+    """
+    raw_best = sup_best = 0.0
+    for _ in range(passes):
+        for fn, is_sup in ((raw_fn, False), (sup_fn, True)):
+            t0 = time.perf_counter()
+            for _ in range(executions):
+                fn()
+            elapsed = time.perf_counter() - t0
+            rps = executions / elapsed if elapsed > 0 else 0.0
+            if is_sup:
+                sup_best = max(sup_best, rps)
+            else:
+                raw_best = max(raw_best, rps)
+    return raw_best, sup_best
+
+
+def run_workload(cfg: dict) -> dict:
+    cfg = dict(cfg)
+    dataset = cfg.pop("dataset")
+    a = load_dataset(dataset)
+    rng = np.random.default_rng(cfg["seed"])
+    b = rng.standard_normal((a.shape[1], cfg["p"])).astype(np.float32)
+    deg = a.row_nnz().astype(np.float64)
+    diag = 1.0 / np.sqrt(deg + 1.0)
+    calibration_rps = _calibrate(a)
+    cpu = os.cpu_count() or 1
+    num_shards = max(cfg["workers"])
+
+    # Model prediction on the UNSHARDED plan: the simulated machine
+    # models one kernel over the whole graph at k cores; sharding is the
+    # process-world realisation of that same parallelism.
+    cbm, _ = build_cbm(a, alpha=cfg["alpha"], variant=cfg["variant"], diag=diag)
+    predicted = {
+        w: predict_cbm_spmm(cbm, cfg["p"], cores=min(w, cpu)).total_s
+        for w in cfg["workers"]
+    }
+
+    levels = []
+    with ShardedPlan(
+        a, num_shards=num_shards, variant=cfg["variant"], diag=diag
+    ) as plan:
+        # Reference result once; every measured path must reproduce it.
+        expected = plan.execute_threaded(b)
+        threads_rps = _best_rps(
+            lambda: plan.execute_threaded(b),
+            executions=cfg["executions"], passes=cfg["passes"],
+        )
+        for w in cfg["workers"]:
+            with ProcessPoolExecutor(
+                max_workers=w, mp_context=_pool_context()
+            ) as pool, ShardSupervisor(plan, workers=w, seed=cfg["seed"]) as sup:
+                def raw(pool=pool, w=w):
+                    return unsupervised_execute(plan, b, workers=w, pool=pool)
+
+                got = raw()  # warm: spawns workers, primes attach caches
+                assert np.allclose(got, expected, rtol=1e-4, atol=1e-4)
+                got = sup.execute(b)  # warm
+                assert np.allclose(got, expected, rtol=1e-4, atol=1e-4)
+                raw_rps, sup_rps = _paired_rps(
+                    raw,
+                    lambda: sup.execute(b),
+                    executions=cfg["executions"], passes=cfg["passes"],
+                )
+                sup_stats = dict(sup.stats)
+            levels.append(
+                {
+                    "concurrency": w,
+                    "cores_used": min(w, cpu),
+                    "threads_rps": threads_rps,
+                    "raw_rps": raw_rps,
+                    # Supervised numbers under "batched" for the
+                    # regression gate (the guarded configuration).
+                    "batched": {"rps": sup_rps},
+                    "supervision_overhead": 1.0 - sup_rps / raw_rps,
+                    "predicted_total_s": predicted[w],
+                    "supervisor_stats": sup_stats,
+                }
+            )
+
+    base = levels[0]
+    for lv in levels:
+        lv["measured_speedup"] = lv["batched"]["rps"] / base["batched"]["rps"]
+        lv["predicted_speedup"] = (
+            base["predicted_total_s"] / lv["predicted_total_s"]
+        )
+        lv["model_error"] = lv["measured_speedup"] / lv["predicted_speedup"] - 1.0
+
+    at4 = next((lv for lv in levels if lv["concurrency"] >= 4), None)
+    tol = cfg["model_tolerance"]
+    checks = {
+        "supervision_overhead": all(
+            lv["supervision_overhead"] <= cfg["overhead_budget"] for lv in levels
+        ),
+        "process_speedup": (
+            cpu < 4
+            or at4 is None
+            or at4["measured_speedup"] >= cfg["speedup_floor"]
+        ),
+        "model_agreement": all(abs(lv["model_error"]) <= tol for lv in levels),
+        "no_shm_leak": len(shm.list_segments()) == 0,
+    }
+    return {
+        "benchmark": "shard_scaling",
+        "workload": {
+            "dataset": dataset,
+            "nodes": int(a.shape[0]),
+            "nnz": int(a.nnz),
+            "num_shards": num_shards,
+            **cfg,
+            "workers": list(cfg["workers"]),
+        },
+        "cpu_count": cpu,
+        "calibration_rps": calibration_rps,
+        "levels": levels,
+        "checks": checks,
+        "ok": all(checks.values()),
+        "environment": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "generated_unix": time.time(),
+    }
+
+
+def render(record: dict) -> str:
+    w = record["workload"]
+    lines = [
+        f"Shard scaling — {w['dataset']} (n={w['nodes']}, nnz={w['nnz']}, "
+        f"{w['num_shards']} shards, p={w['p']}, {record['cpu_count']} cores, "
+        f"calibration {record['calibration_rps']:.1f} spmm/s)",
+    ]
+    for lv in record["levels"]:
+        lines.append(
+            f"  {lv['concurrency']:2d} workers: threads {lv['threads_rps']:7.1f} "
+            f"| raw {lv['raw_rps']:7.1f} | supervised {lv['batched']['rps']:7.1f} "
+            f"exec/s (overhead {lv['supervision_overhead']:+.1%}) | "
+            f"speedup {lv['measured_speedup']:.2f}x measured vs "
+            f"{lv['predicted_speedup']:.2f}x predicted"
+        )
+    for key, ok in record["checks"].items():
+        lines.append(f"  [{'ok' if ok else 'FAIL'}] {key}")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="tiny CI-sized workload (<60 s)")
+    ap.add_argument("--json", type=pathlib.Path, default=None,
+                    help=f"where to write the JSON record (default {DEFAULT_JSON})")
+    args = ap.parse_args(argv)
+
+    record = run_workload(SMOKE if args.smoke else FULL)
+    record["mode"] = "smoke" if args.smoke else "full"
+    print(render(record))
+
+    path = args.json or DEFAULT_JSON
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(f"[written to {path}]")
+    return 0 if record["ok"] else 1
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (same harness as the other bench_* modules)
+# ---------------------------------------------------------------------------
+
+def test_supervised_execute(benchmark, rng):
+    """One supervised no-fault execution of a 4-shard Cora plan."""
+    a = load_dataset("Cora")
+    deg = a.row_nnz().astype(np.float64)
+    diag = 1.0 / np.sqrt(deg + 1.0)
+    b = rng.standard_normal((a.shape[1], 8)).astype(np.float32)
+    with ShardedPlan(a, num_shards=4, variant="DAD", diag=diag) as plan:
+        with ShardSupervisor(plan, workers=2) as sup:
+            sup.execute(b)  # warm: spawn pool, prime attach caches
+            benchmark(lambda: sup.execute(b))
+
+
+def test_report_shard_scaling(benchmark):
+    from conftest import write_report
+
+    def run():
+        record = run_workload(dict(SMOKE))
+        write_report("shard_scaling", render(record))
+        assert record["ok"], record["checks"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

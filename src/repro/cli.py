@@ -403,9 +403,12 @@ def cmd_check_plan(args) -> int:
     stacked-operand :class:`BatchLayout` (mixed member widths up to the
     column cap, quantised) is proven free of cross-member aliasing,
     bounds violations, and unowned gap columns alongside each plan.
+    With ``--shards N`` the process-parallel shard plan is audited too:
+    every row owned by exactly one shard, and no two operand arrays
+    aliasing byte spans within a shared-memory segment.
     """
     from repro.serving.batching import BatchConfig, BatchLayout
-    from repro.staticcheck import analyze_plan
+    from repro.staticcheck import analyze_plan, analyze_shard_plan
 
     cfg = BatchConfig(max_columns=args.batch_columns)
     widths = []
@@ -430,6 +433,16 @@ def cmd_check_plan(args) -> int:
                     subject=f"{name}(alpha={args.alpha},update={update})",
                 )
             )
+        if args.shards > 0:
+            from repro.parallel.shard import ShardedPlan
+
+            with ShardedPlan(a, num_shards=args.shards, alpha=args.alpha) as sharded:
+                reports.append(
+                    analyze_shard_plan(
+                        sharded,
+                        subject=f"{name}(alpha={args.alpha},shards={args.shards})",
+                    )
+                )
     return _emit_check_reports(reports, args.json, args.verbose)
 
 
@@ -577,6 +590,89 @@ def cmd_stream_soak(args) -> int:
     return 0 if report["ok"] else 1
 
 
+def cmd_shard_soak(args) -> int:
+    """Worker-kill soak of the sharded process executor (repro.parallel.soak).
+
+    Exit 0 only when every supervised execution under the SIGKILL/stall/
+    torn-write storm returned the reference answer within its deadline
+    and no ``/dev/shm`` segment survived the run.  With
+    ``--no-supervisor`` the same storm runs against the unsupervised
+    pool and the expected outcome inverts: a nonzero exit proves the
+    harness's wrongness/hang checks have teeth (negative control).
+    """
+    import json
+
+    from repro.parallel.soak import run_shard_soak
+
+    a = None
+    if args.graph:
+        _, a = _load_graph(args.graph)
+
+    def progress(done, total, elapsed, wrong, hung):
+        if args.verbose:
+            print(
+                f"  [{done:3d}/{total}] {elapsed * 1e3:7.1f} ms "
+                f"wrong={wrong} hung={hung}"
+            )
+
+    report = run_shard_soak(
+        a,
+        n=args.nodes,
+        num_shards=args.shards,
+        workers=args.workers,
+        executions=args.executions,
+        columns=args.columns,
+        variant=args.variant,
+        kill_rate=args.kill_rate,
+        stall_rate=args.stall_rate,
+        torn_rate=args.torn_rate,
+        stall_seconds=args.stall_seconds,
+        heartbeat_timeout_s=args.heartbeat_timeout,
+        deadline_s=args.deadline,
+        supervised=not args.no_supervisor,
+        seed=args.seed,
+        progress=progress,
+    )
+    w = report["workload"]
+    print(
+        f"shard soak — {w['nodes']} nodes, {w['nnz']} edges, "
+        f"{w['num_shards']} shards × {w['workers']} workers, "
+        f"{'supervised' if w['supervised'] else 'UNSUPERVISED'} "
+        f"({report['elapsed_s']:.1f}s)"
+    )
+    print(f"  executions             {w['executions']} "
+          f"(wrong {report['wrong']}, hung {report['hung']}, "
+          f"errors {report['errors']})")
+    print(f"  faults decided         {report['faults_decided']} "
+          f"(kill {report['chaos']['kill_rate']}, "
+          f"stall {report['chaos']['stall_rate']}, "
+          f"torn {report['chaos']['torn_rate']})")
+    if report["supervisor"] is not None:
+        s = report["supervisor"]["stats"]
+        print(f"  supervision            retries={s['shard_retries']} "
+              f"heartbeat_kills={s['heartbeat_kills']} "
+              f"checksum_rejects={s['checksum_rejects']} "
+              f"quarantines={s['quarantines']} "
+              f"degraded={s['degraded_executions']}")
+        print(f"  breaker                {report['supervisor']['breaker']['tier']} "
+              f"({report['supervisor']['breaker']['state']})")
+    print(f"  latency p50/max        {report['latency_p50_ms'] or 0:.1f} / "
+          f"{report['latency_max_ms'] or 0:.1f} ms")
+    print(f"  shm swept at start     {len(report['swept_at_start'])}")
+    print(f"  shm leaked at end      {len(report['leaked_segments'])}")
+    for name, ok in report["checks"].items():
+        print(f"  {'PASS' if ok else 'FAIL'}  {name}")
+    for v in report["violations"]:
+        print(f"  violation: {v}")
+    print(f"  {'OK' if report['ok'] else 'FAIL'}: "
+          f"{len(report['violations'])} violation(s)")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(report, fh, indent=1, sort_keys=True, default=str)
+        print(f"  report written to {args.json}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_verify(args) -> int:
     from repro.core.verify import verify_cbm
 
@@ -669,6 +765,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor watchdog budget assumed per branch (None disables "
         "the timeout owner and flags a coverage gap)",
     )
+    pc.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="also build an N-shard process plan and audit it "
+        "(row coverage/overlap, shared-memory segment aliasing)",
+    )
     pc.add_argument("--json", help="write the structured audit report here")
     pc.add_argument("--verbose", action="store_true", help="print passed checks too")
     pc.set_defaults(fn=cmd_check_plan)
@@ -735,6 +838,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", help="write the full JSON report here")
     p.add_argument("--verbose", action="store_true", help="print phase progress")
     p.set_defaults(fn=cmd_stream_soak)
+
+    p = sub.add_parser(
+        "shard-soak",
+        help="worker-kill soak of the sharded process executor: SIGKILL/"
+        "stall/torn-write chaos against supervised multi-process "
+        "executions, every result verified against the CSR reference "
+        "and /dev/shm checked for leaks (nonzero exit on any violation)",
+    )
+    p.add_argument("--graph", default=None,
+                   help="dataset name or .npz path (default: synthetic graph)")
+    p.add_argument("--nodes", type=int, default=400,
+                   help="synthetic graph size when --graph is not given")
+    p.add_argument("--shards", type=int, default=4)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--executions", type=int, default=24)
+    p.add_argument("-p", "--columns", type=int, default=8)
+    p.add_argument("--variant", default="DAD", choices=("A", "AD", "DAD"))
+    p.add_argument("--kill-rate", type=float, default=0.12,
+                   help="per-(shard,epoch) probability of SIGKILL at a random sync point")
+    p.add_argument("--stall-rate", type=float, default=0.08,
+                   help="probability of a heartbeat-silent stall")
+    p.add_argument("--torn-rate", type=float, default=0.12,
+                   help="probability of a half-written slice with a lying commit")
+    p.add_argument("--stall-seconds", type=float, default=3.0)
+    p.add_argument("--heartbeat-timeout", type=float, default=0.75,
+                   help="supervisor heartbeat staleness deadline")
+    p.add_argument("--deadline", type=float, default=20.0,
+                   help="per-execution hang budget in seconds")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--no-supervisor", action="store_true",
+                   help="run the storm unsupervised; the soak must then "
+                   "FAIL (negative control)")
+    p.add_argument("--json", help="write the full JSON report here")
+    p.add_argument("--verbose", action="store_true", help="print every execution")
+    p.set_defaults(fn=cmd_shard_soak)
 
     p = sub.add_parser("verify", help="run the paper's Section VI-B correctness protocol")
     p.add_argument("graph")

@@ -1,0 +1,512 @@
+"""Sharded CBM plans: row-block decomposition for multi-process execution.
+
+ROADMAP item 2: the §V-B branch decomposition proves update-stage work
+units are independent, but one Python process cannot exploit that beyond
+the GIL.  A :class:`ShardedPlan` therefore splits the adjacency into
+**degree-aware contiguous row blocks** (:func:`repro.sparse.blocked.partition_rows`
+— the row-load-balancing idea GPU SpMM kernels apply by sorting rows by
+nnz), builds one compression tree *per shard*, and lays each shard's
+kernel operands out in ``multiprocessing.shared_memory`` so worker
+processes attach rather than copy — Property 3 (no extra memory) holds
+across the process boundary.
+
+Row-block sharding is exact, not approximate: ``M @ B`` row-partitions
+as ``[M[lo:hi] @ B for (lo, hi) in bounds]``, and each row block of a
+binary (or diagonally scaled) matrix is itself CBM-compressible — the
+builder accepts rectangular inputs, and a ``DAD`` matrix's row block is
+the rectangular ``D1AD2`` form ``diag(d[lo:hi]) @ A[lo:hi] @ diag(d)``.
+Every shard runs the same two-stage kernel as the in-process path: the
+scaled-delta SpMM, then :func:`repro.runtime.plan.apply_level_schedule`
+over the shard's own level pairs — literally the parent's update code,
+imported by the worker.
+
+The module keeps a strict parent/worker split:
+
+* parent side — :class:`ShardedPlan` builds per-shard
+  :class:`~repro.runtime.plan.KernelPlan` objects (these also serve the
+  thread/degraded path), packs their operands into one
+  :class:`~repro.parallel.shm.SegmentArena` per shard, and owns the
+  staging segments for the dense operand/output plus the status board;
+* worker side — the module-level :func:`run_shard` receives only a
+  picklable :class:`ShardTask` of segment descriptors, attaches, computes
+  into a private scratch block, publishes the block into the shared
+  output slice, and **commits last**: the CRC then the epoch land in the
+  status board only after the slice is fully written, so a worker killed
+  at any earlier point leaves the previous epoch's commit visible and the
+  supervisor treats the shard as simply not done (restore-or-invalidate:
+  a half-written slice is never mistaken for a result).
+
+The status board is a ``(num_shards, 4)`` float64 shared array; columns
+:data:`HEARTBEAT` (``time.monotonic()`` — system-wide CLOCK_MONOTONIC on
+Linux, comparable across processes), :data:`EPOCH` (last committed
+execution epoch), :data:`CRC` (crc32 of the committed slice bytes) and
+:data:`PROGRESS` (last sync point reached, for diagnostics).
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.builder import build_cbm
+from repro.errors import ShapeError, ShardError
+from repro.parallel import shm
+from repro.runtime.plan import KernelPlan, apply_level_schedule
+from repro.sparse.blocked import partition_rows
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_dense, check_positive
+
+# Status-board columns.
+HEARTBEAT, EPOCH, CRC, PROGRESS = 0, 1, 2, 3
+STATUS_COLS = 4
+
+# Worker sync points, in execution order; PROGRESS stores the index.
+SYNC_POINTS = ("start", "multiplied", "updated", "commit")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Picklable description of one shard's operands in shared memory.
+
+    ``children``/``parents`` are the shard's level schedule flattened
+    into two concatenated arrays; ``level_offsets`` (length levels+1)
+    recovers the per-level spans.  Indices are local to the shard's row
+    block ``[lo, hi)``.  ``row_scale`` is the deferred diagonal scale for
+    DAD/D1AD2 shards (None otherwise).  A zero-``nnz`` block has no
+    operand at all: its output slice is identically zero and the parent
+    auto-commits it without dispatching a worker.
+    """
+
+    index: int
+    lo: int
+    hi: int
+    columns: int
+    op_indptr: shm.ArraySpec | None
+    op_indices: shm.ArraySpec | None
+    op_data: shm.ArraySpec | None
+    children: shm.ArraySpec | None
+    parents: shm.ArraySpec | None
+    level_offsets: shm.ArraySpec | None
+    row_scale: shm.ArraySpec | None
+    op_nnz: int
+    tree_edges: int
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+    @property
+    def is_zero(self) -> bool:
+        return self.op_indptr is None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One worker invocation: which shard, against which staged buffers.
+
+    ``attempt`` feeds the chaos injector (a retried shard must be able to
+    draw a *different* fault than the attempt that killed it, or a
+    deterministic injector would fail the same shard forever).
+    """
+
+    spec: ShardSpec
+    b: shm.ArraySpec
+    out: shm.ArraySpec
+    status: shm.ArraySpec
+    epoch: int
+    attempt: int = 0
+    chaos: object | None = None
+
+
+def slice_crc(block: np.ndarray) -> int:
+    """The commit checksum of one output slice (crc32 of its raw bytes)."""
+    return zlib.crc32(np.ascontiguousarray(block).tobytes())
+
+
+def run_shard(task: ShardTask) -> int:
+    """Worker entry point: execute one shard against the staged operand.
+
+    Module-level and argument-picklable, so it dispatches under both
+    ``fork`` and ``spawn`` start methods.  Returns the shard index; the
+    *authoritative* completion signal is the status-board commit, not the
+    future's result — a future can be lost to a pool teardown after the
+    commit already landed, and the supervisor must count that shard done.
+    """
+    spec = task.spec
+    status = shm.attach_ndarray(task.status)
+    row = status[spec.index]
+    fault = None
+    if task.chaos is not None:
+        fault = task.chaos.decide(spec.index, task.epoch, task.attempt)
+
+    def sync(point: str) -> None:
+        row[PROGRESS] = float(SYNC_POINTS.index(point))
+        row[HEARTBEAT] = time.monotonic()
+        if fault is not None and fault.point == point:
+            fault.fire()
+
+    sync("start")
+    out = shm.attach_ndarray(task.out)
+    if spec.is_zero:
+        out[spec.lo:spec.hi] = 0
+        row[CRC] = float(slice_crc(out[spec.lo:spec.hi]))
+        row[EPOCH] = float(task.epoch)
+        return spec.index
+
+    b = shm.attach_ndarray(task.b)
+    import scipy.sparse as sp
+
+    op = sp.csr_matrix(
+        (
+            shm.attach_ndarray(spec.op_data),
+            shm.attach_ndarray(spec.op_indices),
+            shm.attach_ndarray(spec.op_indptr),
+        ),
+        shape=(spec.rows, spec.columns),
+        copy=False,
+    )
+    c = np.ascontiguousarray(op @ b, dtype=out.dtype)
+    sync("multiplied")
+
+    offsets = shm.attach_ndarray(spec.level_offsets)
+    children = shm.attach_ndarray(spec.children)
+    parents = shm.attach_ndarray(spec.parents)
+    pairs = [
+        (children[offsets[i]:offsets[i + 1]], parents[offsets[i]:offsets[i + 1]])
+        for i in range(len(offsets) - 1)
+    ]
+    row_scale = None if spec.row_scale is None else shm.attach_ndarray(spec.row_scale)
+    apply_level_schedule(c, pairs, row_scale=row_scale)
+    sync("updated")
+
+    view = out[spec.lo:spec.hi]
+    if fault is not None and fault.action == "torn":
+        view[: spec.rows // 2] = c[: spec.rows // 2]  # deliberately half-written
+    else:
+        view[...] = c
+    sync("commit")
+    # Commit protocol: checksum of the *intended* block, then the epoch,
+    # strictly after the slice write.  (A torn-write fault above lies —
+    # that is exactly what checksum verification exists to catch.)
+    row[CRC] = float(slice_crc(c))
+    row[EPOCH] = float(task.epoch)
+    return spec.index
+
+
+@dataclass
+class _Shard:
+    """Parent-side state for one shard."""
+
+    index: int
+    lo: int
+    hi: int
+    plan: KernelPlan | None  # None for empty/zero blocks
+    spec: ShardSpec
+    arena: shm.SegmentArena | None
+
+
+class ShardedPlan:
+    """A CBM kernel plan split into degree-aware row-block shards.
+
+    Parameters
+    ----------
+    a:
+        Binary CSR adjacency (square or rectangular).
+    num_shards:
+        How many row blocks; empty blocks are valid (``n < num_shards``).
+    variant / diag / diag_left:
+        As :func:`repro.core.builder.build_cbm` — ``"DAD"`` shards are
+        built as rectangular ``D1AD2`` blocks (``diag_left=d[lo:hi]``).
+    alpha:
+        Compression-tree pruning threshold, forwarded per shard.
+
+    The per-shard :class:`~repro.runtime.plan.KernelPlan` objects are the
+    degraded in-process path *and* the source of the shared operands —
+    both paths execute the same schedule, so degrading never changes the
+    answer, only the process topology.
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        *,
+        num_shards: int,
+        variant: str = "A",
+        diag: np.ndarray | None = None,
+        diag_left: np.ndarray | None = None,
+        alpha: int = 0,
+    ):
+        check_positive(num_shards, "num_shards")
+        if variant not in ("A", "AD", "DAD", "D1AD2"):
+            raise ValueError(f"unknown variant {variant!r}")
+        if variant != "A" and diag is None:
+            raise ShapeError(f"variant {variant} requires a diagonal vector")
+        if variant == "DAD" and a.shape[0] != a.shape[1]:
+            raise ShapeError("variant DAD requires a square adjacency")
+        if variant == "D1AD2" and diag_left is None:
+            raise ShapeError("variant D1AD2 requires diag_left")
+        self.shape = a.shape
+        self.variant = variant
+        self.num_shards = num_shards
+        self.bounds = partition_rows(a.row_nnz(), num_shards)
+        d_right = None if diag is None else np.asarray(diag, dtype=np.float64).ravel()
+        d_left = d_right if variant == "DAD" else diag_left
+        if d_left is not None:
+            d_left = np.asarray(d_left, dtype=np.float64).ravel()
+            if len(d_left) != a.shape[0]:
+                raise ShapeError.mismatch("diag_left", (len(d_left),), a.shape)
+
+        self.shards: list[_Shard] = []
+        self.operand_dtype = np.dtype(np.float32)
+        for i, (lo, hi) in enumerate(self.bounds):
+            block = a.extract_rows(np.arange(lo, hi)) if hi > lo else None
+            if block is None or block.nnz == 0:
+                spec = ShardSpec(
+                    i, lo, hi, a.shape[1],
+                    None, None, None, None, None, None, None, 0, 0,
+                )
+                self.shards.append(_Shard(i, lo, hi, None, spec, None))
+                continue
+            if variant == "A":
+                cbm, _ = build_cbm(block, alpha=alpha)
+            elif variant == "AD":
+                cbm, _ = build_cbm(block, alpha=alpha, variant="AD", diag=d_right)
+            else:  # DAD row block and D1AD2 both shard as D1AD2
+                cbm, _ = build_cbm(
+                    block,
+                    alpha=alpha,
+                    variant="D1AD2",
+                    diag=d_right,
+                    diag_left=d_left[lo:hi],
+                )
+            plan = cbm.plan(update="level", scaling="deferred")
+            self.operand_dtype = np.promote_types(self.operand_dtype, plan.operand.data.dtype)
+            spec, arena = self._pack(i, lo, hi, plan)
+            self.shards.append(_Shard(i, lo, hi, plan, spec, arena))
+
+        self._status_spec, self.status, _ = shm.shared_ndarray(
+            (num_shards, STATUS_COLS), np.float64
+        )
+        self.status[...] = 0.0
+        self._staging_key: tuple | None = None
+        self._b_spec: shm.ArraySpec | None = None
+        self._b_view: np.ndarray | None = None
+        self._out_spec: shm.ArraySpec | None = None
+        self._out_view: np.ndarray | None = None
+        self._released = False
+
+    # ------------------------------------------------------------------
+    def _pack(self, i: int, lo: int, hi: int, plan: KernelPlan):
+        op = plan.operand
+        children = (
+            np.concatenate([lv for lv, _ in plan.level_pairs])
+            if plan.level_pairs
+            else np.empty(0, dtype=np.int64)
+        )
+        parents = (
+            np.concatenate([ps for _, ps in plan.level_pairs])
+            if plan.level_pairs
+            else np.empty(0, dtype=np.int64)
+        )
+        offsets = np.zeros(len(plan.level_pairs) + 1, dtype=np.int64)
+        np.cumsum([len(lv) for lv, _ in plan.level_pairs], out=offsets[1:])
+        arrays = [op.indptr, op.indices, op.data, children, parents, offsets]
+        if plan.row_scale is not None:
+            arrays.append(plan.row_scale)
+        arena = shm.SegmentArena(shm.SegmentArena.plan_bytes(arrays))
+        packed = [arena.pack(arr) for arr in arrays]
+        spec = ShardSpec(
+            index=i,
+            lo=lo,
+            hi=hi,
+            columns=self.shape[1],
+            op_indptr=packed[0],
+            op_indices=packed[1],
+            op_data=packed[2],
+            children=packed[3],
+            parents=packed[4],
+            level_offsets=packed[5],
+            row_scale=packed[6] if plan.row_scale is not None else None,
+            op_nnz=op.nnz,
+            tree_edges=int(sum(len(lv) for lv, _ in plan.level_pairs)),
+        )
+        return spec, arena
+
+    # ------------------------------------------------------------------
+    def shard_costs(self) -> list[dict]:
+        """Per-shard work summary (rows, operand nnz, tree edges).
+
+        The schedule property tests assert these stay within the
+        partitioner's documented balance bound; the hazard audit and the
+        scaling bench read them too.
+        """
+        return [
+            {
+                "shard": s.index,
+                "lo": s.lo,
+                "hi": s.hi,
+                "rows": s.hi - s.lo,
+                "op_nnz": s.spec.op_nnz,
+                "tree_edges": s.spec.tree_edges,
+                "ops": s.spec.op_nnz + s.spec.tree_edges,
+            }
+            for s in self.shards
+        ]
+
+    def segment_layout(self) -> list[dict]:
+        """Every (segment, offset, nbytes) span this plan has packed.
+
+        Consumed by :func:`repro.staticcheck.hazards.analyze_shard_plan`
+        to prove no two operands alias and no operand overlaps the
+        staging/status segments.
+        """
+        spans = []
+        for s in self.shards:
+            spec = s.spec
+            for field in (
+                "op_indptr", "op_indices", "op_data",
+                "children", "parents", "level_offsets", "row_scale",
+            ):
+                aspec = getattr(spec, field)
+                if aspec is not None:
+                    spans.append(
+                        {
+                            "shard": s.index,
+                            "array": field,
+                            "segment": aspec.segment,
+                            "offset": aspec.offset,
+                            "nbytes": aspec.nbytes,
+                        }
+                    )
+        for name, aspec in (
+            ("status", self._status_spec),
+            ("b", self._b_spec),
+            ("out", self._out_spec),
+        ):
+            if aspec is not None:
+                spans.append(
+                    {
+                        "shard": -1,
+                        "array": name,
+                        "segment": aspec.segment,
+                        "offset": aspec.offset,
+                        "nbytes": aspec.nbytes,
+                    }
+                )
+        return spans
+
+    # ------------------------------------------------------------------
+    def stage(self, b: np.ndarray) -> tuple[shm.ArraySpec, shm.ArraySpec, np.ndarray]:
+        """Copy the dense operand into shared staging; returns
+        ``(b_spec, out_spec, out_view)``.
+
+        The staging pair (one ``m × p`` operand segment, one ``n × p``
+        output segment) is reused across executions of the same width and
+        rebuilt — old segments released — when the width or dtype
+        changes, so steady-state serving allocates nothing.
+        """
+        if self._released:
+            raise ShardError("sharded plan already released")
+        b = check_dense(b, name="b", ndim=2)
+        if b.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("sharded matmul", self.shape, b.shape)
+        out_dtype = np.promote_types(self.operand_dtype, b.dtype)
+        key = (b.shape[1], np.dtype(b.dtype).str, out_dtype.str)
+        if key != self._staging_key:
+            for spec in (self._b_spec, self._out_spec):
+                if spec is not None:
+                    shm.release_segment(spec.segment)
+            self._b_spec, self._b_view, _ = shm.shared_ndarray(b.shape, b.dtype)
+            self._out_spec, self._out_view, _ = shm.shared_ndarray(
+                (self.shape[0], b.shape[1]), out_dtype
+            )
+            self._staging_key = key
+        self._b_view[...] = b
+        return self._b_spec, self._out_spec, self._out_view
+
+    @property
+    def status_spec(self) -> shm.ArraySpec:
+        return self._status_spec
+
+    # ------------------------------------------------------------------
+    def execute_shard_threaded(self, index: int, b: np.ndarray, out: np.ndarray) -> None:
+        """Run one shard in-process, writing its slice of ``out``.
+
+        The degraded path for a quarantined shard (and the building block
+        of the whole-plan thread fallback): the shard's own
+        :class:`KernelPlan` executes into ``out[lo:hi]``, replaying the
+        identical multiply + level schedule the worker would have run.
+        """
+        s = self.shards[index]
+        view = out[s.lo:s.hi]
+        if s.plan is None:
+            view[...] = 0
+            return
+        s.plan.execute(b, out=view)
+
+    def execute_threaded(self, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Whole-plan in-process execution (the DEGRADED tier)."""
+        b = check_dense(b, name="b", ndim=2)
+        if b.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("sharded matmul", self.shape, b.shape)
+        if out is None:
+            out = np.empty(
+                (self.shape[0], b.shape[1]),
+                dtype=np.promote_types(self.operand_dtype, b.dtype),
+            )
+        for s in self.shards:
+            self.execute_shard_threaded(s.index, b, out)
+        return out
+
+    # ------------------------------------------------------------------
+    def committed_epoch(self, index: int) -> int:
+        return int(self.status[index, EPOCH])
+
+    def verify_shard(self, index: int, epoch: int, out: np.ndarray, *, checksum: bool) -> bool:
+        """Did shard ``index`` commit ``epoch`` — and, with ``checksum``,
+        does the shared output slice actually match its committed CRC?"""
+        if int(self.status[index, EPOCH]) != epoch:
+            return False
+        if not checksum:
+            return True
+        s = self.shards[index]
+        return int(self.status[index, CRC]) == slice_crc(out[s.lo:s.hi])
+
+    # ------------------------------------------------------------------
+    def release(self) -> None:
+        """Unlink every shared segment owned by this plan (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        for s in self.shards:
+            if s.arena is not None:
+                s.arena.release()
+            if s.plan is not None:
+                s.plan.pool.drain()
+        for spec in (self._b_spec, self._out_spec, self._status_spec):
+            if spec is not None:
+                shm.release_segment(spec.segment)
+        self._b_spec = self._out_spec = None
+        self._b_view = self._out_view = None
+
+    def __enter__(self) -> "ShardedPlan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def describe(self) -> dict:
+        costs = self.shard_costs()
+        return {
+            "shape": list(self.shape),
+            "variant": self.variant,
+            "num_shards": self.num_shards,
+            "bounds": [list(b) for b in self.bounds],
+            "empty_shards": sum(1 for s in self.shards if s.plan is None),
+            "total_ops": int(sum(c["ops"] for c in costs)),
+            "max_shard_ops": int(max((c["ops"] for c in costs), default=0)),
+            "segments": len({sp["segment"] for sp in self.segment_layout()}),
+        }

@@ -1,0 +1,267 @@
+"""Shared-memory segment registry: the hygiene layer under sharded execution.
+
+Process-parallel execution keeps Property 3 (no extra memory) only if the
+dense operand, the output, and the per-shard sparse structures live in
+`multiprocessing.shared_memory` segments that every worker attaches
+instead of copying.  Shared memory, unlike heap memory, **outlives the
+process that created it**: a kill-9'd run would leave its segments in
+``/dev/shm`` forever.  This module is therefore the single place where
+segments are created, and it guarantees three things:
+
+* **registration** — every segment created here is recorded in a
+  process-wide registry (:func:`create_segment`); the contract linter's
+  SC601 rule flags any ``SharedMemory(...)`` call outside this module,
+  so nothing can allocate an untracked segment;
+* **drain on retirement** — :func:`release_segment` / :func:`drain_all`
+  close *and unlink* registered segments when a sharded plan is retired
+  or the process exits normally (an ``atexit`` hook runs
+  :func:`drain_all`, so an interrupted bench or Ctrl-C'd soak leaks
+  nothing);
+* **sweep after kill-9** — segment names embed the creating PID
+  (``repro-shm-<pid>-<nonce>``); :func:`sweep_stale` unlinks any segment
+  of this naming scheme whose creator is dead.  The shard supervisor
+  sweeps at startup and the soak harness asserts ``/dev/shm`` is clean
+  at the end, so even SIGKILL storms cannot accumulate segments.
+
+Workers never create segments; they :func:`attach_ndarray` by name and
+close (never unlink) their mapping.  On non-Linux platforms without
+``/dev/shm`` the sweep degrades to a no-op over the registry only.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import secrets
+import threading
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+PREFIX = "repro-shm"
+_SHM_DIR = "/dev/shm"
+
+_REGISTRY: dict[str, shared_memory.SharedMemory] = {}
+_LOCK = threading.Lock()
+
+
+def _new_name() -> str:
+    return f"{PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
+
+
+def create_segment(nbytes: int) -> shared_memory.SharedMemory:
+    """Create and register a shared-memory segment owned by this process.
+
+    The only sanctioned way to allocate shared memory in this codebase
+    (SC601 enforces it): the segment is recorded in the registry, so
+    :func:`drain_all` — and through it the ``atexit`` reaper — will
+    close and unlink it even if the caller never does.
+    """
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    seg = shared_memory.SharedMemory(create=True, size=int(nbytes), name=_new_name())
+    with _LOCK:
+        _REGISTRY[seg.name] = seg
+    return seg
+
+
+def release_segment(name: str) -> bool:
+    """Close and unlink one registered segment; True if it was registered."""
+    with _LOCK:
+        seg = _REGISTRY.pop(name, None)
+    if seg is None:
+        return False
+    try:
+        seg.close()
+        seg.unlink()
+    except FileNotFoundError:  # already swept (e.g. by a parallel reaper)
+        pass
+    return True
+
+
+def drain_all() -> int:
+    """Close and unlink every registered segment; returns how many.
+
+    Registered as an ``atexit`` hook so a normal or Ctrl-C interpreter
+    exit never leaves ``/dev/shm`` debris behind; also called by the
+    soak/bench teardown paths explicitly.
+    """
+    with _LOCK:
+        names = list(_REGISTRY)
+    return sum(release_segment(n) for n in names)
+
+
+def registered_segments() -> list[str]:
+    """Names currently held by this process's registry."""
+    with _LOCK:
+        return sorted(_REGISTRY)
+
+
+atexit.register(drain_all)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # exists but owned by someone else
+        return True
+    return True
+
+
+def list_stale_segments() -> list[str]:
+    """Segment names in ``/dev/shm`` whose creating process is dead."""
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return []
+    out = []
+    for fname in os.listdir(_SHM_DIR):
+        if not fname.startswith(PREFIX + "-"):
+            continue
+        parts = fname.split("-")
+        try:
+            pid = int(parts[2])
+        except (IndexError, ValueError):
+            pid = -1
+        if pid < 0 or not _pid_alive(pid):
+            out.append(fname)
+    return sorted(out)
+
+
+def list_segments() -> list[str]:
+    """Every ``repro-shm-*`` segment currently present in ``/dev/shm``.
+
+    The leak checks (soak harness, benchmark conftest) call this after a
+    run: a non-empty answer from any process means hygiene failed.
+    """
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
+        return registered_segments()
+    return sorted(f for f in os.listdir(_SHM_DIR) if f.startswith(PREFIX + "-"))
+
+
+def sweep_stale() -> list[str]:
+    """Unlink segments abandoned by dead processes; returns what was swept.
+
+    Called at shard-supervisor startup and by the soak harness: a prior
+    kill-9'd run cannot clean up after itself, so the *next* run does.
+    Unlinks via the filesystem directly — attaching first would register
+    the name with this process's resource tracker for no benefit.
+    """
+    swept = []
+    for fname in list_stale_segments():
+        try:
+            os.unlink(os.path.join(_SHM_DIR, fname))
+            swept.append(fname)
+        except FileNotFoundError:
+            pass
+    return swept
+
+
+# ---------------------------------------------------------------------------
+# Typed array views over segments
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Picklable descriptor of one ndarray stored inside a segment.
+
+    Workers receive specs (never live arrays): ``segment`` names the
+    shared-memory block, ``offset``/``shape``/``dtype`` locate the array
+    inside it.  :func:`attach_ndarray` turns a spec back into a live
+    view in the attaching process.
+    """
+
+    segment: str
+    offset: int
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _view(buf, spec: ArraySpec) -> np.ndarray:
+    return np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=buf, offset=spec.offset)
+
+
+class SegmentArena:
+    """One registered segment holding several packed arrays.
+
+    Built parent-side with :meth:`pack`; each packed array gets an
+    :class:`ArraySpec` the workers can attach.  ``alignment`` keeps every
+    array's offset a multiple of 16 so attached views stay aligned for
+    vectorised kernels.
+    """
+
+    _ALIGN = 16
+
+    def __init__(self, nbytes: int):
+        self.segment = create_segment(max(int(nbytes), 1))
+        self._cursor = 0
+
+    @staticmethod
+    def plan_bytes(arrays: list[np.ndarray]) -> int:
+        """Upper bound on the arena size needed to pack ``arrays``."""
+        return sum(a.nbytes + SegmentArena._ALIGN for a in arrays) + SegmentArena._ALIGN
+
+    def pack(self, arr: np.ndarray) -> ArraySpec:
+        """Copy ``arr`` into the arena; returns the worker-attachable spec."""
+        arr = np.ascontiguousarray(arr)
+        offset = -(-self._cursor // self._ALIGN) * self._ALIGN
+        end = offset + arr.nbytes
+        if end > self.segment.size:
+            raise ValueError(
+                f"arena overflow: need {end} bytes, segment has {self.segment.size}"
+            )
+        spec = ArraySpec(self.segment.name, offset, tuple(arr.shape), np.dtype(arr.dtype).str)
+        _view(self.segment.buf, spec)[...] = arr
+        self._cursor = end
+        return spec
+
+    def view(self, spec: ArraySpec) -> np.ndarray:
+        """Parent-side view of a previously packed array."""
+        if spec.segment != self.segment.name:
+            raise ValueError(f"spec belongs to segment {spec.segment!r}, not this arena")
+        return _view(self.segment.buf, spec)
+
+    def release(self) -> None:
+        release_segment(self.segment.name)
+
+
+def shared_ndarray(shape, dtype) -> tuple[ArraySpec, np.ndarray, shared_memory.SharedMemory]:
+    """A single registered shared array: (spec, parent view, segment)."""
+    nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+    seg = create_segment(max(nbytes, 1))
+    spec = ArraySpec(seg.name, 0, tuple(int(s) for s in shape), np.dtype(dtype).str)
+    return spec, _view(seg.buf, spec), seg
+
+
+# Worker-side attachment cache: one mapping per segment per process.  A
+# worker serves many tasks against the same plan's segments; re-mmapping
+# per task would dominate small shards.  Keyed by segment name — names
+# are never reused (PID + random nonce), so a stale entry can only refer
+# to an unlinked segment, and the cache is bounded before it can grow
+# past a handful of plans.
+_ATTACH_CACHE: dict[str, shared_memory.SharedMemory] = {}
+_ATTACH_CACHE_MAX = 64
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    seg = _ATTACH_CACHE.get(name)
+    if seg is None:
+        if len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
+            for old in list(_ATTACH_CACHE):
+                _ATTACH_CACHE.pop(old).close()
+        seg = shared_memory.SharedMemory(name=name)  # staticcheck: ignore[SC601]
+        _ATTACH_CACHE[name] = seg
+    return seg
+
+
+def attach_ndarray(spec: ArraySpec) -> np.ndarray:
+    """Worker-side view of a packed array (attach by name, cached).
+
+    Never unlinks: ownership stays with the creating process's registry.
+    """
+    return _view(_attach_segment(spec.segment).buf, spec)

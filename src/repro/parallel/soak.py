@@ -1,0 +1,211 @@
+"""Shard soak: worker-kill storms against the supervised process executor.
+
+The crashsim analogue for multi-process execution (`repro shard-soak`):
+many supervised executions of the same sharded plan under randomized
+process-level chaos — workers SIGKILLed at random sync points, workers
+stalled past the heartbeat deadline, torn shared-memory writes with
+lying commits — each execution against a *fresh* dense operand (a torn
+write is invisible when the staged output already holds the identical
+previous answer, so varying the operand is what gives the torn-write
+drill teeth) and each result compared elementwise against the CSR
+reference product.
+
+The harness proves, with a nonzero exit on any violation:
+
+* **zero wrong** — every served result matches the reference;
+* **zero hung** — every execution finishes inside its wall deadline;
+* **faults handled** — the storm actually injected faults, and each one
+  was absorbed by retry, quarantine/thread fallback, or whole-plan
+  degradation (the supervisor's counters are cross-checked against the
+  injector's deterministic replay);
+* **zero leaks** — no ``repro-shm-*`` segment survives the run.
+
+``supervised=False`` is the negative control: the same storm against
+:func:`~repro.parallel.supervisor.unsupervised_execute`, whose wrong
+answers / crashes *must* trip the same checks — CI runs it expecting a
+nonzero exit, proving the checks can fail.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.parallel import shm
+from repro.parallel.shard import ShardedPlan
+from repro.parallel.supervisor import ShardSupervisor, unsupervised_execute
+from repro.reliability.chaos import ShardChaos
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm
+
+
+def _soak_graph(n: int, avg_degree: float, seed: int) -> CSRMatrix:
+    from repro.graphs.generators import erdos_renyi_graph
+
+    return erdos_renyi_graph(n, avg_degree, seed=seed)
+
+
+def run_shard_soak(
+    a: CSRMatrix | None = None,
+    *,
+    n: int = 400,
+    avg_degree: float = 12.0,
+    num_shards: int = 4,
+    workers: int = 2,
+    executions: int = 24,
+    columns: int = 8,
+    variant: str = "DAD",
+    kill_rate: float = 0.12,
+    stall_rate: float = 0.08,
+    torn_rate: float = 0.12,
+    stall_seconds: float = 3.0,
+    heartbeat_timeout_s: float = 0.75,
+    deadline_s: float = 20.0,
+    quarantine_after: int = 3,
+    supervised: bool = True,
+    seed: int = 0,
+    progress=None,
+) -> dict:
+    """Run the storm; returns the report dict (``report["ok"]`` gates CI).
+
+    ``deadline_s`` is the per-execution hang budget — generous relative
+    to the compute (milliseconds) but finite, so a supervisor that loses
+    track of a shard shows up as *hung*, not as a forever-blocked job.
+    """
+    t_start = time.monotonic()
+    swept = shm.sweep_stale()
+    if a is None:
+        a = _soak_graph(n, avg_degree, seed)
+    rng = np.random.default_rng(seed + 1)
+    diag = None
+    if variant in ("AD", "DAD"):
+        deg = a.row_nnz().astype(np.float64)
+        diag = 1.0 / np.sqrt(deg + 1.0)
+    chaos = ShardChaos(
+        kill_rate=kill_rate,
+        stall_rate=stall_rate,
+        torn_rate=torn_rate,
+        stall_seconds=stall_seconds,
+        seed=seed,
+    )
+
+    plan = ShardedPlan(a, num_shards=num_shards, variant=variant, diag=diag)
+    sup = (
+        ShardSupervisor(
+            plan,
+            workers=workers,
+            heartbeat_timeout_s=heartbeat_timeout_s,
+            chaos=chaos,
+            quarantine_after=quarantine_after,
+            seed=seed,
+        )
+        if supervised
+        else None
+    )
+
+    wrong = hung = errors = 0
+    latencies: list[float] = []
+    violations: list[str] = []
+    try:
+        for k in range(executions):
+            b = rng.standard_normal((a.shape[1], columns)).astype(np.float32)
+            expected = _reference(a, b, variant, diag)
+            t0 = time.monotonic()
+            try:
+                if supervised:
+                    got = sup.execute(b)
+                else:
+                    got = unsupervised_execute(
+                        plan, b, workers=workers, chaos=chaos, timeout_s=deadline_s
+                    )
+            except Exception as exc:
+                errors += 1
+                violations.append(f"execution {k} raised {type(exc).__name__}: {exc}")
+                continue
+            elapsed = time.monotonic() - t0
+            latencies.append(elapsed)
+            if elapsed > deadline_s:
+                hung += 1
+                violations.append(f"execution {k} exceeded deadline: {elapsed:.2f}s")
+            if not np.allclose(got, expected, rtol=1e-4, atol=1e-4):
+                wrong += 1
+                err = float(np.nanmax(np.abs(got - expected)))
+                violations.append(f"execution {k} wrong result (max err {err:.3g})")
+            if progress is not None:
+                progress(k + 1, executions, elapsed, wrong, hung)
+    finally:
+        if sup is not None:
+            sup.close()
+        plan.release()
+
+    # Replay the injector to count what the storm actually dealt.  Epochs
+    # are 1-based per process execution; attempts beyond 0 add more — the
+    # replay undercounts retries, which is fine: it exists to prove the
+    # storm was non-empty, not to reconcile bookkeeping.
+    faults_decided = sum(
+        1
+        for epoch in range(1, executions + 1)
+        for s in range(num_shards)
+        if chaos.decide(s, epoch, 0) is not None
+    )
+    leaked = shm.list_segments()
+    stats = sup.stats if sup is not None else {}
+    handled = (
+        stats.get("shard_retries", 0)
+        + stats.get("quarantines", 0)
+        + stats.get("thread_fallbacks", 0)
+        + stats.get("heartbeat_kills", 0)
+        + stats.get("checksum_rejects", 0)
+        + stats.get("degraded_executions", 0)
+    )
+    checks = {
+        "zero_wrong": wrong == 0,
+        "zero_hung": hung == 0,
+        "zero_errors": errors == 0,
+        "storm_nonempty": faults_decided > 0,
+        "faults_handled": (not supervised) or faults_decided == 0 or handled > 0,
+        "no_shm_leak": len(leaked) == 0,
+    }
+    for name, ok in checks.items():
+        if not ok and name not in ("zero_wrong", "zero_hung", "zero_errors"):
+            violations.append(f"check failed: {name}")
+    if leaked:
+        violations.append(f"leaked /dev/shm segments: {leaked}")
+    return {
+        "workload": {
+            "nodes": int(a.shape[0]),
+            "nnz": int(a.nnz),
+            "variant": variant,
+            "num_shards": num_shards,
+            "workers": workers,
+            "columns": columns,
+            "executions": executions,
+            "supervised": supervised,
+        },
+        "chaos": chaos.describe(),
+        "faults_decided": faults_decided,
+        "wrong": wrong,
+        "hung": hung,
+        "errors": errors,
+        "latency_p50_ms": float(np.median(latencies) * 1e3) if latencies else None,
+        "latency_max_ms": float(np.max(latencies) * 1e3) if latencies else None,
+        "supervisor": sup.describe() if sup is not None else None,
+        "swept_at_start": swept,
+        "leaked_segments": leaked,
+        "checks": checks,
+        "violations": violations,
+        "ok": all(checks.values()) and not violations,
+        "elapsed_s": round(time.monotonic() - t_start, 2),
+    }
+
+
+def _reference(a: CSRMatrix, b: np.ndarray, variant: str, diag) -> np.ndarray:
+    """The independent CSR reference product for the soak's comparisons."""
+    if variant == "A":
+        return spmm(a, b)
+    if variant == "AD":
+        return spmm(a, b * diag[:, None].astype(b.dtype))
+    # DAD: d ⊙ (A @ (d ⊙ b))
+    scaled = spmm(a, b * diag[:, None].astype(b.dtype))
+    return scaled * diag[:, None].astype(scaled.dtype)

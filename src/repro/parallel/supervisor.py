@@ -1,0 +1,424 @@
+"""ShardSupervisor: fault-tolerant execution of a :class:`ShardedPlan`.
+
+Process parallelism adds failure modes the thread-era reliability stack
+cannot see: a worker SIGKILLed mid-branch, a worker stalled in a hung
+syscall, a slice written but never finished.  The supervisor closes that
+gap with the same posture the serving layer already uses — detect,
+retry, quarantine, degrade — and never serves an unverified buffer:
+
+* **detection** — a worker death surfaces as a broken pool / failed
+  future; a *stall* is caught by the per-shard heartbeat deadline (the
+  process-level extension of the thread executor's watchdog contract):
+  workers stamp ``time.monotonic()`` into the shared status board at
+  every sync point, and a shard whose stamp goes stale gets its pool
+  killed and respawned;
+* **retry** — failed shards are resubmitted with decorrelated-jitter
+  backoff (:class:`~repro.serving.backoff.RetryPolicy`); the attempt
+  number feeds the chaos/fault seed, so a transient fault does not
+  deterministically recur;
+* **quarantine & degradation** — a shard failing ``quarantine_after``
+  consecutive attempts is quarantined: it runs on the in-process thread
+  path (its own :class:`~repro.runtime.plan.KernelPlan`) while healthy
+  shards keep the pool.  Every internal failure is also reported to the
+  :class:`~repro.serving.breaker.CircuitBreaker`
+  (``note_internal_failure``), so persistent process-path rot walks the
+  whole plan down the existing FAST → GUARDED → DEGRADED ladder:
+  GUARDED upgrades commit verification from epoch-only to per-slice
+  checksums, DEGRADED abandons the pool entirely.  Quarantine is cleared
+  whenever the breaker climbs back (the probe that proves the pool
+  healthy again should get the whole pool);
+* **restore-or-invalidate** — a shard result only counts once its
+  commit (epoch, and at GUARDED+ its slice checksum) verifies against
+  the shared output; if even the thread fallback cannot produce a shard,
+  the output is NaN-poisoned and :class:`~repro.errors.ShardError`
+  raised — exactly the thread executor's buffer contract.
+
+Shared-memory hygiene: the supervisor sweeps stale segments of dead
+processes at startup (:func:`repro.parallel.shm.sweep_stale`), and
+:meth:`close` / context exit drains the plan's segments; the module-level
+``atexit`` reaper in :mod:`repro.parallel.shm` covers every other exit.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+
+from repro.errors import ShardError
+from repro.parallel import shm
+from repro.parallel.executor import _invalidate
+from repro.parallel.shard import EPOCH, HEARTBEAT, ShardedPlan, ShardTask, run_shard
+from repro.serving.backoff import RetryPolicy
+from repro.serving.breaker import CircuitBreaker, ServeTier
+
+
+def _pool_context():
+    """Prefer fork where available (fast spawn of many short-lived pools);
+    the design is start-method agnostic — workers attach segments by name
+    and the worker fn is module-level — so spawn works identically."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class ShardSupervisor:
+    """Crash-isolating executor for a :class:`ShardedPlan`.
+
+    Parameters
+    ----------
+    plan:
+        The sharded plan to execute (not owned unless ``own_plan``).
+    workers:
+        Process-pool width.
+    breaker:
+        The degradation ladder; a private one is built if not given
+        (sharing the serving layer's breaker wires shard health into the
+        same ladder the guard already feeds).
+    heartbeat_timeout_s:
+        How stale a dispatched, uncommitted shard's heartbeat may go
+        before the pool is declared hung and killed.
+    retry:
+        Attempt budget and backoff jitter per shard per execution.
+    quarantine_after:
+        Consecutive failed attempts before a shard is quarantined onto
+        the thread path.
+    chaos:
+        Optional picklable fault injector (see
+        :class:`~repro.reliability.chaos.ShardChaos`); shipped to workers
+        inside each task.  Supplying one also forces checksum
+        verification — injected torn writes *lie* in their epoch commit
+        by design, and epoch-only verification must not be the thing
+        standing between a drill and a wrong answer.
+    """
+
+    def __init__(
+        self,
+        plan: ShardedPlan,
+        *,
+        workers: int = 2,
+        breaker: CircuitBreaker | None = None,
+        heartbeat_timeout_s: float = 5.0,
+        poll_interval_s: float = 0.02,
+        retry: RetryPolicy | None = None,
+        quarantine_after: int = 2,
+        chaos=None,
+        seed: int = 0,
+        own_plan: bool = False,
+        sweep_on_start: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if quarantine_after < 1:
+            raise ValueError(f"quarantine_after must be >= 1, got {quarantine_after}")
+        if sweep_on_start:
+            self.swept_at_start = shm.sweep_stale()
+        else:
+            self.swept_at_start = []
+        self.plan = plan
+        self.workers = workers
+        self.breaker = breaker or CircuitBreaker(cooldown_s=0.25, max_cooldown_s=8.0)
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.poll_interval_s = poll_interval_s
+        self.retry = retry or RetryPolicy(max_attempts=3, base_s=0.005, cap_s=0.1)
+        self.quarantine_after = quarantine_after
+        self.chaos = chaos
+        self._own_plan = own_plan
+        self._rng = np.random.default_rng(seed)
+        self._pool: ProcessPoolExecutor | None = None
+        self._epoch = 0
+        self._consecutive_failures = [0] * plan.num_shards
+        self.quarantined: set[int] = set()
+        #: most recent worker-side failure per shard, for post-mortems
+        self.last_errors: dict[int, str] = {}
+        self.stats = {
+            "executions": 0,
+            "shard_retries": 0,
+            "pool_respawns": 0,
+            "heartbeat_kills": 0,
+            "checksum_rejects": 0,
+            "quarantines": 0,
+            "thread_fallbacks": 0,
+            "degraded_executions": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_context()
+            )
+            self.stats["pool_respawns"] += 1
+        return self._pool
+
+    def _kill_pool(self) -> None:
+        """Tear the pool down hard: kill workers, discard the executor."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            try:
+                proc.kill()
+            except (OSError, ValueError, AttributeError):  # already gone / reaped
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        self._kill_pool()
+        if self._own_plan:
+            self.plan.release()
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def execute(self, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Supervised ``M @ b``; returns a private (non-shared) result array.
+
+        The serving tier comes from the breaker: FAST verifies commits by
+        epoch, GUARDED re-checksums every slice, DEGRADED runs the whole
+        plan in-process.  The outcome (including one that needed internal
+        retries) is recorded back, so repeated trouble degrades future
+        executions and sustained health climbs back up.
+        """
+        tier, probe = self.breaker.acquire()
+        ok = False
+        try:
+            if tier is ServeTier.DEGRADED:
+                self.stats["degraded_executions"] += 1
+                result = self.plan.execute_threaded(b, out=out)
+            else:
+                checksum = tier is ServeTier.GUARDED or self.chaos is not None
+                result = self._execute_processes(b, out=out, checksum=checksum)
+            ok = True
+            return result
+        finally:
+            self.breaker.record(tier, ok, probe=probe)
+            if ok and tier is ServeTier.FAST and self.quarantined:
+                # The pool just proved itself end-to-end at full trust;
+                # give quarantined shards another chance next time.
+                self.quarantined.clear()
+
+    # ------------------------------------------------------------------
+    def _execute_processes(
+        self, b: np.ndarray, *, out: np.ndarray | None, checksum: bool
+    ) -> np.ndarray:
+        """Run one supervised epoch; writes the result into ``out`` in place
+        when the caller provides it (restore-or-invalidate: on an
+        unrecoverable shard the staged output is NaN-poisoned and a
+        :class:`ShardError` raised before anything is copied out)."""
+        plan = self.plan
+        self._epoch += 1
+        epoch = self._epoch
+        self.stats["executions"] += 1
+        b = np.ascontiguousarray(b)
+        b_spec, out_spec, out_view = plan.stage(b)
+
+        pending: list[int] = []
+        for s in plan.shards:
+            if s.spec.is_zero:
+                out_view[s.lo:s.hi] = 0
+                plan.status[s.index, EPOCH] = float(epoch)
+            elif s.index in self.quarantined:
+                self.stats["thread_fallbacks"] += 1
+                plan.execute_shard_threaded(s.index, b, out_view)
+            else:
+                pending.append(s.index)
+
+        attempts = dict.fromkeys(pending, 0)
+        delays = {i: self.retry.delays(self._rng) for i in pending}
+        while pending:
+            failed = self._dispatch_round(pending, b_spec, out_spec, epoch, attempts)
+            for i in pending:
+                if i in failed:
+                    continue
+                if plan.verify_shard(i, epoch, out_view, checksum=checksum):
+                    self._consecutive_failures[i] = 0
+                else:
+                    if plan.committed_epoch(i) == epoch:
+                        self.stats["checksum_rejects"] += 1
+                        # A lying commit is worse than a death: force the
+                        # stale commit out so a retry must re-commit.
+                        plan.status[i, EPOCH] = 0.0
+                    failed.add(i)
+            for i in sorted(failed):
+                attempts[i] += 1
+                self._consecutive_failures[i] += 1
+                self.breaker.note_internal_failure()
+                if (
+                    self._consecutive_failures[i] >= self.quarantine_after
+                    or attempts[i] >= self.retry.max_attempts
+                ):
+                    self.quarantined.add(i)
+                    self.stats["quarantines"] += 1
+                    self.stats["thread_fallbacks"] += 1
+                    try:
+                        plan.execute_shard_threaded(i, b, out_view)
+                    except Exception as exc:
+                        _invalidate(out_view)
+                        raise ShardError(
+                            f"shard {i} failed {attempts[i]} process attempts and "
+                            f"the thread fallback; output invalidated"
+                        ) from exc
+                else:
+                    self.stats["shard_retries"] += 1
+                    time.sleep(next(delays[i]))
+            pending = [i for i in sorted(failed) if i not in self.quarantined]
+
+        result = np.array(out_view, copy=True) if out is None else out
+        if out is not None:
+            out[...] = out_view
+        return result
+
+    def _dispatch_round(
+        self,
+        indices: list[int],
+        b_spec: shm.ArraySpec,
+        out_spec: shm.ArraySpec,
+        epoch: int,
+        attempts: dict[int, int],
+    ) -> set[int]:
+        """Submit one round of shards; returns the set that did not finish.
+
+        A shard is *finished* when its future resolves or its status-board
+        epoch commit lands — the commit is authoritative, because a pool
+        teardown can lose futures for work that already committed.
+        """
+        plan = self.plan
+        pool = self._ensure_pool()
+        try:
+            futures = {
+                pool.submit(
+                    run_shard,
+                    ShardTask(
+                        spec=plan.shards[i].spec,
+                        b=b_spec,
+                        out=out_spec,
+                        status=plan.status_spec,
+                        epoch=epoch,
+                        attempt=attempts[i],
+                        chaos=self.chaos,
+                    ),
+                ): i
+                for i in indices
+            }
+        except BrokenProcessPool:
+            self._kill_pool()
+            return set(indices)
+        submitted_at = time.monotonic()
+        failed: set[int] = set()
+        while futures:
+            done, _ = wait(
+                futures, timeout=self.poll_interval_s, return_when=FIRST_COMPLETED
+            )
+            for fut in done:
+                i = futures.pop(fut)
+                try:
+                    fut.result()
+                except BrokenProcessPool:
+                    # Worker death poisons the whole executor: discard it
+                    # so the next round gets a fresh pool.
+                    failed.add(i)
+                    self._kill_pool()
+                except Exception as exc:
+                    # Chaos fault or a genuine kernel error: either way
+                    # this shard did not commit this epoch.
+                    failed.add(i)
+                    self.last_errors[i] = f"{type(exc).__name__}: {exc}"
+            if not futures:
+                break
+            now = time.monotonic()
+            stale = [
+                i
+                for i in futures.values()
+                if now - max(float(plan.status[i, HEARTBEAT]), submitted_at)
+                > self.heartbeat_timeout_s
+            ]
+            if stale:
+                # A hung worker never raises; the heartbeat deadline is
+                # the only signal.  Kill the whole pool (the stalled
+                # process may hold shared locks) and fail everything that
+                # has not committed — committed shards stay good.
+                self.stats["heartbeat_kills"] += 1
+                self._kill_pool()
+                for i in futures.values():
+                    if plan.committed_epoch(i) != epoch:
+                        failed.add(i)
+                break
+        return failed
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        return {
+            "workers": self.workers,
+            "num_shards": self.plan.num_shards,
+            "quarantined": sorted(self.quarantined),
+            "breaker": self.breaker.describe(),
+            "stats": dict(self.stats),
+            "last_errors": dict(self.last_errors),
+            "swept_at_start": len(self.swept_at_start),
+        }
+
+
+def unsupervised_execute(
+    plan: ShardedPlan,
+    b: np.ndarray,
+    *,
+    workers: int = 2,
+    chaos=None,
+    timeout_s: float = 30.0,
+    pool: ProcessPoolExecutor | None = None,
+) -> np.ndarray:
+    """Run every shard exactly once with no supervision — the negative
+    control for the soak harness, and the bare-dispatch baseline the
+    scaling bench measures supervision overhead against.  No heartbeats,
+    no retries, no commit verification: whatever lands in the output
+    segment is returned, and a dead worker raises.  Under fault injection
+    this must produce wrong answers or exceptions — if it does not, the
+    soak's chaos has no teeth.
+
+    Pass ``pool`` to reuse a warm executor across calls (the bench does,
+    so pool spawn cost does not pollute the overhead comparison);
+    otherwise a fresh pool is created and torn down per call.
+    """
+    b = np.ascontiguousarray(b)
+    b_spec, out_spec, out_view = plan.stage(b)
+    epoch = int(plan.status[:, EPOCH].max()) + 1
+    live = []
+    for s in plan.shards:
+        if s.spec.is_zero:
+            out_view[s.lo:s.hi] = 0
+        else:
+            live.append(s.index)
+
+    def _submit_all(executor: ProcessPoolExecutor) -> None:
+        futures = [
+            executor.submit(
+                run_shard,
+                ShardTask(
+                    spec=plan.shards[i].spec,
+                    b=b_spec,
+                    out=out_spec,
+                    status=plan.status_spec,
+                    epoch=epoch,
+                    chaos=chaos,
+                ),
+            )
+            for i in live
+        ]
+        for fut in futures:
+            fut.result(timeout=timeout_s)
+
+    if pool is not None:
+        _submit_all(pool)
+    else:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as owned:
+            _submit_all(owned)
+    return np.array(out_view, copy=True)

@@ -14,10 +14,33 @@ served requests may share one plan (and therefore one pool).
 
 from __future__ import annotations
 
+import atexit
 import threading
+import weakref
 from dataclasses import dataclass
 
 import numpy as np
+
+# Every live pool, so an interrupted bench/soak can be swept in one call.
+# Weak references: registration must not keep retired pools (and their
+# buffers) alive — a pool that is garbage has already "drained".
+_POOLS: weakref.WeakSet = weakref.WeakSet()
+_POOLS_LOCK = threading.Lock()
+
+
+def drain_all_pools() -> int:
+    """Drain every live :class:`WorkspacePool`; returns total bytes freed.
+
+    Registered as an ``atexit`` hook (alongside the shared-memory reaper
+    in :mod:`repro.parallel.shm`) so a Ctrl-C'd benchmark or soak leaves
+    no idle workspace pinned while interpreter teardown runs finalizers.
+    """
+    with _POOLS_LOCK:
+        pools = list(_POOLS)
+    return sum(pool.drain() for pool in pools)
+
+
+atexit.register(drain_all_pools)
 
 
 @dataclass
@@ -52,6 +75,8 @@ class WorkspacePool:
         self._free: dict[tuple, list[np.ndarray]] = {}
         self._lock = threading.Lock()
         self.stats = PoolStats()
+        with _POOLS_LOCK:
+            _POOLS.add(self)
 
     @staticmethod
     def _key(shape: tuple[int, ...], dtype) -> tuple:

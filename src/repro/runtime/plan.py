@@ -56,6 +56,38 @@ except (ImportError, AttributeError):  # pragma: no cover - exotic SciPy builds
     _CSR_MATVEC = None
 
 
+def apply_level_schedule(
+    c: np.ndarray,
+    level_pairs: list[tuple[np.ndarray, np.ndarray]],
+    *,
+    row_scale: np.ndarray | None = None,
+    roots: np.ndarray | None = None,
+    root_scale: np.ndarray | None = None,
+    fused_tables: list[tuple[np.ndarray, np.ndarray]] | None = None,
+) -> None:
+    """Level-schedule update stage + scaling, in place on ``c``.
+
+    The single definition of the vectorised tree walk: ``KernelPlan``
+    calls it for in-process execution and the shard workers
+    (:mod:`repro.parallel.shard`) call it against shared-memory views, so
+    the multi-process path replays *exactly* the parent's update code.
+
+    ``fused_tables`` (with ``roots``/``root_scale``) selects the fused
+    per-level scaling recurrence; otherwise plain accumulation runs,
+    followed by one deferred ``row_scale`` multiply when given.
+    """
+    expand = (slice(None), None) if c.ndim == 2 else ()
+    if fused_tables is not None:
+        c[roots] *= root_scale[expand]
+        for (lv, ps), (a, r) in zip(level_pairs, fused_tables, strict=True):
+            c[lv] = a[expand] * c[lv] + r[expand] * c[ps]
+        return
+    for lv, ps in level_pairs:
+        c[lv] += c[ps]
+    if row_scale is not None:
+        c *= row_scale[expand]
+
+
 @dataclass
 class PlanStats:
     """Execution counters (informational; benchmarks and the CLI read them)."""
@@ -263,18 +295,23 @@ class KernelPlan:
     # ------------------------------------------------------------------
     def apply_update(self, c: np.ndarray) -> None:
         """Update stage + scaling, in place, from the precomputed schedule."""
-        expand = (slice(None), None) if c.ndim == 2 else ()
         if self.update == "edge":
+            expand = (slice(None), None) if c.ndim == 2 else ()
             self._apply_update_edges(c, expand)
         elif self.row_scaled and self.scaling == "fused":
-            c[self.roots] *= self.root_scale[expand]
-            for (lv, ps), (a, r) in zip(self.level_pairs, self.fused_tables, strict=True):
-                c[lv] = a[expand] * c[lv] + r[expand] * c[ps]
+            apply_level_schedule(
+                c,
+                self.level_pairs,
+                roots=self.roots,
+                root_scale=self.root_scale,
+                fused_tables=self.fused_tables,
+            )
         else:
-            for lv, ps in self.level_pairs:
-                c[lv] += c[ps]
-            if self.row_scaled:
-                c *= self._cast_row_scale(c.dtype)[expand]
+            apply_level_schedule(
+                c,
+                self.level_pairs,
+                row_scale=self._cast_row_scale(c.dtype) if self.row_scaled else None,
+            )
 
     def _apply_update_edges(self, c: np.ndarray, expand) -> None:
         """Edge-schedule update + scaling, in place on ``c``."""

@@ -17,10 +17,13 @@ the artifact or the code alone, before any kernel runs:
   read-before-write hazards across a plan's branch decomposition, level
   schedule ordering, workspace-pool aliasing, and executor watchdog
   coverage.  It proves branch independence instead of assuming it.
+  PR8 adds the cross-process analogues: shard-plan audits (row
+  coverage/overlap across row blocks, shared-memory segment aliasing).
 * :mod:`repro.staticcheck.lint` — an AST-based contract linter over the
   source tree enforcing the codebase's concurrency/buffer conventions
   (declared in-place buffer mutation, lock-guarded ``GuardStats``
-  counters, no swallowed broad excepts, no sleeps under a lock) with
+  counters, no swallowed broad excepts, no sleeps under a lock, no
+  shared-memory segments created outside the registry helper) with
   ruff-style output and a regression baseline.
 
 All three are surfaced as ``repro check {artifact,plan,code}`` in the
@@ -35,6 +38,7 @@ from repro.staticcheck.hazards import (
     analyze_plan,
     analyze_pool,
     analyze_schedule,
+    analyze_shard_plan,
 )
 from repro.staticcheck.lint import lint_paths, lint_source, load_baseline
 from repro.staticcheck.report import AuditReport, Finding, Severity
@@ -49,6 +53,7 @@ __all__ = [
     "analyze_plan",
     "analyze_pool",
     "analyze_schedule",
+    "analyze_shard_plan",
     "audit_archive",
     "audit_arrays",
     "audit_cbm",

@@ -41,6 +41,14 @@ The PR2/PR3 layers rely on conventions no general-purpose linter knows:
     artifact must land through :func:`repro.recovery.atomic_write`
     (PR5's crash-safety contract).  Modules under ``repro/recovery``
     are exempt — they *implement* the protocol.
+``SC601``
+    ``SharedMemory(...)`` constructed outside :mod:`repro.parallel.shm`.
+    Shared-memory segments outlive their creating process; an untracked
+    segment escapes the registry's drain/atexit/sweep hygiene and leaks
+    ``/dev/shm`` after a kill-9.  Every segment must come from
+    :func:`repro.parallel.shm.create_segment` (registered, reaped) or
+    :func:`~repro.parallel.shm.attach_ndarray` (worker-side attach);
+    the ``shm`` module itself is exempt — it *implements* the registry.
 
 Findings render ruff-style (``path:line: CODE message``).  A regression
 baseline (:func:`load_baseline`) makes CI fail only on *new* findings,
@@ -108,6 +116,9 @@ class _ContractVisitor(ast.NodeVisitor):
         # repro.recovery implements the atomic protocol; SC501 is for
         # everyone writing *around* it.
         self._recovery_module = "recovery" in Path(path).parts
+        # repro.parallel.shm implements the segment registry; SC601 is
+        # for everyone allocating *around* it.
+        self._shm_module = Path(path).name == "shm.py" and "parallel" in Path(path).parts
 
     # -- helpers -------------------------------------------------------
     def _emit(self, code: str, line: int, message: str, severity=Severity.ERROR) -> None:
@@ -259,6 +270,22 @@ class _ContractVisitor(ast.NodeVisitor):
                 "stalls for the full sleep",
             )
         self._check_persistent_write(node)
+        # -- SC601: shared-memory segment created outside the registry --
+        is_shm_ctor = (
+            isinstance(func, ast.Attribute)
+            and func.attr == "SharedMemory"
+            or isinstance(func, ast.Name)
+            and func.id == "SharedMemory"
+        )
+        if is_shm_ctor and not self._shm_module:
+            self._emit(
+                "SC601",
+                node.lineno,
+                "`SharedMemory(...)` outside repro.parallel.shm — an "
+                "untracked segment escapes the registry's drain/atexit/"
+                "sweep hygiene and leaks /dev/shm after a kill-9; use "
+                "shm.create_segment / shm.attach_ndarray",
+            )
         self.generic_visit(node)
 
     # -- SC501: non-atomic persistent-artifact writes ------------------

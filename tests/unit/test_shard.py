@@ -1,0 +1,438 @@
+"""Unit tests for the sharded multi-process executor (PR 8).
+
+Covers the whole fault-tolerance stack bottom-up: the shared-memory
+registry and arena, degree-aware row partitioning (including the
+degenerate shapes the ISSUE calls out: fewer rows than shards,
+isolated vertices, empty graphs), the sharded plan's three execution
+paths (threaded, raw process, supervised process) against the CSR
+reference, the supervisor's failure ladder (retry -> quarantine ->
+thread fallback -> breaker degradation) under deterministic chaos, and
+the new static audits (HZ-S101..103, SC601).
+
+Process-spawning tests keep graphs tiny (n <= 250) and timeouts short —
+the whole module must stay cheap enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ShardError
+from repro.parallel import shm
+from repro.parallel.shard import CRC, EPOCH, ShardedPlan, slice_crc
+from repro.parallel.soak import run_shard_soak
+from repro.parallel.supervisor import ShardSupervisor, unsupervised_execute
+from repro.reliability.chaos import ShardChaos
+from repro.serving import CircuitBreaker, ServeTier
+from repro.sparse.blocked import ROW_BASE_COST, partition_rows
+from repro.sparse.ops import spmm
+from repro.staticcheck import analyze_shard_plan, lint_source
+
+from tests.conftest import random_adjacency_csr
+
+
+@pytest.fixture(autouse=True)
+def _no_shm_leaks():
+    shm.sweep_stale()
+    yield
+    leaked = shm.list_segments()
+    assert not leaked, f"test leaked shared-memory segments: {leaked}"
+
+
+def _dad_diag(a):
+    return 1.0 / np.sqrt(a.row_nnz().astype(np.float64) + 1.0)
+
+
+def _reference(a, b, variant="A", diag=None):
+    if variant == "A":
+        return spmm(a, b)
+    scaled = spmm(a, b * diag[:, None].astype(b.dtype))
+    if variant == "AD":
+        return scaled
+    return scaled * diag[:, None].astype(scaled.dtype)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory registry / arena
+# ---------------------------------------------------------------------------
+class TestShm:
+    def test_create_release_roundtrip(self):
+        seg = shm.create_segment(256)
+        assert seg.name in shm.registered_segments()
+        shm.release_segment(seg.name)
+        assert seg.name not in shm.registered_segments()
+        assert shm.list_segments() == []
+
+    def test_shared_ndarray_visible_through_attach(self):
+        spec, view, _seg = shm.shared_ndarray((5, 3), np.float32)
+        try:
+            view[...] = 7.0
+            attached = shm.attach_ndarray(spec)
+            np.testing.assert_array_equal(attached, view)
+        finally:
+            shm.release_segment(spec.segment)
+
+    def test_arena_packs_disjoint_aligned_specs(self):
+        arrays = [
+            np.arange(10, dtype=np.int64),
+            np.arange(7, dtype=np.float32),
+            np.arange(3, dtype=np.float64),
+        ]
+        arena = shm.SegmentArena(shm.SegmentArena.plan_bytes(arrays))
+        specs = [arena.pack(arr) for arr in arrays]
+        try:
+            for spec, arr in zip(specs, arrays):
+                assert spec.offset % 16 == 0
+                np.testing.assert_array_equal(arena.view(spec), arr)
+            spans = sorted((s.offset, s.offset + s.nbytes) for s in specs)
+            for (_, hi), (lo, _) in zip(spans, spans[1:]):
+                assert hi <= lo
+        finally:
+            arena.release()
+
+    def test_drain_all_unlinks_everything(self):
+        shm.create_segment(64)
+        shm.create_segment(64)
+        shm.drain_all()
+        assert shm.registered_segments() == []
+        assert shm.list_segments() == []
+
+    def test_sweep_stale_reaps_dead_pid_segments(self, tmp_path):
+        # A segment named for a pid that no longer exists is debris from
+        # a kill-9'd run; sweep_stale must unlink it.  Pid 1 is alive
+        # (init), so a same-named live segment must survive the sweep.
+        import pathlib
+
+        dead = pathlib.Path("/dev/shm/repro-shm-999999999-deadbeef")
+        dead.write_bytes(b"\0" * 16)
+        assert dead.name in shm.list_stale_segments()
+        swept = shm.sweep_stale()
+        assert dead.name in swept
+        assert not dead.exists()
+
+
+# ---------------------------------------------------------------------------
+# Degree-aware row partitioning
+# ---------------------------------------------------------------------------
+class TestPartitionRows:
+    def test_every_row_in_exactly_one_shard(self):
+        cost = np.array([5, 1, 1, 1, 8, 1, 1, 2, 1, 1], dtype=np.float64)
+        bounds = partition_rows(cost, 3)
+        assert bounds[0][0] == 0 and bounds[-1][1] == cost.size
+        for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert hi == lo
+
+    def test_balance_bound(self):
+        rng = np.random.default_rng(3)
+        cost = rng.integers(0, 50, size=500).astype(np.float64)
+        for k in (2, 3, 7, 16):
+            bounds = partition_rows(cost, k)
+            loaded = cost + ROW_BASE_COST
+            shard_costs = [loaded[lo:hi].sum() for lo, hi in bounds]
+            assert max(shard_costs) <= loaded.sum() / k + loaded.max() + 1e-9
+
+    def test_fewer_rows_than_shards(self):
+        bounds = partition_rows(np.ones(3), 8)
+        assert len(bounds) == 8
+        assert bounds[0][0] == 0 and bounds[-1][1] == 3
+        covered = sum(hi - lo for lo, hi in bounds)
+        assert covered == 3  # some shards are legitimately empty
+
+    def test_empty_matrix(self):
+        bounds = partition_rows(np.empty(0), 4)
+        assert bounds == [(0, 0)] * 4
+
+    def test_isolated_vertices_still_distribute(self):
+        # All-zero degree: without the per-row base cost every cut would
+        # collapse to one shard holding the whole range.
+        bounds = partition_rows(np.zeros(100), 4)
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [25, 25, 25, 25]
+
+
+# ---------------------------------------------------------------------------
+# Sharded plan: construction + threaded execution
+# ---------------------------------------------------------------------------
+class TestShardedPlan:
+    def test_threaded_matches_reference_all_variants(self):
+        a = random_adjacency_csr(120, density=0.1, seed=5)
+        b = np.random.default_rng(0).standard_normal((120, 6)).astype(np.float32)
+        diag = _dad_diag(a)
+        for variant in ("A", "AD", "DAD"):
+            d = None if variant == "A" else diag
+            with ShardedPlan(a, num_shards=3, variant=variant, diag=d) as plan:
+                got = plan.execute_threaded(b)
+                np.testing.assert_allclose(
+                    got, _reference(a, b, variant, d), rtol=1e-4, atol=1e-4
+                )
+
+    def test_shards_cover_rows_and_audit_clean(self):
+        a = random_adjacency_csr(90, density=0.15, seed=6)
+        with ShardedPlan(a, num_shards=4) as plan:
+            assert plan.bounds[0][0] == 0 and plan.bounds[-1][1] == 90
+            report = analyze_shard_plan(plan)
+            assert report.ok, report.render()
+
+    def test_empty_graph_executes_to_zeros(self):
+        from repro.sparse.convert import from_dense
+
+        a = from_dense(np.zeros((12, 12), dtype=np.float32))
+        b = np.ones((12, 2), dtype=np.float32)
+        with ShardedPlan(a, num_shards=5) as plan:
+            assert all(s.spec.is_zero for s in plan.shards)
+            np.testing.assert_array_equal(plan.execute_threaded(b), 0.0)
+
+    def test_verify_shard_epoch_and_checksum(self):
+        a = random_adjacency_csr(60, density=0.2, seed=7)
+        b = np.ones((60, 2), dtype=np.float32)
+        with ShardedPlan(a, num_shards=2) as plan:
+            _, _, out_view = plan.stage(b)
+            lo, hi = plan.bounds[0]
+            block = np.arange((hi - lo) * 2, dtype=out_view.dtype)
+            out_view[lo:hi] = block.reshape(hi - lo, 2)
+            plan.status[0, CRC] = float(slice_crc(out_view[lo:hi]))
+            plan.status[0, EPOCH] = 3.0
+            assert plan.verify_shard(0, 3, out_view, checksum=True)
+            assert not plan.verify_shard(0, 2, out_view, checksum=False)
+            out_view[lo] += 1.0  # torn: commit no longer matches bytes
+            assert plan.verify_shard(0, 3, out_view, checksum=False)
+            assert not plan.verify_shard(0, 3, out_view, checksum=True)
+
+    def test_release_is_idempotent_and_unlinks(self):
+        a = random_adjacency_csr(50, density=0.2, seed=8)
+        plan = ShardedPlan(a, num_shards=2)
+        plan.stage(np.ones((50, 2), dtype=np.float32))
+        assert shm.list_segments()
+        plan.release()
+        plan.release()
+        assert shm.list_segments() == []
+
+
+# ---------------------------------------------------------------------------
+# Supervisor: happy path + failure ladder (process-spawning, kept tiny)
+# ---------------------------------------------------------------------------
+class TestSupervisor:
+    def test_no_fault_matches_reference(self):
+        a = random_adjacency_csr(150, density=0.08, seed=9)
+        diag = _dad_diag(a)
+        b = np.random.default_rng(1).standard_normal((150, 4)).astype(np.float32)
+        with ShardedPlan(a, num_shards=3, variant="DAD", diag=diag) as plan:
+            with ShardSupervisor(plan, workers=2) as sup:
+                got = sup.execute(b)
+                np.testing.assert_allclose(
+                    got, _reference(a, b, "DAD", diag), rtol=1e-4, atol=1e-4
+                )
+                assert sup.stats["executions"] == 1
+                assert sup.stats["thread_fallbacks"] == 0
+
+    def test_out_parameter_is_filled_in_place(self):
+        a = random_adjacency_csr(80, density=0.1, seed=10)
+        b = np.ones((80, 2), dtype=np.float32)
+        out = np.empty((80, 2), dtype=np.float32)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(plan, workers=2) as sup:
+                got = sup.execute(b, out=out)
+                assert got is out
+                np.testing.assert_allclose(out, spmm(a, b), rtol=1e-4, atol=1e-4)
+
+
+@pytest.mark.chaos
+class TestSupervisorUnderChaos:
+    def test_guaranteed_kills_degrade_to_thread_fallback(self):
+        # kill_rate=1.0: every process attempt dies, so correctness can
+        # only come from quarantine + the in-process fallback.
+        a = random_adjacency_csr(100, density=0.1, seed=11)
+        b = np.random.default_rng(2).standard_normal((100, 3)).astype(np.float32)
+        chaos = ShardChaos(kill_rate=1.0, seed=1)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1,
+                heartbeat_timeout_s=2.0,
+            ) as sup:
+                got = sup.execute(b)
+                np.testing.assert_allclose(got, spmm(a, b), rtol=1e-4, atol=1e-4)
+                assert sup.stats["quarantines"] > 0
+                assert sup.stats["thread_fallbacks"] > 0
+
+    def test_torn_writes_rejected_by_checksum(self):
+        # torn_rate=1.0: every commit lies (full-result CRC + epoch over
+        # a half-written slice).  Varying b per execution is what makes
+        # the tear visible — the stale half would otherwise still hold
+        # the previous identical answer.
+        a = random_adjacency_csr(100, density=0.1, seed=12)
+        rng = np.random.default_rng(3)
+        chaos = ShardChaos(torn_rate=1.0, seed=2)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1
+            ) as sup:
+                for _ in range(2):
+                    b = rng.standard_normal((100, 3)).astype(np.float32)
+                    got = sup.execute(b)
+                    np.testing.assert_allclose(
+                        got, spmm(a, b), rtol=1e-4, atol=1e-4
+                    )
+                assert sup.stats["checksum_rejects"] > 0
+
+    def test_stall_triggers_heartbeat_kill(self):
+        a = random_adjacency_csr(80, density=0.1, seed=13)
+        b = np.ones((80, 2), dtype=np.float32)
+        chaos = ShardChaos(stall_rate=1.0, stall_seconds=30.0, seed=3)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1,
+                heartbeat_timeout_s=0.4, poll_interval_s=0.02,
+            ) as sup:
+                got = sup.execute(b)
+                np.testing.assert_allclose(got, spmm(a, b), rtol=1e-4, atol=1e-4)
+                assert sup.stats["heartbeat_kills"] > 0
+
+    def test_breaker_degrades_whole_plan_after_repeated_failures(self):
+        # Fast-tripping window + a cooldown longer than the test: each
+        # execution's internal failures ratchet the tier up and no
+        # half-open probe can climb back down, so back-to-back
+        # executions walk FAST -> GUARDED -> DEGRADED deterministically
+        # and stay there (acquire() inside the cooldown returns the
+        # tripped tier itself).
+        a = random_adjacency_csr(80, density=0.1, seed=14)
+        b = np.ones((80, 2), dtype=np.float32)
+        chaos = ShardChaos(kill_rate=1.0, seed=4)
+        breaker = CircuitBreaker(
+            window=4, failure_threshold=2, failure_rate=0.5,
+            cooldown_s=60.0, max_cooldown_s=120.0,
+        )
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1,
+                breaker=breaker,
+            ) as sup:
+                for _ in range(8):
+                    np.testing.assert_allclose(
+                        sup.execute(b), spmm(a, b), rtol=1e-4, atol=1e-4
+                    )
+                    if sup.stats["degraded_executions"] > 0:
+                        break
+                assert sup.breaker.tier is ServeTier.DEGRADED
+                assert sup.stats["degraded_executions"] > 0
+
+    def test_unsupervised_is_the_negative_control(self):
+        a = random_adjacency_csr(80, density=0.1, seed=15)
+        rng = np.random.default_rng(5)
+        chaos = ShardChaos(torn_rate=1.0, seed=6)
+        with ShardedPlan(a, num_shards=2) as plan:
+            harmed = 0
+            for _ in range(3):
+                b = rng.standard_normal((80, 2)).astype(np.float32)
+                try:
+                    got = unsupervised_execute(
+                        plan, b, workers=2, chaos=chaos, timeout_s=10.0
+                    )
+                except Exception:
+                    harmed += 1
+                    continue
+                if not np.allclose(got, spmm(a, b), rtol=1e-4, atol=1e-4):
+                    harmed += 1
+            assert harmed > 0, "chaos had no teeth against the unsupervised path"
+
+
+@pytest.mark.chaos
+class TestShardSoak:
+    def test_supervised_soak_passes(self):
+        report = run_shard_soak(
+            n=150, num_shards=3, workers=2, executions=6, columns=3,
+            kill_rate=0.3, stall_rate=0.0, torn_rate=0.3,
+            heartbeat_timeout_s=1.0, quarantine_after=2, seed=0,
+        )
+        assert report["ok"], report["violations"]
+        assert report["faults_decided"] > 0
+
+    def test_unsupervised_soak_fails(self):
+        report = run_shard_soak(
+            n=150, num_shards=3, workers=2, executions=6, columns=3,
+            kill_rate=0.0, stall_rate=0.0, torn_rate=0.8,
+            supervised=False, seed=0,
+        )
+        assert not report["ok"]
+        assert report["wrong"] + report["errors"] > 0
+
+
+class TestShardError:
+    def test_unrecoverable_shard_invalidates_output(self, monkeypatch):
+        a = random_adjacency_csr(60, density=0.1, seed=16)
+        b = np.ones((60, 2), dtype=np.float32)
+        chaos = ShardChaos(kill_rate=1.0, seed=7)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1
+            ) as sup:
+                def broken(index, b_, out_):
+                    raise RuntimeError("fallback broken too")
+
+                monkeypatch.setattr(plan, "execute_shard_threaded", broken)
+                with pytest.raises(ShardError):
+                    sup.execute(b)
+                # Restore-or-invalidate: the staged output must never be
+                # servable as a real result after the failure.
+                assert np.isnan(np.asarray(plan._out_view)).any()
+
+
+# ---------------------------------------------------------------------------
+# Static audits: HZ-S101..103 + SC601
+# ---------------------------------------------------------------------------
+class TestShardPlanHazards:
+    def test_coverage_gap_flagged(self):
+        report = analyze_shard_plan(bounds=[(0, 4), (6, 10)], n_rows=10)
+        assert not report.ok
+        assert any(f.code == "HZ-S101" for f in report.findings)
+
+    def test_overlap_flagged(self):
+        report = analyze_shard_plan(bounds=[(0, 6), (4, 10)], n_rows=10)
+        assert not report.ok
+        assert any(f.code == "HZ-S102" for f in report.findings)
+
+    def test_invalid_bounds_flagged(self):
+        report = analyze_shard_plan(bounds=[(0, 12)], n_rows=10)
+        assert not report.ok
+        assert any(f.code == "HZ-S102" for f in report.findings)
+
+    def test_segment_aliasing_flagged(self):
+        layout = [
+            {"shard": 0, "array": "x", "segment": "seg-a", "offset": 0, "nbytes": 64},
+            {"shard": 1, "array": "y", "segment": "seg-a", "offset": 32, "nbytes": 64},
+        ]
+        report = analyze_shard_plan(bounds=[(0, 5), (5, 10)], n_rows=10, layout=layout)
+        assert not report.ok
+        assert any(f.code == "HZ-S103" for f in report.findings)
+
+    def test_clean_synthetic_plan_passes(self):
+        layout = [
+            {"shard": 0, "array": "x", "segment": "seg-a", "offset": 0, "nbytes": 32},
+            {"shard": 1, "array": "y", "segment": "seg-a", "offset": 32, "nbytes": 32},
+        ]
+        report = analyze_shard_plan(bounds=[(0, 5), (5, 10)], n_rows=10, layout=layout)
+        assert report.ok, report.render()
+
+
+class TestSC601:
+    OFFENDER = (
+        "from multiprocessing.shared_memory import SharedMemory\n"
+        "def leak():\n"
+        "    return SharedMemory(create=True, size=64)\n"
+    )
+
+    def test_raw_shared_memory_flagged(self):
+        findings = lint_source(self.OFFENDER, path="src/repro/serving/x.py")
+        assert any(f.code == "SC601" for f in findings)
+
+    def test_shm_module_exempt(self):
+        findings = lint_source(self.OFFENDER, path="src/repro/parallel/shm.py")
+        assert not any(f.code == "SC601" for f in findings)
+
+    def test_pragma_suppresses(self):
+        src = self.OFFENDER.replace(
+            "SharedMemory(create=True, size=64)",
+            "SharedMemory(create=True, size=64)  # staticcheck: ignore[SC601]",
+        )
+        findings = lint_source(src, path="src/repro/serving/x.py")
+        assert not any(f.code == "SC601" for f in findings)
