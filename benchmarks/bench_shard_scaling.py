@@ -156,9 +156,17 @@ def run_workload(cfg: dict) -> dict:
             executions=cfg["executions"], passes=cfg["passes"],
         )
         for w in cfg["workers"]:
+            # One context for BOTH pools: the supervisor spawns its pool
+            # lazily, by which time the raw pool's management threads
+            # would steer _pool_context() to forkserver — and comparing a
+            # fork pool against a forkserver pool (different worker
+            # memory layouts) reads as fake supervision overhead.
+            ctx = _pool_context()
             with ProcessPoolExecutor(
-                max_workers=w, mp_context=_pool_context()
-            ) as pool, ShardSupervisor(plan, workers=w, seed=cfg["seed"]) as sup:
+                max_workers=w, mp_context=ctx
+            ) as pool, ShardSupervisor(
+                plan, workers=w, seed=cfg["seed"], mp_context=ctx
+            ) as sup:
                 def raw(pool=pool, w=w):
                     return unsupervised_execute(plan, b, workers=w, pool=pool)
 

@@ -87,7 +87,9 @@ def shm_leak_check():
     """
     from repro.parallel import shm
 
-    shm.sweep_stale()
+    # min_age_s=0: on a CI runner any dead-pid segment is debris from a
+    # crashed earlier run, however young — no sibling-namespace caveat.
+    shm.sweep_stale(min_age_s=0.0)
     yield
     leaked = shm.list_segments()
     assert not leaked, f"leaked shared-memory segments: {leaked}"

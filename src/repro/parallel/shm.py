@@ -19,9 +19,17 @@ segments are created, and it guarantees three things:
   nothing);
 * **sweep after kill-9** — segment names embed the creating PID
   (``repro-shm-<pid>-<nonce>``); :func:`sweep_stale` unlinks any segment
-  of this naming scheme whose creator is dead.  The shard supervisor
-  sweeps at startup and the soak harness asserts ``/dev/shm`` is clean
-  at the end, so even SIGKILL storms cannot accumulate segments.
+  of this naming scheme whose creator is dead *and* whose ``/dev/shm``
+  entry is at least :data:`STALE_MIN_AGE_S` old.  The age gate protects
+  against namespaces where the PID test is unreliable: with ``/dev/shm``
+  shared across PID namespaces (containers with shared IPC) a live run's
+  creator PID is invisible here, and only that run's *fresh* segments
+  are at risk of being swept mid-use.  (The converse error — a recycled
+  PID making a truly stale segment look alive — leaves a leak bounded by
+  the recycled PID's lifetime; the next sweep after it exits collects
+  it.)  The shard supervisor sweeps at startup and the soak harness
+  asserts ``/dev/shm`` is clean at the end, so even SIGKILL storms
+  cannot accumulate segments.
 
 Workers never create segments; they :func:`attach_ndarray` by name and
 close (never unlink) their mapping.  On non-Linux platforms without
@@ -34,6 +42,7 @@ import atexit
 import os
 import secrets
 import threading
+import time
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -41,6 +50,12 @@ import numpy as np
 
 PREFIX = "repro-shm"
 _SHM_DIR = "/dev/shm"
+
+#: Minimum ``/dev/shm`` entry age before a dead-PID segment is sweepable.
+#: Guards shared-IPC-namespace setups where a *live* sibling run's PID is
+#: not visible to ``os.kill(pid, 0)``: its in-use segments are young, so
+#: an age gate keeps the sweep away from them.
+STALE_MIN_AGE_S = 60.0
 
 _REGISTRY: dict[str, shared_memory.SharedMemory] = {}
 _LOCK = threading.Lock()
@@ -111,13 +126,29 @@ def _pid_alive(pid: int) -> bool:
     return True
 
 
-def list_stale_segments() -> list[str]:
-    """Segment names in ``/dev/shm`` whose creating process is dead."""
+def _segment_age_s(fname: str) -> float:
+    """Age of a ``/dev/shm`` entry; 0.0 if it vanished (too young to sweep)."""
+    try:
+        return time.time() - os.stat(os.path.join(_SHM_DIR, fname)).st_mtime
+    except OSError:
+        return 0.0
+
+
+def list_stale_segments(min_age_s: float = STALE_MIN_AGE_S) -> list[str]:
+    """Segment names in ``/dev/shm`` whose creating process is dead.
+
+    A dead-PID segment only counts as stale once its entry is at least
+    ``min_age_s`` old: a PID that is merely *invisible* (shared ``/dev/shm``
+    across PID namespaces) is indistinguishable from a dead one, and the
+    age gate keeps the sweep away from another live run's fresh buffers.
+    """
     if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux
         return []
     out = []
     for fname in os.listdir(_SHM_DIR):
         if not fname.startswith(PREFIX + "-"):
+            continue
+        if _segment_age_s(fname) < min_age_s:
             continue
         parts = fname.split("-")
         try:
@@ -140,16 +171,18 @@ def list_segments() -> list[str]:
     return sorted(f for f in os.listdir(_SHM_DIR) if f.startswith(PREFIX + "-"))
 
 
-def sweep_stale() -> list[str]:
+def sweep_stale(min_age_s: float = STALE_MIN_AGE_S) -> list[str]:
     """Unlink segments abandoned by dead processes; returns what was swept.
 
     Called at shard-supervisor startup and by the soak harness: a prior
     kill-9'd run cannot clean up after itself, so the *next* run does.
-    Unlinks via the filesystem directly — attaching first would register
-    the name with this process's resource tracker for no benefit.
+    Only entries older than ``min_age_s`` qualify (see
+    :func:`list_stale_segments`).  Unlinks via the filesystem directly —
+    attaching first would register the name with this process's resource
+    tracker for no benefit.
     """
     swept = []
-    for fname in list_stale_segments():
+    for fname in list_stale_segments(min_age_s):
         try:
             os.unlink(os.path.join(_SHM_DIR, fname))
             swept.append(fname)
@@ -240,22 +273,46 @@ def shared_ndarray(shape, dtype) -> tuple[ArraySpec, np.ndarray, shared_memory.S
 
 # Worker-side attachment cache: one mapping per segment per process.  A
 # worker serves many tasks against the same plan's segments; re-mmapping
-# per task would dominate small shards.  Keyed by segment name — names
-# are never reused (PID + random nonce), so a stale entry can only refer
-# to an unlinked segment, and the cache is bounded before it can grow
-# past a handful of plans.
+# per task would dominate small shards.  Keyed by segment name (insertion
+# order doubles as LRU order — hits reinsert at the MRU end); names are
+# never reused (PID + random nonce).
+#
+# Eviction is deliberately conservative: closing a SharedMemory unmaps it
+# even while numpy views of its buffer are still alive (numpy does not
+# hold a Py_buffer export, so nothing raises — the next read of such a
+# view is a segfault).  The only mappings provably view-free are those of
+# segments the owning plan has already *unlinked*: the parent never
+# dispatches tasks for a released plan, and a task's views die with its
+# frame.  So past the size bound we close exactly those; mappings of
+# still-linked segments stay cached, and the cache is then bounded by the
+# set of live plans — the true working set.
 _ATTACH_CACHE: dict[str, shared_memory.SharedMemory] = {}
 _ATTACH_CACHE_MAX = 64
 
 
+def _segment_unlinked(name: str) -> bool:
+    """True when the segment's backing file is gone from ``/dev/shm``.
+
+    Without a ``/dev/shm`` to consult (non-Linux) nothing is provably
+    unlinked and the cache simply does not evict.
+    """
+    return os.path.isdir(_SHM_DIR) and not os.path.exists(os.path.join(_SHM_DIR, name))
+
+
 def _attach_segment(name: str) -> shared_memory.SharedMemory:
-    seg = _ATTACH_CACHE.get(name)
-    if seg is None:
-        if len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
-            for old in list(_ATTACH_CACHE):
-                _ATTACH_CACHE.pop(old).close()
-        seg = shared_memory.SharedMemory(name=name)  # staticcheck: ignore[SC601]
-        _ATTACH_CACHE[name] = seg
+    seg = _ATTACH_CACHE.pop(name, None)
+    if seg is not None:
+        _ATTACH_CACHE[name] = seg  # refresh LRU position
+        return seg
+    if len(_ATTACH_CACHE) >= _ATTACH_CACHE_MAX:
+        for old in [n for n in _ATTACH_CACHE if _segment_unlinked(n)]:
+            stale = _ATTACH_CACHE.pop(old)
+            try:
+                stale.close()
+            except BufferError:  # pragma: no cover - view still exported
+                pass
+    seg = shared_memory.SharedMemory(name=name)  # staticcheck: ignore[SC601]
+    _ATTACH_CACHE[name] = seg
     return seg
 
 

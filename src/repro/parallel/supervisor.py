@@ -42,6 +42,7 @@ processes at startup (:func:`repro.parallel.shm.sweep_stale`), and
 from __future__ import annotations
 
 import multiprocessing
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -57,10 +58,23 @@ from repro.serving.breaker import CircuitBreaker, ServeTier
 
 
 def _pool_context():
-    """Prefer fork where available (fast spawn of many short-lived pools);
-    the design is start-method agnostic — workers attach segments by name
-    and the worker fn is module-level — so spawn works identically."""
+    """Pick a start method for worker pools.
+
+    ``fork`` is fastest for the many short-lived pools the supervisor
+    spawns, but forking a *multithreaded* parent can deadlock workers on
+    locks held by threads that do not survive the fork — and the
+    supervisor is designed to share a breaker with the thread-heavy
+    serving layer (CPython deprecates fork-with-threads for exactly this
+    reason).  The design is start-method agnostic — workers attach
+    segments by name and the worker fn is module-level — so when the
+    parent has live threads, prefer ``forkserver``/``spawn``; only a
+    single-threaded parent gets ``fork``.
+    """
     methods = multiprocessing.get_all_start_methods()
+    if threading.active_count() > 1:
+        for method in ("forkserver", "spawn"):
+            if method in methods:
+                return multiprocessing.get_context(method)
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
@@ -92,6 +106,12 @@ class ShardSupervisor:
         verification — injected torn writes *lie* in their epoch commit
         by design, and epoch-only verification must not be the thing
         standing between a drill and a wrong answer.
+    mp_context:
+        Optional multiprocessing context for worker pools.  Default: the
+        :func:`_pool_context` heuristic at each pool (re)spawn.  Pin it
+        when comparing against another executor (the scaling bench does —
+        a fork pool and a forkserver pool have different worker memory
+        layouts, which reads as fake overhead).
     """
 
     def __init__(
@@ -105,6 +125,7 @@ class ShardSupervisor:
         retry: RetryPolicy | None = None,
         quarantine_after: int = 2,
         chaos=None,
+        mp_context=None,
         seed: int = 0,
         own_plan: bool = False,
         sweep_on_start: bool = True,
@@ -125,10 +146,16 @@ class ShardSupervisor:
         self.retry = retry or RetryPolicy(max_attempts=3, base_s=0.005, cap_s=0.1)
         self.quarantine_after = quarantine_after
         self.chaos = chaos
+        self._mp_context = mp_context
         self._own_plan = own_plan
         self._rng = np.random.default_rng(seed)
         self._pool: ProcessPoolExecutor | None = None
-        self._epoch = 0
+        # Seeded from the shared status board, never 0: the board outlives
+        # any one supervisor, and reusing an epoch number already committed
+        # there would let a dead/stalled shard's stale slice pass
+        # verification (its CRC matches the stale bytes, so even checksum
+        # mode cannot catch the collision).
+        self._epoch = int(plan.status[:, EPOCH].max())
         self._consecutive_failures = [0] * plan.num_shards
         self.quarantined: set[int] = set()
         #: most recent worker-side failure per shard, for post-mortems
@@ -148,7 +175,8 @@ class ShardSupervisor:
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=_pool_context()
+                max_workers=self.workers,
+                mp_context=self._mp_context or _pool_context(),
             )
             self.stats["pool_respawns"] += 1
         return self._pool
@@ -213,8 +241,12 @@ class ShardSupervisor:
         unrecoverable shard the staged output is NaN-poisoned and a
         :class:`ShardError` raised before anything is copied out)."""
         plan = self.plan
-        self._epoch += 1
-        epoch = self._epoch
+        # Advance past every epoch the shared board has ever seen, not just
+        # our own counter: unsupervised_execute and other supervisors write
+        # to the same board, and an epoch collision with a stale commit
+        # makes an undone shard look done (see _dispatch_round).
+        epoch = max(self._epoch, int(plan.status[:, EPOCH].max())) + 1
+        self._epoch = epoch
         self.stats["executions"] += 1
         b = np.ascontiguousarray(b)
         b_spec, out_spec, out_view = plan.stage(b)

@@ -34,7 +34,9 @@ from tests.conftest import random_adjacency_csr
 
 @pytest.fixture(autouse=True)
 def _no_shm_leaks():
-    shm.sweep_stale()
+    # min_age_s=0: in the controlled test environment any dead-pid segment
+    # is debris from a crashed earlier run, however young.
+    shm.sweep_stale(min_age_s=0.0)
     yield
     leaked = shm.list_segments()
     assert not leaked, f"test leaked shared-memory segments: {leaked}"
@@ -98,18 +100,81 @@ class TestShm:
         assert shm.registered_segments() == []
         assert shm.list_segments() == []
 
+    def test_attach_cache_eviction_never_invalidates_live_views(self):
+        # Closing a cached SharedMemory unmaps it under any numpy views
+        # still alive (silently — the next read segfaults), so overflowing
+        # the attach cache must only ever evict mappings of segments whose
+        # owner has already unlinked them.
+        # Start from a clean cache: earlier tests' entries are all
+        # unlinked (the leak fixture proves it), hence safely closable.
+        for name in list(shm._ATTACH_CACHE):
+            if shm._segment_unlinked(name):
+                shm._ATTACH_CACHE.pop(name).close()
+        assert not shm._ATTACH_CACHE
+        specs, views = [], []
+        try:
+            for i in range(shm._ATTACH_CACHE_MAX + 8):
+                spec, parent_view, _seg = shm.shared_ndarray((4,), np.float64)
+                parent_view[...] = float(i)
+                specs.append(spec)
+                views.append(shm.attach_ndarray(spec))
+            # Every segment is still linked, so nothing was evictable and
+            # the cache legitimately exceeds its bound (= live working set).
+            assert len(shm._ATTACH_CACHE) == len(specs)
+            for i, v in enumerate(views):
+                np.testing.assert_array_equal(v, float(i))
+            # Retire the first half (views die first, as a finished task's
+            # do), then trigger one more attach: only unlinked segments may
+            # be evicted, and surviving views must stay intact.
+            half = len(specs) // 2
+            del views[:half]
+            for spec in specs[:half]:
+                shm.release_segment(spec.segment)
+            extra, extra_view, _seg = shm.shared_ndarray((4,), np.float64)
+            specs.append(extra)
+            extra_view[...] = -1.0
+            np.testing.assert_array_equal(shm.attach_ndarray(extra), -1.0)
+            assert len(shm._ATTACH_CACHE) <= shm._ATTACH_CACHE_MAX
+            for i, v in enumerate(views):
+                np.testing.assert_array_equal(v, float(half + i))
+        finally:
+            del views
+            for spec in specs:
+                shm.release_segment(spec.segment)
+
     def test_sweep_stale_reaps_dead_pid_segments(self, tmp_path):
         # A segment named for a pid that no longer exists is debris from
-        # a kill-9'd run; sweep_stale must unlink it.  Pid 1 is alive
-        # (init), so a same-named live segment must survive the sweep.
+        # a kill-9'd run; once old enough, sweep_stale must unlink it.
+        import os
         import pathlib
+        import time
 
         dead = pathlib.Path("/dev/shm/repro-shm-999999999-deadbeef")
         dead.write_bytes(b"\0" * 16)
-        assert dead.name in shm.list_stale_segments()
-        swept = shm.sweep_stale()
-        assert dead.name in swept
-        assert not dead.exists()
+        try:
+            old = time.time() - 2 * shm.STALE_MIN_AGE_S
+            os.utime(dead, (old, old))
+            assert dead.name in shm.list_stale_segments()
+            swept = shm.sweep_stale()
+            assert dead.name in swept
+            assert not dead.exists()
+        finally:
+            dead.unlink(missing_ok=True)
+
+    def test_sweep_stale_spares_young_segments(self):
+        # A fresh entry whose pid test fails could belong to a live run in
+        # another pid namespace (shared /dev/shm): the age gate must keep
+        # the sweep away from it until it is demonstrably old.
+        import pathlib
+
+        young = pathlib.Path("/dev/shm/repro-shm-999999999-cafef00d")
+        young.write_bytes(b"\0" * 16)
+        try:
+            assert young.name not in shm.list_stale_segments()
+            assert young.name not in shm.sweep_stale()
+            assert young.exists()
+        finally:
+            young.unlink(missing_ok=True)
 
 
 # ---------------------------------------------------------------------------
@@ -226,6 +291,23 @@ class TestSupervisor:
                 assert sup.stats["executions"] == 1
                 assert sup.stats["thread_fallbacks"] == 0
 
+    def test_epochs_advance_past_unsupervised_commits(self):
+        # The status board is shared by every executor of the plan; a
+        # supervisor whose private counter lags the board would reuse an
+        # epoch number and mistake that stale commit for fresh work.
+        a = random_adjacency_csr(60, density=0.1, seed=18)
+        b = np.ones((60, 2), dtype=np.float32)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(plan, workers=2) as sup:
+                sup.execute(b)
+                e1 = int(plan.status[:, EPOCH].max())
+                assert e1 >= 1
+                unsupervised_execute(plan, b, workers=2)
+                e2 = int(plan.status[:, EPOCH].max())
+                assert e2 > e1
+                sup.execute(b)
+                assert int(plan.status[:, EPOCH].max()) > e2
+
     def test_out_parameter_is_filled_in_place(self):
         a = random_adjacency_csr(80, density=0.1, seed=10)
         b = np.ones((80, 2), dtype=np.float32)
@@ -287,6 +369,32 @@ class TestSupervisorUnderChaos:
                 got = sup.execute(b)
                 np.testing.assert_allclose(got, spmm(a, b), rtol=1e-4, atol=1e-4)
                 assert sup.stats["heartbeat_kills"] > 0
+
+    def test_fresh_supervisor_on_used_plan_rejects_stale_commits(self):
+        # Epoch-collision regression: supervisor #1 commits epoch 1 on the
+        # shared board; a *new* supervisor on the same plan starting its
+        # counter from scratch would reuse epoch 1, and a shard whose
+        # worker stalls before recommitting would then verify against the
+        # previous operand's bytes — CRC and all, since the staged output
+        # still holds them — and serve a stale answer.
+        a = random_adjacency_csr(80, density=0.1, seed=17)
+        rng = np.random.default_rng(8)
+        b1 = rng.standard_normal((80, 2)).astype(np.float32)
+        b2 = rng.standard_normal((80, 2)).astype(np.float32)
+        with ShardedPlan(a, num_shards=2) as plan:
+            with ShardSupervisor(plan, workers=2) as sup1:
+                np.testing.assert_allclose(
+                    sup1.execute(b1), spmm(a, b1), rtol=1e-4, atol=1e-4
+                )
+            assert int(plan.status[:, EPOCH].max()) >= 1
+            chaos = ShardChaos(stall_rate=1.0, stall_seconds=30.0, seed=9)
+            with ShardSupervisor(
+                plan, workers=2, chaos=chaos, quarantine_after=1,
+                heartbeat_timeout_s=0.4, poll_interval_s=0.02,
+            ) as sup2:
+                got = sup2.execute(b2)
+                np.testing.assert_allclose(got, spmm(a, b2), rtol=1e-4, atol=1e-4)
+                assert sup2.stats["thread_fallbacks"] > 0
 
     def test_breaker_degrades_whole_plan_after_repeated_failures(self):
         # Fast-tripping window + a cooldown longer than the test: each
