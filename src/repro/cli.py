@@ -13,10 +13,14 @@ Commands
 ``bench <graph> [-a ALPHA] [-p COLUMNS]``
     Time CSR vs CBM SpMM on this machine and print the model's 1/16-core
     predictions at paper scale (for registry datasets).
-``check {artifact,plan,code} ...``
+``check {artifact,plan,code,concurrency} ...``
     Static invariant checks (no kernel runs): audit CBM artifacts and
-    archives, prove kernel plans race-free, and contract-lint the source
-    tree.  Nonzero exit on any finding.
+    archives, prove kernel plans race-free, contract-lint the source
+    tree, and run the whole-stack concurrency verifier (unified plan IR
+    + happens-before races + lock-order/deadlock analysis, with an
+    optional dynamic lock-witness cross-check).  Every subcommand takes
+    ``--json`` for a machine-readable report.  Nonzero exit on any
+    finding.
 ``crash-soak``
     Kill-9 chaos soak of the persistence tier: writer/trainer workloads
     SIGKILLed at randomized durability sync points, then recovered and
@@ -447,19 +451,181 @@ def cmd_check_plan(args) -> int:
 
 
 def cmd_check_code(args) -> int:
-    """Run the contract linter over the source tree (ruff-style output)."""
-    from repro.staticcheck import lint_paths, load_baseline
+    """Run the contract linter over the source tree (ruff-style output).
+
+    Baseline hygiene rides along: entries in the baseline file that no
+    longer match any current finding are reported as stale (the debt was
+    paid but the ledger not updated).  Stale entries warn by default and
+    fail the run under ``--strict-baseline``.
+    """
+    import json
+
+    from repro.staticcheck import lint_paths_with_baseline, load_baseline
 
     baseline = load_baseline(args.baseline) if args.baseline else set()
-    findings = lint_paths(args.paths, baseline=baseline)
+    findings, stale = lint_paths_with_baseline(args.paths, baseline=baseline)
     for f in findings:
         print(f.render())
+    for entry in sorted(stale):
+        print(
+            f"{args.baseline}: stale baseline entry `{entry}` no longer "
+            "matches any finding — delete it"
+        )
     checked = args.paths if len(args.paths) > 1 else args.paths[0]
+    failed = bool(findings) or (bool(stale) and args.strict_baseline)
+    if args.json:
+        payload = {
+            "ok": not failed,
+            "findings": [f.to_dict() for f in findings],
+            "stale_baseline": sorted(stale),
+            "baseline_entries": len(baseline),
+            "strict_baseline": bool(args.strict_baseline),
+        }
+        with open(args.json, "w") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+        print(f"lint report written to {args.json}")
     if findings:
         print(f"FAIL: {len(findings)} contract finding(s) in {checked}")
         return 1
-    print(f"{checked}: clean (contract lint, baseline {len(baseline)} entries)")
+    if stale and args.strict_baseline:
+        print(f"FAIL: {len(stale)} stale baseline entry(ies) in {args.baseline}")
+        return 1
+    suffix = f", {len(stale)} stale" if stale else ""
+    print(
+        f"{checked}: clean (contract lint, baseline {len(baseline)} "
+        f"entries{suffix})"
+    )
     return 0
+
+
+def _witness_exercise(a, *, alpha: int, seed: int = 0):
+    """Run a miniature serving workload under the lock-witness recorder.
+
+    Builds a small :class:`InferenceService` over ``a``, instruments its
+    locks (service, stats, collector, breaker), then drives the paths
+    whose lock interplay the static graph models: batched submits, a hot
+    slot swap, stats snapshots, and shutdown.  Returns the populated
+    :class:`LockWitness`.
+    """
+    from repro.serving import AdjacencySlot, BatchConfig, InferenceService
+    from repro.staticcheck import witness_service
+
+    rng = np.random.default_rng(seed)
+    slot = AdjacencySlot.from_graph(a, alpha=alpha)
+    with InferenceService(
+        slot,
+        workers=2,
+        batch=BatchConfig(latency_budget_s=0.02),
+        seed=seed,
+    ) as svc:
+        witness = witness_service(svc)
+        n = a.shape[0]
+        futures = [
+            svc.submit(rng.standard_normal((n, 1 + (i % 3))))
+            for i in range(6)
+        ]
+        for f in futures:
+            f.result(30.0)
+        svc.swap_slot(AdjacencySlot.from_graph(a, alpha=alpha))
+        futures = [svc.submit(rng.standard_normal((n, 2))) for _ in range(3)]
+        for f in futures:
+            f.result(30.0)
+        svc.stats.snapshot()
+    return witness
+
+
+def cmd_check_concurrency(args) -> int:
+    """Whole-stack concurrency verification: IR audits + SC7xx lock pass.
+
+    Lowers every plan shape the benchmarks construct — kernel plans
+    (threaded branch replay and sequential level schedules, each with a
+    prospective fused row-scaling stage), the stacked-operand batch
+    layout, the N-shard process plan with its shared-memory segments,
+    and the streaming snapshot/rebuild/publish protocol — into the
+    unified IR and proves each free of span-discipline violations and
+    happens-before races (HZ-R4xx).  Then runs the lock-order and
+    blocking-call analysis (SC7xx) over the source tree, and with
+    ``--witness`` cross-checks the static lock graph against acquisition
+    orders recorded from a live miniature serving workload
+    (SC704/SC705).  Nonzero exit on any finding.
+    """
+    from repro.serving.batching import BatchConfig, BatchLayout
+    from repro.staticcheck import (
+        FusedStage,
+        analyze_ir,
+        analyze_locks,
+        cross_check,
+        lower_batch_layout,
+        lower_kernel_plan,
+        lower_shard_plan,
+        lower_stream_swap,
+    )
+
+    cfg = BatchConfig(max_columns=args.batch_columns)
+    widths = []
+    w = 1
+    while sum(widths) + w <= cfg.max_columns:
+        widths.append(w)
+        w = min(w * 2, cfg.max_columns - sum(widths) or 1)
+    reports = []
+    for spec in args.target:
+        name, a = _load_graph(spec)
+        cbm, _ = build_cbm(a, alpha=args.alpha)
+        for update in ("level", "edge"):
+            plan = cbm.plan(update=update)
+            fused = (
+                (FusedStage("row-scale", branch=0),) if plan.branches else ()
+            )
+            for threaded in (True, False):
+                mode = "threaded" if threaded else "sequential"
+                reports.append(
+                    analyze_ir(
+                        lower_kernel_plan(
+                            plan,
+                            threaded=threaded,
+                            fused=fused if threaded else (),
+                            subject=(
+                                f"{name}(alpha={args.alpha},"
+                                f"update={update},{mode})"
+                            ),
+                        )
+                    )
+                )
+        layout = BatchLayout.pack(widths, quantum=cfg.quantum, n_rows=cbm.shape[0])
+        reports.append(
+            analyze_ir(
+                lower_batch_layout(layout, subject=f"{name}(batch-layout)")
+            )
+        )
+        if args.shards > 0:
+            from repro.parallel.shard import ShardedPlan
+
+            with ShardedPlan(a, num_shards=args.shards, alpha=args.alpha) as sharded:
+                reports.append(
+                    analyze_ir(
+                        lower_shard_plan(
+                            sharded,
+                            subject=f"{name}(shards={args.shards})",
+                        )
+                    )
+                )
+    reports.append(analyze_ir(lower_stream_swap()))
+    graph = None
+    if not args.no_locks:
+        lock_report, graph = analyze_locks(args.paths)
+        reports.append(lock_report)
+    if args.witness:
+        if graph is None:
+            _, graph = analyze_locks(args.paths)
+        _, a = _load_graph(args.target[0])
+        witness = _witness_exercise(a, alpha=args.alpha, seed=args.seed)
+        print(
+            f"witness: {sum(witness.acquisitions.values())} acquisitions "
+            f"over {len(witness.acquisitions)} locks, "
+            f"{len(witness.edges)} distinct ordered pairs"
+        )
+        reports.append(cross_check(witness, graph))
+    return _emit_check_reports(reports, args.json, args.verbose)
 
 
 def cmd_crash_soak(args) -> int:
@@ -725,7 +891,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "check",
         help="static invariant checks: artifact audit, plan race detection, "
-        "contract lint (nonzero exit on findings)",
+        "contract lint, whole-stack concurrency verification "
+        "(nonzero exit on findings)",
     )
     check_sub = p.add_subparsers(dest="checker", required=True)
 
@@ -789,7 +956,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=".staticcheck.baseline",
         help="baseline file of accepted findings (CI fails only on regressions)",
     )
+    pc.add_argument(
+        "--strict-baseline",
+        action="store_true",
+        help="fail (not just warn) when baseline entries no longer match "
+        "any finding",
+    )
+    pc.add_argument("--json", help="write the structured lint report here")
     pc.set_defaults(fn=cmd_check_code)
+
+    pc = check_sub.add_parser(
+        "concurrency",
+        help="whole-stack concurrency verifier: lower every plan shape "
+        "(kernel plans, batch layouts, shard plans, streaming swaps, "
+        "prospective fused stages) into the unified IR, prove each free "
+        "of span violations and happens-before races (HZ-R4xx), and run "
+        "the lock-order/deadlock analysis over the source tree (SC7xx)",
+    )
+    pc.add_argument(
+        "target",
+        nargs="*",
+        default=["Cora"],
+        help="graph spec(s) whose plan shapes to audit (default: Cora)",
+    )
+    pc.add_argument("-a", "--alpha", type=int, default=0)
+    pc.add_argument(
+        "--batch-columns",
+        type=int,
+        default=64,
+        help="column cap of the representative stacked-operand batch layout",
+    )
+    pc.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        help="also lower an N-shard process plan with its shared-memory "
+        "segments (0 disables)",
+    )
+    pc.add_argument(
+        "--paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories the SC7xx lock analysis scans",
+    )
+    pc.add_argument(
+        "--no-locks",
+        action="store_true",
+        help="skip the SC7xx lock-order/blocking-call pass",
+    )
+    pc.add_argument(
+        "--witness",
+        action="store_true",
+        help="run a miniature serving workload under the lock-witness "
+        "recorder and cross-check observed acquisition orders against "
+        "the static lock graph (SC704/SC705)",
+    )
+    pc.add_argument("--seed", type=int, default=0,
+                    help="seed for the --witness workload operands")
+    pc.add_argument("--json", help="write the structured audit report here")
+    pc.add_argument("--verbose", action="store_true", help="print passed checks too")
+    pc.set_defaults(fn=cmd_check_concurrency)
 
     p = sub.add_parser(
         "crash-soak",

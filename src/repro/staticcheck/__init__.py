@@ -22,12 +22,29 @@ the artifact or the code alone, before any kernel runs:
 * :mod:`repro.staticcheck.lint` — an AST-based contract linter over the
   source tree enforcing the codebase's concurrency/buffer conventions
   (declared in-place buffer mutation, lock-guarded ``GuardStats``
-  counters, no swallowed broad excepts, no sleeps under a lock, no
-  shared-memory segments created outside the registry helper) with
-  ruff-style output and a regression baseline.
+  counters, no swallowed broad excepts, no sleeps or unbounded waits
+  under a lock, no shared-memory segments created outside the registry
+  helper) with ruff-style output and a regression baseline that warns
+  on stale entries.
+* :mod:`repro.staticcheck.ir` — the unified plan IR: every concurrent
+  schedule the repo produces (kernel plans, batch layouts, shard plans,
+  streaming swaps, prospective fused stages) lowers to one
+  stage/buffer/interval representation audited by a single engine.
+* :mod:`repro.staticcheck.hb` — happens-before race analysis over the
+  IR: builds the HB graph from lane order, explicit edges, and
+  commit-marker coverage, then reports HB-unordered conflicting
+  accesses (HZ-R4xx).
+* :mod:`repro.staticcheck.locks` — whole-tree lock-order and
+  blocking-call analysis (SC7xx): an interprocedural lock acquisition
+  graph with deadlock-cycle detection, plus local checks for blocking
+  calls under a lock and ``Condition.wait`` outside a predicate loop.
+* :mod:`repro.staticcheck.witness` — the test-only dynamic lock-witness
+  recorder that cross-checks observed acquisition orders against the
+  static graph (SC704/SC705).
 
-All three are surfaced as ``repro check {artifact,plan,code}`` in the
-CLI and run as the required ``staticcheck`` CI job.
+These are surfaced as ``repro check {artifact,plan,code,concurrency}``
+in the CLI and run as the required ``staticcheck`` and
+``concurrency-check`` CI jobs.
 """
 
 from repro.staticcheck.artifact import audit_archive, audit_arrays, audit_cbm
@@ -40,16 +57,54 @@ from repro.staticcheck.hazards import (
     analyze_schedule,
     analyze_shard_plan,
 )
-from repro.staticcheck.lint import lint_paths, lint_source, load_baseline
+from repro.staticcheck.hb import HBGraph, analyze_hb
+from repro.staticcheck.ir import (
+    Access,
+    Buffer,
+    FusedStage,
+    PlanIR,
+    SpanPolicy,
+    Stage,
+    analyze_ir,
+    lower_batch_layout,
+    lower_kernel_plan,
+    lower_shard_plan,
+    lower_stream_swap,
+)
+from repro.staticcheck.lint import (
+    lint_paths,
+    lint_paths_with_baseline,
+    lint_source,
+    load_baseline,
+)
+from repro.staticcheck.locks import LockGraph, analyze_locks, scan_locks
 from repro.staticcheck.report import AuditReport, Finding, Severity
+from repro.staticcheck.witness import (
+    LockWitness,
+    cross_check,
+    instrument,
+    witness_service,
+)
 
 __all__ = [
+    "Access",
     "AuditReport",
+    "Buffer",
     "Finding",
+    "FusedStage",
+    "HBGraph",
+    "LockGraph",
+    "LockWitness",
+    "PlanIR",
     "Severity",
+    "SpanPolicy",
+    "Stage",
     "analyze_batch_layout",
     "analyze_branches",
+    "analyze_hb",
+    "analyze_ir",
     "analyze_level_schedule",
+    "analyze_locks",
     "analyze_plan",
     "analyze_pool",
     "analyze_schedule",
@@ -57,7 +112,16 @@ __all__ = [
     "audit_archive",
     "audit_arrays",
     "audit_cbm",
+    "cross_check",
+    "instrument",
     "lint_paths",
+    "lint_paths_with_baseline",
     "lint_source",
     "load_baseline",
+    "lower_batch_layout",
+    "lower_kernel_plan",
+    "lower_shard_plan",
+    "lower_stream_swap",
+    "scan_locks",
+    "witness_service",
 ]

@@ -388,18 +388,35 @@ def analyze_batch_layout(layout, *, subject: str = "batch-layout") -> AuditRepor
 
     The micro-batching stage packs several requests' operands into one
     stacked buffer and splits the product back by column span; the
-    layout is the static contract the split step relies on.  Detects:
+    layout is the static contract the split step relies on.  Lowers the
+    layout through the unified plan IR (:mod:`repro.staticcheck.ir`) and
+    runs the single span engine, which detects:
 
-    * **cross-member aliasing** — two member spans overlapping, so one
-      output column would be handed to two requesters (the stacked-operand
-      form of the Property 3 violation the pool detector catches);
-    * **out-of-bounds spans** — a member span outside the stacked
-      buffer's ``total_columns``;
-    * **uninitialised gaps** — columns between member spans that no one
-      owns: they are neither written by a member nor zero-filled as
-      trailing padding, so recycled pool garbage would feed the kernel;
-    * **non-positive widths** — a zero- or negative-width member, which
-      would silently resolve to an empty (or aliasing) output slice.
+    * **HZ-X001, cross-member aliasing** — two member spans overlapping,
+      so one output column would be handed to two requesters (the
+      stacked-operand form of the Property 3 violation the pool detector
+      catches);
+    * **HZ-X002, out-of-bounds spans** — a member span outside the
+      stacked buffer's ``total_columns``;
+    * **HZ-X003, uninitialised gaps** — columns between member spans
+      that no one owns: they are neither written by a member nor
+      zero-filled as trailing padding, so recycled pool garbage would
+      feed the kernel;
+    * **HZ-X004, non-positive widths** — a zero- or negative-width
+      member, which would silently resolve to an empty (or aliasing)
+      output slice.
+    """
+    from repro.staticcheck.ir import analyze_ir, lower_batch_layout
+
+    return analyze_ir(lower_batch_layout(layout, subject=subject))
+
+
+def _legacy_analyze_batch_layout(layout, *, subject: str = "batch-layout") -> AuditReport:
+    """Pre-IR implementation, kept as the migration-equivalence oracle.
+
+    The property suite lowers random layouts through both this and the
+    IR engine and requires identical verdicts; new rules belong in the
+    engine, not here.
     """
     report = AuditReport(subject=subject)
     spans = sorted(layout.spans())
@@ -480,8 +497,11 @@ def analyze_shard_plan(
 
     Pass a :class:`~repro.parallel.shard.ShardedPlan` (its bounds and
     shared-memory layout are audited directly) or the raw pieces.
-    Detects — codes HZ-S1xx, because HZ-S001..S003 were already claimed
-    by the schedule-accounting checks above:
+    Lowers the plan through the unified IR (:mod:`repro.staticcheck.ir`)
+    — per-shard worker lanes with write-then-commit stage pairs, plus a
+    byte-addressed buffer per shared-memory segment — and runs the
+    single engine.  Detects — codes HZ-S1xx, because HZ-S001..S003 were
+    already claimed by the schedule-accounting checks above:
 
     * **HZ-S101, coverage gap** — a row belonging to no shard: its output
       slice would be served stale (or uninitialised) every execution;
@@ -491,7 +511,33 @@ def analyze_shard_plan(
     * **HZ-S103, shared-memory aliasing** — two packed operand arrays
       (or an operand and the status/staging block) overlapping inside a
       segment: one worker's input bytes would be another's scratch,
-      Property 3's no-extra-memory accounting silently broken.
+      Property 3's no-extra-memory accounting silently broken;
+    * **HZ-R403, torn commit** — a worker's EPOCH/CRC board commit not
+      ordered after its slice write (commit-LAST protocol broken), via
+      the happens-before layer.
+    """
+    from repro.staticcheck.ir import analyze_ir, lower_shard_plan
+
+    return analyze_ir(
+        lower_shard_plan(
+            plan, bounds=bounds, n_rows=n_rows, layout=layout, subject=subject
+        )
+    )
+
+
+def _legacy_analyze_shard_plan(
+    plan=None,
+    *,
+    bounds=None,
+    n_rows: int | None = None,
+    layout=None,
+    subject: str = "shard-plan",
+) -> AuditReport:
+    """Pre-IR implementation, kept as the migration-equivalence oracle.
+
+    The property suite audits random bounds/layouts through both this
+    and the IR engine and requires identical verdicts on the shared
+    domain; new rules belong in the engine, not here.
     """
     if plan is not None:
         bounds = plan.bounds
@@ -596,12 +642,18 @@ def analyze_plan(
     stacked-operand column map alongside the plan (the batched-serving
     schedule: one plan execution, many requesters).
     """
+    from repro.staticcheck.ir import analyze_ir, lower_kernel_plan
+
     name = subject if subject is not None else f"plan({plan.variant.value},{plan.update})"
     report = AuditReport(subject=name)
     report.merge(analyze_branches(plan.branches, plan._parent, subject=name))
     report.merge(
         analyze_level_schedule(plan.level_pairs, n_rows=plan.shape[0], subject=name)
     )
+    # Happens-before view of the same plan: branch lanes barriered after
+    # the multiply, joined before the finalise stage.  Subsumes the
+    # shares_memory-style aliasing argument (HZ-R401/R402 on conflicts).
+    report.merge(analyze_ir(lower_kernel_plan(plan, subject=name)))
     report.merge(analyze_pool(plan.pool, subject=name))
     if watchdog:
         report.merge(

@@ -27,9 +27,15 @@ The PR2/PR3 layers rely on conventions no general-purpose linter knows:
     contract (PR2) makes callers responsible for buffers a callee may
     half-write; an undeclared mutator breaks that audit trail.
 ``SC401``
-    ``time.sleep`` (or bare ``sleep``) lexically inside a ``with`` block
-    whose context manager mentions a lock.  Sleeping while holding the
-    service lock stalls every other request on the instance.
+    Blocking lexically inside a ``with`` block whose context manager
+    mentions a lock: ``time.sleep`` (or bare ``sleep``), a zero-argument
+    ``queue.get()``, or a zero-argument ``.wait()`` (``Event.wait`` with
+    no timeout).  Sleeping stalls every other holder for the full sleep;
+    the unbounded forms are worse — the lock is held until a *peer*
+    acts, which under contention is the lock-convoy/deadlock shape the
+    SC7xx pass (:mod:`repro.staticcheck.locks`) hunts interprocedurally.
+    Receivers whose name mentions ``cond`` are exempt from the ``.wait``
+    form: a condition wait *releases* the lock it wraps.
 ``SC501``
     Non-atomic persistent-artifact write outside :mod:`repro.recovery`:
     a direct ``np.savez``/``np.savez_compressed`` whose destination is
@@ -269,6 +275,29 @@ class _ContractVisitor(ast.NodeVisitor):
                 "blocking sleep while holding a lock — every other holder "
                 "stalls for the full sleep",
             )
+        if self._lock_depth > 0 and not node.args and not node.keywords:
+            if isinstance(func, ast.Attribute) and func.attr == "get":
+                # dict.get takes a key, so a zero-argument .get() is the
+                # queue form — an unbounded wait for a producer.
+                self._emit(
+                    "SC401",
+                    node.lineno,
+                    "queue.get() with no timeout while holding a lock — the "
+                    "lock is held until a producer shows up; every other "
+                    "holder stalls unboundedly",
+                )
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "wait"
+                and not self._condition_receiver(func.value)
+            ):
+                self._emit(
+                    "SC401",
+                    node.lineno,
+                    ".wait() with no timeout while holding a lock — the lock "
+                    "is held until a peer sets the event; every other holder "
+                    "stalls unboundedly",
+                )
         self._check_persistent_write(node)
         # -- SC601: shared-memory segment created outside the registry --
         is_shm_ctor = (
@@ -381,6 +410,24 @@ class _ContractVisitor(ast.NodeVisitor):
             self._lock_depth -= 1
 
     @staticmethod
+    def _condition_receiver(expr: ast.expr) -> bool:
+        """Whether ``expr`` names a condition variable (``cond`` in name).
+
+        ``Condition.wait`` releases the lock it wraps, so waiting on a
+        held condition is the predicate-loop idiom, not a stall (the
+        SC703 rule in :mod:`repro.staticcheck.locks` audits that idiom).
+        """
+        for n in ast.walk(expr):
+            name = None
+            if isinstance(n, ast.Name):
+                name = n.id
+            elif isinstance(n, ast.Attribute):
+                name = n.attr
+            if name is not None and "cond" in name.lower():
+                return True
+        return False
+
+    @staticmethod
     def _mentions_lock(expr: ast.expr) -> bool:
         for n in ast.walk(expr):
             name = None
@@ -430,18 +477,37 @@ def lint_paths(paths, *, baseline: set[str] | None = None, root=None) -> list[Fi
     ``root`` (default: current directory) relativises the paths used in
     rendered findings so baseline entries are machine-independent.
     """
+    findings, _stale = lint_paths_with_baseline(
+        paths, baseline=baseline or set(), root=root
+    )
+    return findings
+
+
+def lint_paths_with_baseline(
+    paths, *, baseline: set[str], root=None
+) -> tuple[list[Finding], set[str]]:
+    """Lint and report baseline hygiene: ``(new findings, stale entries)``.
+
+    A *stale* baseline entry matched no finding this run — the suppressed
+    bug was fixed (or the code moved) and the suppression outlived it.
+    Stale entries must be pruned, otherwise the baseline silently grows
+    into a graveyard that can mask a *new* finding landing on the same
+    rendered line; ``repro check code --strict-baseline`` fails on them.
+    """
     root = Path(root) if root is not None else Path.cwd()
     findings: list[Finding] = []
+    used: set[str] = set()
     for file in iter_python_files(paths):
         try:
             rel = str(file.resolve().relative_to(root.resolve()))
         except ValueError:
             rel = str(file)
-        found = lint_source(file.read_text(encoding="utf-8"), rel)
-        if baseline:
-            found = [f for f in found if f.render() not in baseline]
-        findings.extend(found)
-    return findings
+        for f in lint_source(file.read_text(encoding="utf-8"), rel):
+            if f.render() in baseline:
+                used.add(f.render())
+            else:
+                findings.append(f)
+    return findings, set(baseline) - used
 
 
 def load_baseline(path) -> set[str]:

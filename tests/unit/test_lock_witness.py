@@ -1,0 +1,177 @@
+"""Unit tests for the dynamic lock-witness recorder (SC704/SC705).
+
+Covers the witness mechanics (per-thread ordering, inversion
+detection), object instrumentation (locks, RLocks, conditions,
+idempotence), the cross-check against a static graph, and the
+end-to-end acceptance: a live miniature serving workload must exhibit
+no acquisition order the static SC7xx graph failed to predict.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.staticcheck import LockWitness, cross_check, instrument
+from repro.staticcheck.locks import scan_lock_source
+from repro.staticcheck.witness import WitnessedCondition, WitnessedLock
+
+from tests.conftest import random_adjacency_csr
+
+
+class TestLockWitness:
+    def test_nested_acquisition_records_edge(self):
+        w = LockWitness()
+        w.on_acquire("A")
+        w.on_acquire("B")
+        w.on_release("B")
+        w.on_release("A")
+        assert w.edges == {("A", "B"): 1}
+        assert w.acquisitions == {"A": 1, "B": 1}
+
+    def test_sequential_acquisitions_record_no_edge(self):
+        w = LockWitness()
+        w.on_acquire("A")
+        w.on_release("A")
+        w.on_acquire("B")
+        w.on_release("B")
+        assert w.edges == {}
+
+    def test_inversions_require_both_directions(self):
+        w = LockWitness()
+        w.on_acquire("A"); w.on_acquire("B")
+        w.on_release("B"); w.on_release("A")
+        assert w.inversions() == []
+        w.on_acquire("B"); w.on_acquire("A")
+        w.on_release("A"); w.on_release("B")
+        assert w.inversions() == [("A", "B")]
+
+    def test_per_thread_stacks_do_not_cross(self):
+        w = LockWitness()
+        w.on_acquire("A")
+        seen = {}
+
+        def other():
+            w.on_acquire("B")
+            seen["edges"] = dict(w.edges)
+            w.on_release("B")
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        w.on_release("A")
+        # thread 2 held nothing of its own when it took B
+        assert seen["edges"] == {}
+
+
+class TestInstrument:
+    class _Thing:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._r_lock = threading.RLock()
+            self._cond = threading.Condition()
+            self.data = 0
+
+    def test_wraps_locks_rlocks_and_conditions(self):
+        obj = self._Thing()
+        w = LockWitness()
+        wrapped = instrument(obj, w)
+        assert sorted(wrapped) == ["_Thing._cond", "_Thing._lock", "_Thing._r_lock"]
+        assert isinstance(obj._lock, WitnessedLock)
+        assert isinstance(obj._cond, WitnessedCondition)
+
+    def test_instrument_is_idempotent(self):
+        obj = self._Thing()
+        w = LockWitness()
+        instrument(obj, w)
+        assert instrument(obj, w) == []
+
+    def test_proxies_still_lock(self):
+        obj = self._Thing()
+        w = LockWitness()
+        instrument(obj, w)
+        with obj._lock:
+            assert obj._lock.locked()
+            with obj._r_lock:
+                pass
+        assert w.edges == {("_Thing._lock", "_Thing._r_lock"): 1}
+
+    def test_condition_proxy_wait_notify(self):
+        obj = self._Thing()
+        w = LockWitness()
+        instrument(obj, w)
+        done = []
+
+        def waiter():
+            with obj._cond:
+                while not done:
+                    obj._cond.wait(timeout=5.0)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        with obj._cond:
+            done.append(1)
+            obj._cond.notify_all()
+        t.join(5.0)
+        assert not t.is_alive()
+        assert w.acquisitions["_Thing._cond"] >= 2
+
+
+class TestCrossCheck:
+    _GRAPH_SRC = (
+        "import threading\n"
+        "class S:\n"
+        "    def __init__(self):\n"
+        "        self._a_lock = threading.Lock()\n"
+        "        self._b_lock = threading.Lock()\n"
+        "    def f(self):\n"
+        "        with self._a_lock:\n"
+        "            with self._b_lock:\n"
+        "                pass\n"
+    )
+
+    def test_predicted_edge_passes(self):
+        graph = scan_lock_source(self._GRAPH_SRC).graph
+        w = LockWitness()
+        w.on_acquire("S._a_lock"); w.on_acquire("S._b_lock")
+        w.on_release("S._b_lock"); w.on_release("S._a_lock")
+        rep = cross_check(w, graph)
+        assert rep.ok
+        assert rep.checks["witness.predicted"] is True
+
+    def test_unpredicted_edge_is_sc704_warning(self):
+        graph = scan_lock_source(self._GRAPH_SRC).graph
+        w = LockWitness()
+        w.on_acquire("S._b_lock"); w.on_acquire("S._ghost_lock")
+        w.on_release("S._ghost_lock"); w.on_release("S._b_lock")
+        rep = cross_check(w, graph)
+        assert rep.has("SC704")
+        assert [f.code for f in rep.warnings] == ["SC704"]
+        assert rep.checks["witness.predicted"] is False
+
+    def test_witnessed_inversion_is_sc705_error(self):
+        graph = scan_lock_source(self._GRAPH_SRC).graph
+        w = LockWitness()
+        w.on_acquire("S._a_lock"); w.on_acquire("S._b_lock")
+        w.on_release("S._b_lock"); w.on_release("S._a_lock")
+        w.on_acquire("S._b_lock"); w.on_acquire("S._a_lock")
+        w.on_release("S._a_lock"); w.on_release("S._b_lock")
+        rep = cross_check(w, graph)
+        assert rep.has("SC705")
+        assert rep.checks["witness.acyclic"] is False
+
+
+class TestServiceWitnessAcceptance:
+    def test_live_serving_workload_matches_static_graph(self):
+        """Tentpole acceptance: no witnessed edge escapes the SC7xx graph."""
+        import pathlib
+
+        from repro.cli import _witness_exercise
+        from repro.staticcheck import analyze_locks
+
+        root = pathlib.Path(__file__).resolve().parents[2]
+        _, graph = analyze_locks([root / "src" / "repro"], root=root)
+        a = random_adjacency_csr(60, density=0.15, seed=11)
+        witness = _witness_exercise(a, alpha=2, seed=11)
+        assert sum(witness.acquisitions.values()) > 0
+        rep = cross_check(witness, graph)
+        assert rep.ok, rep.render()

@@ -1,0 +1,262 @@
+"""Unit tests for the lock-order / blocking-call analysis (SC7xx).
+
+Each test feeds a small synthetic module through ``scan_lock_source``
+and asserts on the findings and the acquisition graph — deadlock cycles
+(SC701), blocking calls under a lock (SC702), ``Condition.wait``
+outside a predicate loop (SC703) — plus the interprocedural call
+resolution paths (self-methods, module functions, typed helper
+attributes, condition aliasing) and the repo-level acceptance that the
+shipped tree is SC7xx-clean.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.staticcheck import analyze_locks
+from repro.staticcheck.locks import scan_lock_source
+
+
+def _codes(scan):
+    return sorted(f.code for f in scan.findings)
+
+
+class TestLockOrderCycles:
+    def test_ab_ba_module_locks(self):
+        src = (
+            "import threading\n"
+            "a_lock = threading.Lock()\n"
+            "b_lock = threading.Lock()\n"
+            "def fwd():\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+            "def bwd():\n"
+            "    with b_lock:\n"
+            "        with a_lock:\n"
+            "            pass\n"
+        )
+        scan = scan_lock_source(src)
+        assert "SC701" in _codes(scan)
+        assert scan.graph.cycles()
+
+    def test_consistent_order_is_clean(self):
+        src = (
+            "import threading\n"
+            "a_lock = threading.Lock()\n"
+            "b_lock = threading.Lock()\n"
+            "def one():\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+            "def two():\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+        )
+        scan = scan_lock_source(src)
+        assert _codes(scan) == []
+        assert not scan.graph.cycles()
+
+    def test_cycle_through_a_call_chain(self):
+        # fwd takes A then calls helper (which takes B); bwd takes B then
+        # calls other (which takes A): the cycle only exists
+        # interprocedurally.
+        src = (
+            "import threading\n"
+            "a_lock = threading.Lock()\n"
+            "b_lock = threading.Lock()\n"
+            "def helper():\n"
+            "    with b_lock:\n"
+            "        pass\n"
+            "def other():\n"
+            "    with a_lock:\n"
+            "        pass\n"
+            "def fwd():\n"
+            "    with a_lock:\n"
+            "        helper()\n"
+            "def bwd():\n"
+            "    with b_lock:\n"
+            "        other()\n"
+        )
+        scan = scan_lock_source(src)
+        assert "SC701" in _codes(scan)
+
+    def test_self_method_resolution_builds_edges(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._a_lock = threading.Lock()\n"
+            "        self._b_lock = threading.Lock()\n"
+            "    def inner(self):\n"
+            "        with self._b_lock:\n"
+            "            pass\n"
+            "    def outer(self):\n"
+            "        with self._a_lock:\n"
+            "            self.inner()\n"
+        )
+        scan = scan_lock_source(src)
+        assert scan.graph.has_edge("S._a_lock", "S._b_lock")
+        assert _codes(scan) == []
+
+    def test_typed_helper_attribute_resolution(self):
+        # self.stats = Stats(); calls through self.stats resolve to the
+        # helper class, so the lock its methods take reaches the graph —
+        # the blind spot the dynamic witness exposed (SC704).
+        src = (
+            "import threading\n"
+            "class Stats:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "class Owner:\n"
+            "    def __init__(self):\n"
+            "        self._swap_lock = threading.Lock()\n"
+            "        self.stats = Stats()\n"
+            "    def swap(self):\n"
+            "        with self._swap_lock:\n"
+            "            self.stats.bump()\n"
+        )
+        scan = scan_lock_source(src)
+        assert scan.graph.has_edge("Owner._swap_lock", "Stats._lock")
+
+    def test_condition_aliases_to_wrapped_lock(self):
+        # Condition(self._lock) is the SAME underlying lock, not a second
+        # one — with-ing both must not invent an edge or a cycle.
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._cond = threading.Condition(self._lock)\n"
+            "    def a(self):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "    def b(self):\n"
+            "        with self._cond:\n"
+            "            pass\n"
+        )
+        scan = scan_lock_source(src)
+        assert _codes(scan) == []
+        assert not scan.graph.cycles()
+
+
+class TestBlockingUnderLock:
+    def test_future_result_under_lock(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self, fut):\n"
+            "        with self._lock:\n"
+            "            return fut.result()\n"
+        )
+        assert _codes(scan_lock_source(src)) == ["SC702"]
+
+    def test_pool_submit_under_lock(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self, pool, job):\n"
+            "        with self._lock:\n"
+            "            pool.submit(job)\n"
+        )
+        assert _codes(scan_lock_source(src)) == ["SC702"]
+
+    def test_result_outside_lock_is_clean(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self, fut):\n"
+            "        with self._lock:\n"
+            "            pass\n"
+            "        return fut.result()\n"
+        )
+        assert _codes(scan_lock_source(src)) == []
+
+    def test_cond_wait_on_held_condition_is_not_a_convoy(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "    def f(self):\n"
+            "        with self._cond:\n"
+            "            while not self.ready:\n"
+            "                self._cond.wait()\n"
+        )
+        assert _codes(scan_lock_source(src)) == []
+
+    def test_pragma_suppresses_sc702(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "    def f(self, fut):\n"
+            "        with self._lock:\n"
+            "            return fut.result()  # staticcheck: ignore[SC702]\n"
+        )
+        assert _codes(scan_lock_source(src)) == []
+
+
+class TestConditionPredicateLoop:
+    def test_wait_outside_while_flagged(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "    def f(self):\n"
+            "        with self._cond:\n"
+            "            self._cond.wait()\n"
+        )
+        assert _codes(scan_lock_source(src)) == ["SC703"]
+
+    def test_wait_inside_while_is_clean(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._cond = threading.Condition()\n"
+            "    def f(self):\n"
+            "        with self._cond:\n"
+            "            while not self.ready:\n"
+            "                self._cond.wait()\n"
+        )
+        assert _codes(scan_lock_source(src)) == []
+
+
+class TestRepoAcceptance:
+    def test_shipped_tree_is_sc7xx_clean(self):
+        root = pathlib.Path(__file__).resolve().parents[2]
+        report, graph = analyze_locks([root / "src" / "repro"], root=root)
+        assert report.ok, report.render()
+        assert report.checks["locks.acyclic"] is True
+        assert report.checks["locks.nonblocking"] is True
+        assert report.checks["locks.predicate_wait"] is True
+        # the pass actually discovered the repo's locks (not a no-op)
+        assert len(graph.locks) >= 10
+
+    def test_graph_suffix_matching_for_witness_names(self):
+        src = (
+            "import threading\n"
+            "class S:\n"
+            "    def __init__(self):\n"
+            "        self._a_lock = threading.Lock()\n"
+            "        self._b_lock = threading.Lock()\n"
+            "    def f(self):\n"
+            "        with self._a_lock:\n"
+            "            with self._b_lock:\n"
+            "                pass\n"
+        )
+        graph = scan_lock_source(src).graph
+        assert graph.has_edge("S._a_lock", "S._b_lock")

@@ -342,6 +342,63 @@ class TestLintRules:
         src = "import time\ndef f(fh):\n    with fh:\n        time.sleep(1)\n"
         assert lint_source(src) == []
 
+    def test_sc401_queue_get_under_lock(self):
+        src = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        item = self._queue.get()\n"
+        )
+        assert [f.code for f in lint_source(src)] == ["SC401"]
+
+    def test_sc401_queue_get_with_timeout_ok(self):
+        src = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        item = self._queue.get(timeout=1.0)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sc401_queue_get_outside_lock_ok(self):
+        src = "def f(self):\n    return self._queue.get()\n"
+        assert lint_source(src) == []
+
+    def test_sc401_dict_get_with_key_ok(self):
+        # dict.get(key) takes arguments; only the zero-arg blocking form
+        # of queue.get() is flagged.
+        src = (
+            "def f(self, key):\n"
+            "    with self._lock:\n"
+            "        return self._cache.get(key)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sc401_event_wait_under_lock(self):
+        src = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        self._ready.wait()\n"
+        )
+        assert [f.code for f in lint_source(src)] == ["SC401"]
+
+    def test_sc401_event_wait_with_timeout_ok(self):
+        src = (
+            "def f(self):\n"
+            "    with self._lock:\n"
+            "        self._ready.wait(2.0)\n"
+        )
+        assert lint_source(src) == []
+
+    def test_sc401_condition_wait_exempt(self):
+        # cond.wait() releases the condition's own lock while blocked —
+        # the idiom, not a convoy.
+        src = (
+            "def f(self):\n"
+            "    with self._cond:\n"
+            "        while not self._done:\n"
+            "            self._cond.wait()\n"
+        )
+        assert lint_source(src) == []
+
     def test_sc501_bare_savez(self):
         src = "import numpy as np\ndef f(path, arrays):\n    np.savez(path, **arrays)\n"
         assert [f.code for f in lint_source(src)] == ["SC501"]
@@ -438,6 +495,40 @@ class TestLintPathsAndBaseline:
     def test_load_missing_baseline_is_empty(self, tmp_path):
         assert load_baseline(tmp_path / "nope") == set()
 
+    def test_stale_baseline_entries_reported(self, tmp_path):
+        from repro.staticcheck import lint_paths_with_baseline
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(c):\n    c[0] += 1\n")
+        (findings,) = [lint_paths([tmp_path], root=tmp_path)]
+        live = findings[0].render()
+        baseline = {live, "gone.py:3: SC301 ancient suppressed finding"}
+        filtered, stale = lint_paths_with_baseline(
+            [tmp_path], baseline=baseline, root=tmp_path
+        )
+        assert filtered == []
+        assert stale == {"gone.py:3: SC301 ancient suppressed finding"}
+
+    def test_fully_used_baseline_has_no_stale(self, tmp_path):
+        from repro.staticcheck import lint_paths_with_baseline
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(c):\n    c[0] += 1\n")
+        findings = lint_paths([tmp_path], root=tmp_path)
+        filtered, stale = lint_paths_with_baseline(
+            [tmp_path], baseline={findings[0].render()}, root=tmp_path
+        )
+        assert filtered == [] and stale == set()
+
+    def test_clean_tree_with_empty_baseline_no_stale(self, tmp_path):
+        from repro.staticcheck import lint_paths_with_baseline
+
+        good = tmp_path / "good.py"
+        good.write_text("def f():\n    return 1\n")
+        filtered, stale = lint_paths_with_baseline([tmp_path], baseline=set(),
+                                                   root=tmp_path)
+        assert filtered == [] and stale == set()
+
     def test_repo_source_tree_is_clean(self):
         """Satellite acceptance: zero contract findings on the final tree."""
         import pathlib
@@ -484,3 +575,82 @@ class TestCheckCli:
 
         assert main(["check", "artifact", "Cora", "-a", "2"]) == 0
         assert "clean" in capsys.readouterr().out
+
+    def test_check_code_stale_baseline_warns_by_default(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = tmp_path / "good.py"
+        good.write_text("def f():\n    return 1\n")
+        stale = tmp_path / ".baseline"
+        stale.write_text("gone.py:1: SC301 long-fixed finding\n")
+        assert main(["check", "code", str(good), "--baseline", str(stale)]) == 0
+        out = capsys.readouterr().out
+        assert "stale baseline entry" in out
+
+    def test_check_code_strict_baseline_fails_on_stale(self, tmp_path, capsys):
+        from repro.cli import main
+
+        good = tmp_path / "good.py"
+        good.write_text("def f():\n    return 1\n")
+        stale = tmp_path / ".baseline"
+        stale.write_text("gone.py:1: SC301 long-fixed finding\n")
+        assert main(
+            ["check", "code", str(good), "--baseline", str(stale),
+             "--strict-baseline"]
+        ) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_check_code_json_report(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def f(c):\n    c[0] += 1\n")
+        out = tmp_path / "lint.json"
+        assert main(
+            ["check", "code", str(bad), "--baseline", "", "--json", str(out)]
+        ) == 1
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is False
+        assert payload["findings"][0]["code"] == "SC301"
+        assert payload["stale_baseline"] == []
+
+    def test_check_concurrency_clean_on_dataset(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        out = tmp_path / "conc.json"
+        assert main(
+            ["check", "concurrency", "Cora", "-a", "2", "--shards", "2",
+             "--json", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["ok"] is True
+        subjects = [r["subject"] for r in payload["reports"]]
+        assert "stream-swap" in subjects and "lock-order" in subjects
+        assert any("batch-layout" in s for s in subjects)
+        assert any("shards=2" in s for s in subjects)
+
+    def test_check_concurrency_fails_on_seeded_deadlock(self, tmp_path, capsys):
+        from repro.cli import main
+
+        seeded = tmp_path / "ab_ba.py"
+        seeded.write_text(
+            "import threading\n"
+            "a_lock = threading.Lock()\n"
+            "b_lock = threading.Lock()\n"
+            "def fwd():\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+            "def bwd():\n"
+            "    with b_lock:\n"
+            "        with a_lock:\n"
+            "            pass\n"
+        )
+        assert main(
+            ["check", "concurrency", "Cora", "--paths", str(tmp_path)]
+        ) == 1
+        assert "SC701" in capsys.readouterr().out
