@@ -1,0 +1,65 @@
+"""Adaptive format selection: never slower than the best static format.
+
+The paper's compression wins are structural — clique-heavy graphs
+compress 5×+, while low-similarity or chain-structured graphs leave CBM
+at or behind CSR (its own Table II shows ratios as low as 1.04).  A
+production service cannot pick one format at deploy time and hope; this
+package makes the choice *per degree-aware row block, from measured
+machine constants, continuously revalidated under traffic*:
+
+* :mod:`~repro.autotune.cost` — a calibrated cost model pricing CBM vs
+  CSR per block from the paper's scalar-op counts, a cache-model
+  roofline, and the two measured constants op counts cannot see
+  (gather-add rate, per-level dispatch overhead);
+* :mod:`~repro.autotune.router` — block decisions with hysteresis, a
+  collapse rule for single-format graphs, and a JSON-safe block map
+  committed alongside each generation;
+* :mod:`~repro.autotune.hybrid` — the :class:`HybridPlan` executor
+  (per-block rectangular CBMs + compiled CSR row slices stitched into
+  one output) and the :class:`TuneStats` misprediction ring;
+* :mod:`~repro.autotune.tune` — the calibrate → route → race-candidates
+  entry point whose measured winner *is* the never-slower guarantee;
+* :mod:`~repro.autotune.watchdog` — the background :class:`Retuner`
+  publishing re-tuned plans through the generation store + hot swap;
+* :mod:`~repro.autotune.chaos` / :mod:`~repro.autotune.soak` — seeded
+  lying-cost-model and format-flipping mutation injectors, and the
+  tune-soak proving bitwise-correct serving through all of it.
+"""
+
+from repro.autotune.chaos import TuneChaos
+from repro.autotune.cost import BlockCost, CostModel, block_costs
+from repro.autotune.hybrid import (
+    HybridAdjacency,
+    HybridPlan,
+    TuneStats,
+    WatchdogPolicy,
+)
+from repro.autotune.router import (
+    BlockDecision,
+    FormatRouter,
+    RouterPolicy,
+    TuneDecision,
+)
+from repro.autotune.soak import run_tune_soak
+from repro.autotune.tune import TuneReport, build_hybrid, tune
+from repro.autotune.watchdog import Retuner
+
+__all__ = [
+    "BlockCost",
+    "BlockDecision",
+    "CostModel",
+    "FormatRouter",
+    "HybridAdjacency",
+    "HybridPlan",
+    "Retuner",
+    "RouterPolicy",
+    "TuneChaos",
+    "TuneDecision",
+    "TuneReport",
+    "TuneStats",
+    "WatchdogPolicy",
+    "block_costs",
+    "build_hybrid",
+    "run_tune_soak",
+    "tune",
+]

@@ -1,0 +1,131 @@
+"""Seeded chaos for the autotuner: lying cost models, format-flipping edits.
+
+Two attack surfaces, both deterministic under a seed so soak failures
+replay exactly:
+
+* :meth:`TuneChaos.wrap` hands the router a cost model that prices one
+  format ``lie_factor``× *too fast* — the router confidently routes to
+  the mispriced format, and the served plan's predictions are optimistic
+  by ~``lie_factor``.  That optimism is precisely the watchdog's signal:
+  measured ≫ predicted fills the :class:`~repro.autotune.hybrid.TuneStats`
+  ring until the re-tune trigger fires.  The lie expires after
+  ``lie_tunes`` tunes, so the recovery re-tune is honest.
+* :meth:`TuneChaos.clique_batch` / :meth:`TuneChaos.scatter_batch` build
+  adversarial :class:`~repro.streaming.mutable.EdgeBatch` mutations that
+  flip a row window's best format mid-traffic: a clique makes the rows
+  near-identical (CBM-friendly — deltas collapse), a random scatter
+  destroys row similarity (CSR-friendly — every row becomes a root).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autotune.cost import CostModel
+from repro.sparse.csr import CSRMatrix
+from repro.streaming.mutable import EdgeBatch
+from repro.utils.validation import check_positive
+
+__all__ = ["TuneChaos"]
+
+
+class TuneChaos:
+    """Deterministic fault injector for format tuning."""
+
+    def __init__(
+        self,
+        seed: int,
+        *,
+        lie_factor: float = 8.0,
+        lie_tunes: int = 1,
+        victim: str | None = None,
+    ):
+        if lie_factor <= 1.0:
+            raise ValueError(f"lie_factor must exceed 1.0, got {lie_factor}")
+        if lie_tunes < 0:
+            raise ValueError(f"lie_tunes must be non-negative, got {lie_tunes}")
+        if victim not in (None, "csr", "cbm"):
+            raise ValueError(f"victim must be 'csr', 'cbm' or None, got {victim!r}")
+        self.seed = int(seed)
+        self.lie_factor = float(lie_factor)
+        self.lie_tunes = int(lie_tunes)
+        self.victim = victim
+        self._rng = np.random.default_rng(seed)
+        self._tunes_seen = 0
+        self.log: list[dict] = []
+
+    # ------------------------------------------------------------------
+    def wrap(self, model: CostModel) -> CostModel:
+        """Possibly-lying view of ``model``; honest once the lies expire."""
+        index = self._tunes_seen
+        self._tunes_seen += 1
+        if index >= self.lie_tunes:
+            self.log.append({"tune": index, "lie": None})
+            return model
+        # Price the victim lie_factor× too FAST: the router routes to it
+        # and the served plan's predictions are optimistic by the same
+        # factor — the residual the misprediction watchdog must catch.
+        victim = self.victim or ("csr" if self._rng.random() < 0.5 else "cbm")
+        optimistic = 1.0 / self.lie_factor
+        scaled = (
+            model.scaled(csr=optimistic)
+            if victim == "csr"
+            else model.scaled(cbm=optimistic)
+        )
+        self.log.append({"tune": index, "lie": victim, "factor": self.lie_factor})
+        return scaled
+
+    @property
+    def lying(self) -> bool:
+        return self._tunes_seen < self.lie_tunes
+
+    # ------------------------------------------------------------------
+    def clique_batch(self, a: CSRMatrix, lo: int, hi: int, *, size: int = 12) -> EdgeBatch:
+        """Insert a clique over ``size`` rows sampled from ``[lo, hi)``.
+
+        The rows become near-identical, collapsing their pairwise delta
+        distance — a CSR-routed block's best format flips toward CBM.
+        """
+        check_positive(size, "size")
+        rows = self._sample_rows(a, lo, hi, size)
+        pairs = [
+            (int(u), int(v)) for i, u in enumerate(rows) for v in rows[i + 1:]
+        ]
+        edges = np.asarray(
+            [(u, v) for u, v in pairs] + [(v, u) for u, v in pairs], dtype=np.int64
+        )
+        return EdgeBatch(inserts=edges)
+
+    def scatter_batch(
+        self, a: CSRMatrix, lo: int, hi: int, *, edges: int = 48
+    ) -> EdgeBatch:
+        """Scatter random edges from rows in ``[lo, hi)`` to random columns.
+
+        Random endpoints destroy row similarity: patched rows' delta
+        sets grow toward their nnz, pushing the block toward CSR.
+        """
+        check_positive(edges, "edges")
+        n = a.shape[1]
+        rows = self._rng.integers(lo, hi, size=edges)
+        cols = self._rng.integers(0, n, size=edges)
+        keep = rows != cols
+        pairs = np.stack([rows[keep], cols[keep]], axis=1).astype(np.int64)
+        return EdgeBatch(inserts=pairs)
+
+    def _sample_rows(self, a: CSRMatrix, lo: int, hi: int, size: int) -> np.ndarray:
+        lo, hi = int(lo), int(hi)
+        if not 0 <= lo < hi <= a.shape[0]:
+            raise ValueError(f"row window [{lo}, {hi}) out of range for {a.shape}")
+        size = min(size, hi - lo)
+        return self._rng.choice(np.arange(lo, hi), size=size, replace=False)
+
+    def describe(self) -> dict:
+        return {
+            "seed": self.seed,
+            "lie_factor": self.lie_factor,
+            "lie_tunes": self.lie_tunes,
+            "victim": self.victim,
+            "tunes_seen": self._tunes_seen,
+            "lying": self.lying,
+            "log": list(self.log),
+        }

@@ -1,0 +1,338 @@
+"""Calibrated cost model scoring CBM vs CSR per degree-aware row block.
+
+The router's question is local: *for this contiguous row block, is the
+two-stage CBM kernel or the one-stage CSR kernel cheaper?*  The paper's
+scalar-op counts (:mod:`repro.core.opcount`) answer it up to machine
+constants; this module measures those constants once per tune on the
+actual matrix, because the two terms the op counts cannot see are
+exactly the two that decide real crossovers:
+
+* the update stage is a *gather-add*, not a multiply-add — its per-op
+  cost differs from the compiled CSR kernel's, so it is calibrated
+  separately (a two-width probe isolates it from per-level overhead);
+* each level of the schedule pays a fixed dispatch cost (fancy-index
+  setup in :func:`~repro.runtime.plan.apply_level_schedule`), so a deep
+  compression tree — a chain-structured block — can lose to CSR even
+  when its delta count looks like a win.  This is the failure mode the
+  misprediction watchdog exists to catch when the estimate is wrong
+  anyway.
+
+A :class:`~repro.parallel.cache.CacheModel` roofline bounds every
+prediction from below: no block executes faster than its working set
+streams from memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.cbm import CBMMatrix
+from repro.core.opcount import OpCount, cbm_rows_spmm_ops, csr_rows_spmm_ops
+from repro.core.tree import VIRTUAL
+from repro.parallel.cache import CacheModel, WorkingSet
+from repro.parallel.machine import XEON_GOLD_6130, MachineSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import _as_scipy
+from repro.utils.validation import check_positive
+
+__all__ = ["BlockCost", "CostModel", "block_costs"]
+
+#: Calibration floor — per-op rates below this are measurement noise on
+#: an idle probe and would make every prediction zero.
+_MIN_RATE = 1e-12
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Priced alternatives for one row block ``[lo, hi)``."""
+
+    lo: int
+    hi: int
+    nnz: int
+    delta_nnz: int
+    tree_edges: int
+    levels: int
+    csr_ops: OpCount
+    cbm_ops: OpCount
+    csr_s: float
+    cbm_s: float
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+    def to_dict(self) -> dict:
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "rows": self.rows,
+            "nnz": self.nnz,
+            "delta_nnz": self.delta_nnz,
+            "tree_edges": self.tree_edges,
+            "levels": self.levels,
+            "csr_ops": self.csr_ops.total,
+            "cbm_ops": self.cbm_ops.total,
+            "predicted_csr_s": self.csr_s,
+            "predicted_cbm_s": self.cbm_s,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Machine constants mapping scalar-op counts to seconds.
+
+    ``sec_per_op_csr`` prices compiled CSR multiply-adds (shared by the
+    CBM multiplication stage, which runs the same kernel on the delta
+    CSR); ``sec_per_op_update`` prices the level schedule's gather-adds;
+    ``sec_per_level`` is the fixed dispatch cost of one level batch;
+    ``sec_per_call`` the fixed cost of one block-kernel dispatch.
+    """
+
+    sec_per_op_csr: float
+    sec_per_op_update: float
+    sec_per_level: float
+    sec_per_call: float
+    machine: MachineSpec = XEON_GOLD_6130
+    meta: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def calibrate(
+        cls,
+        a: CSRMatrix,
+        cbm: CBMMatrix,
+        *,
+        columns: int = 32,
+        repeats: int = 3,
+        machine: MachineSpec = XEON_GOLD_6130,
+    ) -> "CostModel":
+        """Measure the four rates on the actual matrix being tuned.
+
+        The update-stage probe runs at two widths; the per-op and
+        per-level components separate because the op term is linear in
+        width while the dispatch term is constant.
+        """
+        check_positive(columns, "columns")
+        check_positive(repeats, "repeats")
+        rng = np.random.default_rng(0)
+        p1 = max(2, int(columns))
+        p2 = max(1, p1 // 2)
+        b1 = rng.standard_normal((a.shape[1], p1)).astype(np.float32)
+
+        # Probe exactly the way a hybrid CSR block executes — raw scipy
+        # product on a pre-converted handle — not through the spmm()
+        # wrapper, whose per-call validation/allocation overhead would
+        # fold into the per-op rate and swamp it on small matrices.
+        handle = _as_scipy(a)
+        t_csr = _best(lambda: handle @ b1, repeats)
+        csr_ops = csr_rows_spmm_ops(a.nnz, p1).total
+        r_csr = max(t_csr / max(csr_ops, 1), _MIN_RATE)
+
+        plan = cbm.plan(update="level", scaling="deferred")
+        edges = int(sum(len(lv) for lv, _ in plan.level_pairs))
+        levels = len(plan.level_pairs)
+
+        def _update_time(p: int) -> float:
+            c = rng.standard_normal((plan.shape[0], p)).astype(np.float32)
+            best = None
+            for _ in range(repeats):
+                work = c.copy()
+                t0 = time.perf_counter()
+                plan.apply_update(work)
+                dt = time.perf_counter() - t0
+                best = dt if best is None else min(best, dt)
+            return float(best)
+
+        if edges:
+            t1, t2 = _update_time(p1), _update_time(p2)
+            ops1 = plan.scalar_ops(p1).update_stage
+            ops2 = plan.scalar_ops(p2).update_stage
+            r_upd = (t1 - t2) / max(ops1 - ops2, 1)
+            r_upd = max(r_upd, _MIN_RATE)
+            c_level = max((t1 - ops1 * r_upd) / max(levels, 1), 0.0)
+        else:  # forest of roots: no update stage to probe
+            r_upd = 2.0 * r_csr
+            c_level = 0.0
+
+        tiny = CSRMatrix(
+            np.array([0, 1], dtype=np.int64),
+            np.array([0], dtype=np.int64),
+            np.ones(1, dtype=np.float32),
+            (1, 1),
+            check=False,
+        )
+        tiny_handle = _as_scipy(tiny)
+        tiny_b = np.ones((1, 1), dtype=np.float32)
+        c_call = _best(lambda: tiny_handle @ tiny_b, max(repeats, 5))
+
+        return cls(
+            sec_per_op_csr=r_csr,
+            sec_per_op_update=r_upd,
+            sec_per_level=c_level,
+            sec_per_call=c_call,
+            machine=machine,
+            meta={
+                "columns": p1,
+                "repeats": repeats,
+                "probe_csr_s": t_csr,
+                "probe_levels": levels,
+                "probe_tree_edges": edges,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def _floor(self, sparse_bytes: int, rows: int, n_cols: int, p: int) -> float:
+        dense = 4 * (rows + n_cols) * max(p, 1)
+        ws = WorkingSet(sparse_bytes=max(int(sparse_bytes), 0), dense_bytes=int(dense))
+        return CacheModel(self.machine).bandwidth_time(ws, cores_used=1)
+
+    def predict_csr(self, nnz: int, p: int, *, rows: int = 0, n_cols: int = 0) -> float:
+        """Predicted seconds for a CSR block SpMM at width ``p``."""
+        ops = csr_rows_spmm_ops(nnz, p)
+        t = ops.total * self.sec_per_op_csr + self.sec_per_call
+        return max(t, self._floor(8 * nnz + 4 * (rows + 1), rows, n_cols, p))
+
+    def predict_cbm(
+        self,
+        delta_nnz: int,
+        tree_edges: int,
+        levels: int,
+        p: int,
+        *,
+        variant: str = "A",
+        rows: int = 0,
+        n_cols: int = 0,
+    ) -> float:
+        """Predicted seconds for a CBM block (multiply + update) at width ``p``."""
+        ops = cbm_rows_spmm_ops(delta_nnz, tree_edges, p, variant=variant)
+        t = (
+            ops.multiply_stage * self.sec_per_op_csr
+            + ops.update_stage * self.sec_per_op_update
+            + levels * self.sec_per_level
+            + self.sec_per_call
+        )
+        floor = self._floor(
+            8 * delta_nnz + 4 * (rows + 1) + 8 * tree_edges, rows, n_cols, p
+        )
+        return max(t, floor)
+
+    def scaled(self, *, csr: float = 1.0, cbm: float = 1.0) -> "CostModel":
+        """A copy with per-format rates scaled — the chaos injector's lever."""
+        return replace(
+            self,
+            sec_per_op_csr=self.sec_per_op_csr * csr,
+            sec_per_op_update=self.sec_per_op_update * cbm,
+            sec_per_level=self.sec_per_level * cbm,
+            meta={**self.meta, "scaled": {"csr": csr, "cbm": cbm}},
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "sec_per_op_csr": self.sec_per_op_csr,
+            "sec_per_op_update": self.sec_per_op_update,
+            "sec_per_level": self.sec_per_level,
+            "sec_per_call": self.sec_per_call,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CostModel":
+        """Rebuild a model persisted in a generation's ``autotune`` meta."""
+        return cls(
+            sec_per_op_csr=float(d["sec_per_op_csr"]),
+            sec_per_op_update=float(d["sec_per_op_update"]),
+            sec_per_level=float(d["sec_per_level"]),
+            sec_per_call=float(d["sec_per_call"]),
+            meta=dict(d.get("meta", {})),
+        )
+
+
+def _best(fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return float(best)
+
+
+# ---------------------------------------------------------------------------
+# Per-block pricing from the global compression tree
+# ---------------------------------------------------------------------------
+
+def block_costs(
+    a: CSRMatrix,
+    cbm: CBMMatrix,
+    bounds: list[tuple[int, int]],
+    columns: int,
+    model: CostModel,
+) -> list[BlockCost]:
+    """Price CBM-vs-CSR for every block without building block trees.
+
+    A block executed standalone keeps only the parent links that stay
+    inside it; a row whose parent falls outside becomes a root and its
+    delta set grows to its full nnz (the same restriction
+    :class:`~repro.parallel.shard.ShardedPlan` applies physically).
+    This estimate is conservative for CBM — ``build_cbm`` on the slice
+    may find a better tree — which is the safe direction for a router
+    whose mispredictions the watchdog must catch.
+    """
+    check_positive(columns, "columns")
+    n = a.shape[0]
+    parent = cbm.tree.parent
+    weight = cbm.tree.weight
+    row_nnz = a.row_nnz()
+    variant = cbm.variant.value
+
+    block_of = np.full(n, -1, dtype=np.int64)
+    for i, (lo, hi) in enumerate(bounds):
+        block_of[lo:hi] = i
+
+    has_parent = parent != VIRTUAL
+    safe_parent = np.where(has_parent, parent, 0)
+    in_block = has_parent & (block_of[safe_parent] == block_of)
+    deltas = np.where(in_block, weight, row_nnz)
+
+    # Depth of each row inside its block (0 for rows that become roots);
+    # one pass in parents-before-children order.
+    depth = np.zeros(n, dtype=np.int64)
+    for x in cbm.tree.topological_order():
+        if in_block[x]:
+            depth[x] = depth[parent[x]] + 1
+
+    out = []
+    for lo, hi in bounds:
+        lo, hi = int(lo), int(hi)
+        nnz = int(row_nnz[lo:hi].sum())
+        d_nnz = int(deltas[lo:hi].sum())
+        edges = int(in_block[lo:hi].sum())
+        levels = int(depth[lo:hi].max()) if hi > lo else 0
+        csr_ops = csr_rows_spmm_ops(nnz, columns)
+        cbm_ops = cbm_rows_spmm_ops(d_nnz, edges, columns, variant=variant)
+        out.append(
+            BlockCost(
+                lo=lo,
+                hi=hi,
+                nnz=nnz,
+                delta_nnz=d_nnz,
+                tree_edges=edges,
+                levels=levels,
+                csr_ops=csr_ops,
+                cbm_ops=cbm_ops,
+                csr_s=model.predict_csr(nnz, columns, rows=hi - lo, n_cols=a.shape[1]),
+                cbm_s=model.predict_cbm(
+                    d_nnz,
+                    edges,
+                    levels,
+                    columns,
+                    variant=variant,
+                    rows=hi - lo,
+                    n_cols=a.shape[1],
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,390 @@
+"""The hybrid CBM/CSR operator and its misprediction watchdog state.
+
+A :class:`HybridPlan` executes a :class:`~repro.autotune.router.TuneDecision`:
+every CBM-routed block gets its own rectangular block CBM (built exactly
+the way :class:`~repro.parallel.shard.ShardedPlan` builds shard trees,
+so the §V-B independence argument carries over) executed through a
+per-block :class:`~repro.runtime.plan.KernelPlan`; every CSR-routed
+block keeps a contiguous row slice of the weighted source matrix and
+runs the compiled CSR kernel.  All blocks write disjoint row spans of
+one pooled output buffer — the same stitch discipline the shard
+supervisor uses, which is what the ``lower_hybrid_plan`` static audit
+verifies.
+
+Every ``matmul`` records measured-vs-predicted seconds per block into a
+:class:`TuneStats` ring; :meth:`TuneStats.should_retune` is the bounded
+hysteresis trigger the background :class:`~repro.autotune.watchdog.Retuner`
+polls.  Predictions are affine in the operand width (op terms scale,
+dispatch terms do not), so one tuned decision prices every request width.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.cost import CostModel
+from repro.autotune.router import TuneDecision
+from repro.core.builder import build_cbm
+from repro.core.cbm import CBMMatrix, Variant
+from repro.errors import ShapeError
+from repro.runtime.buffers import WorkspacePool
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import _as_scipy
+from repro.utils.validation import check_dense, check_positive
+
+__all__ = ["HybridAdjacency", "HybridPlan", "TuneStats", "WatchdogPolicy"]
+
+
+@dataclass(frozen=True)
+class WatchdogPolicy:
+    """Bounded-hysteresis trigger for the misprediction watchdog.
+
+    A *miss* is one execution whose measured/predicted ratio exceeds
+    ``tolerance``.  The trigger fires only when the ring holds a full
+    ``window`` of samples, at least ``trigger_fraction`` of them are
+    misses, and ``cooldown_s`` has passed since the last re-tune — so a
+    single slow request (GC pause, noisy neighbour) can never force a
+    re-plan, and re-tunes cannot cascade.
+    """
+
+    window: int = 32
+    tolerance: float = 1.75
+    trigger_fraction: float = 0.5
+    cooldown_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.window, "window")
+        if self.tolerance <= 1.0:
+            raise ValueError(f"tolerance must exceed 1.0, got {self.tolerance}")
+        if not 0.0 < self.trigger_fraction <= 1.0:
+            raise ValueError(
+                f"trigger_fraction must be in (0, 1], got {self.trigger_fraction}"
+            )
+        if self.cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be non-negative, got {self.cooldown_s}")
+
+
+class TuneStats:
+    """Thread-safe ring of measured-vs-predicted execution timings."""
+
+    def __init__(self, policy: WatchdogPolicy | None = None, *, clock=time.monotonic):
+        self.policy = policy or WatchdogPolicy()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[float] = deque(maxlen=self.policy.window)
+        self.executions = 0
+        self.mispredictions = 0
+        self._last_reset = clock()
+
+    def record(self, predicted_s: float, measured_s: float) -> None:
+        ratio = measured_s / predicted_s if predicted_s > 0 else float("inf")
+        with self._lock:
+            self._ring.append(ratio)
+            self.executions += 1
+            if ratio > self.policy.tolerance:
+                self.mispredictions += 1
+
+    def misprediction_ratio(self) -> float:
+        """Fraction of the current window counting as misses."""
+        with self._lock:
+            if not self._ring:
+                return 0.0
+            tol = self.policy.tolerance
+            return sum(1 for r in self._ring if r > tol) / len(self._ring)
+
+    def should_retune(self) -> bool:
+        with self._lock:
+            if len(self._ring) < self.policy.window:
+                return False
+            if self._clock() - self._last_reset < self.policy.cooldown_s:
+                return False
+            tol = self.policy.tolerance
+            misses = sum(1 for r in self._ring if r > tol)
+            return misses / len(self._ring) >= self.policy.trigger_fraction
+
+    def reset(self) -> None:
+        """Clear the window after a re-tune — old residuals priced the old plan."""
+        with self._lock:
+            self._ring.clear()
+            self._last_reset = self._clock()
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            ring = list(self._ring)
+        tol = self.policy.tolerance
+        return {
+            "executions": self.executions,
+            "mispredictions": self.mispredictions,
+            "window_fill": len(ring),
+            "window": self.policy.window,
+            "window_miss_ratio": (
+                sum(1 for r in ring if r > tol) / len(ring) if ring else 0.0
+            ),
+            "median_ratio": float(np.median(ring)) if ring else None,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Block executors
+# ---------------------------------------------------------------------------
+
+class _CsrBlock:
+    """One CSR-routed block: compiled SpMM on a contiguous row slice."""
+
+    fmt = "csr"
+
+    def __init__(self, lo: int, hi: int, rows: CSRMatrix, model: CostModel | None):
+        self.lo, self.hi = lo, hi
+        self._rows = rows
+        self._handle = _as_scipy(rows)
+        if model is not None:
+            self.var_s = 2 * rows.nnz * model.sec_per_op_csr
+            self.fixed_s = model.sec_per_call
+        else:
+            self.var_s = self.fixed_s = 0.0
+
+    def execute(self, b: np.ndarray, out: np.ndarray) -> None:
+        """Write this block's rows of ``M @ b`` into ``out`` in place."""
+        out[self.lo:self.hi] = self._handle @ b
+
+    def execute_vec(self, v: np.ndarray, out: np.ndarray) -> None:
+        """Write this block's rows of ``M @ v`` into ``out`` in place."""
+        out[self.lo:self.hi] = self._handle @ v
+
+    def describe(self) -> dict:
+        return {"lo": self.lo, "hi": self.hi, "format": "csr", "nnz": self._rows.nnz}
+
+
+class _CbmBlock:
+    """One CBM-routed block: a rectangular block CBM behind a KernelPlan."""
+
+    fmt = "cbm"
+
+    def __init__(self, lo: int, hi: int, plan, model: CostModel | None):
+        self.lo, self.hi = lo, hi
+        self.plan = plan
+        if model is not None:
+            per_col = plan.scalar_ops(1)
+            self.var_s = (
+                per_col.multiply_stage * model.sec_per_op_csr
+                + per_col.update_stage * model.sec_per_op_update
+            )
+            self.fixed_s = plan.levels * model.sec_per_level + model.sec_per_call
+        else:
+            self.var_s = self.fixed_s = 0.0
+
+    def execute(self, b: np.ndarray, out: np.ndarray) -> None:
+        """Write this block's rows of ``M @ b`` into ``out`` in place."""
+        self.plan.execute(b, out=out[self.lo:self.hi])
+
+    def execute_vec(self, v: np.ndarray, out: np.ndarray) -> None:
+        """Write this block's rows of ``M @ v`` into ``out`` in place."""
+        out[self.lo:self.hi] = self.plan.execute_vec(v)
+
+    def describe(self) -> dict:
+        d = self.plan.describe()
+        return {
+            "lo": self.lo,
+            "hi": self.hi,
+            "format": "cbm",
+            "delta_nnz": d["operand_nnz"],
+            "levels": d["levels"],
+            "tree_edges": d["tree_edges"],
+        }
+
+
+# ---------------------------------------------------------------------------
+# The hybrid plan
+# ---------------------------------------------------------------------------
+
+class HybridPlan:
+    """Executes a block map: CBM kernels and CSR kernels stitched per row span.
+
+    Parameters
+    ----------
+    cbm:
+        The full-matrix CBM the decision was made against; supplies the
+        variant and diagonal vectors for block-tree construction.
+    source:
+        The weighted CSR reference of the represented product ``M`` (the
+        same matrix the serving tier's degraded path multiplies), so a
+        CSR-routed block's rows are exactly ``M[lo:hi]``.
+    decision:
+        The router's block map; must tile ``[0, n)``.
+    """
+
+    def __init__(
+        self,
+        cbm: CBMMatrix,
+        source: CSRMatrix,
+        decision: TuneDecision,
+        *,
+        update: str = "level",
+        scaling: str = "deferred",
+        model: CostModel | None = None,
+        stats: TuneStats | None = None,
+    ):
+        if source.shape[0] != cbm.tree.n:
+            raise ShapeError.mismatch("hybrid source", source.shape, (cbm.tree.n,))
+        self._validate_cover(decision, source.shape[0])
+        self.shape = source.shape
+        self.decision = decision
+        self.stats = stats or TuneStats()
+        self.pool = WorkspacePool()
+        self.columns_hint = decision.columns
+
+        variant = cbm.variant
+        d_right = cbm.diag
+        d_left = cbm.diag if variant is Variant.DAD else cbm.diag_left
+        alpha = cbm.alpha or 0
+        pattern = self._binary_pattern(source)
+
+        self.blocks: list[_CsrBlock | _CbmBlock] = []
+        for b in decision.blocks:
+            block = pattern.extract_row_range(b.lo, b.hi)
+            if b.fmt == "csr" or block.nnz == 0:
+                # all-zero blocks route to CSR regardless of the decision:
+                # there is no tree to build and the compiled kernel just
+                # writes zeros into the span
+                self.blocks.append(
+                    _CsrBlock(b.lo, b.hi, source.extract_row_range(b.lo, b.hi), model)
+                )
+                continue
+            if variant is Variant.A:
+                block_cbm, _ = build_cbm(block, alpha=alpha)
+            elif variant is Variant.AD:
+                block_cbm, _ = build_cbm(block, alpha=alpha, variant="AD", diag=d_right)
+            else:  # DAD row blocks and D1AD2 both build as rectangular D1AD2
+                block_cbm, _ = build_cbm(
+                    block,
+                    alpha=alpha,
+                    variant="D1AD2",
+                    diag=d_right,
+                    diag_left=np.asarray(d_left)[b.lo:b.hi],
+                )
+            plan = block_cbm.plan(update=update, scaling=scaling)
+            self.blocks.append(_CbmBlock(b.lo, b.hi, plan, model))
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_cover(decision: TuneDecision, n: int) -> None:
+        cursor = 0
+        for b in decision.blocks:
+            if b.lo != cursor or b.hi <= b.lo:
+                raise ShapeError(
+                    f"hybrid block map does not tile [0, {n}): block "
+                    f"({b.lo}, {b.hi}) at cursor {cursor}"
+                )
+            cursor = b.hi
+        if cursor != n:
+            raise ShapeError(f"hybrid block map covers [0, {cursor}), matrix has {n} rows")
+
+    @staticmethod
+    def _binary_pattern(source: CSRMatrix) -> CSRMatrix:
+        if source.is_binary():
+            return source
+        return CSRMatrix(
+            source.indptr,
+            source.indices,
+            np.ones(source.nnz, dtype=np.float32),
+            source.shape,
+            check=False,
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def route(self) -> str:
+        return self.decision.route
+
+    def predicted_s(self, columns: int) -> float:
+        return sum(b.var_s * columns + b.fixed_s for b in self.blocks)
+
+    def block_map(self) -> list[list]:
+        return [[b.lo, b.hi, b.fmt] for b in self.blocks]
+
+    # ------------------------------------------------------------------
+    def matmul(self, b: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        """Stitched product ``M @ b`` for a dense 2-D operand."""
+        b = check_dense(b, name="b", ndim=2)
+        if b.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("hybrid matmul", self.shape, b.shape)
+        if out is None:
+            out = self.pool.acquire((self.shape[0], b.shape[1]), np.float32)
+        elif out.shape != (self.shape[0], b.shape[1]):
+            raise ShapeError.mismatch(
+                "hybrid out", (self.shape[0], b.shape[1]), out.shape
+            )
+        t0 = time.perf_counter()
+        for blk in self.blocks:
+            blk.execute(b, out)
+        measured = time.perf_counter() - t0
+        self.stats.record(self.predicted_s(b.shape[1]), measured)
+        return out
+
+    def matvec(self, v: np.ndarray) -> np.ndarray:
+        v = check_dense(v, name="v", ndim=1)
+        if v.shape[0] != self.shape[1]:
+            raise ShapeError.mismatch("hybrid matvec", self.shape, v.shape)
+        out = np.empty(self.shape[0], dtype=np.float32)
+        t0 = time.perf_counter()
+        for blk in self.blocks:
+            blk.execute_vec(v, out)
+        self.stats.record(self.predicted_s(1), time.perf_counter() - t0)
+        return out
+
+    def release(self, buf: np.ndarray) -> None:
+        self.pool.release(buf)
+
+    def prepare(self, width: int, dtype=np.float32) -> None:
+        """Pre-warm the output pool for the expected serving width."""
+        self.pool.warm((self.shape[0], int(width)), dtype)
+
+    def drain(self) -> int:
+        freed = self.pool.drain()
+        for blk in self.blocks:
+            if isinstance(blk, _CbmBlock):
+                freed += blk.plan.pool.drain()
+        return freed
+
+    def describe(self) -> dict:
+        return {
+            "route": self.route,
+            "rows": self.shape[0],
+            "cols": self.shape[1],
+            "columns_hint": self.columns_hint,
+            "blocks": [blk.describe() for blk in self.blocks],
+            "stats": self.stats.snapshot(),
+        }
+
+
+class HybridAdjacency:
+    """:class:`~repro.gnn.adjacency.AdjacencyOp` view of a hybrid plan.
+
+    Lets the two-layer GCN forward run its SpMMs through the routed
+    operator without knowing about formats.
+    """
+
+    supports_out = True
+
+    def __init__(self, hybrid: HybridPlan):
+        if hybrid.shape[0] != hybrid.shape[1]:
+            raise ShapeError("GCN adjacency must be square")
+        self._hybrid = hybrid
+
+    @property
+    def n(self) -> int:
+        return self._hybrid.shape[0]
+
+    def prepare(self, *, width: int | None = None, dtype=np.float32) -> None:
+        if width:
+            self._hybrid.prepare(width, dtype)
+
+    def matmul(self, x: np.ndarray, *, out: np.ndarray | None = None) -> np.ndarray:
+        if x.ndim == 1:
+            return self._hybrid.matvec(x)
+        return self._hybrid.matmul(x, out=out)

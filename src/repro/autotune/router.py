@@ -1,0 +1,180 @@
+"""Format router: per-row-block CBM/CSR decisions with hysteresis.
+
+The router turns :func:`~repro.autotune.cost.block_costs` into a
+:class:`TuneDecision` — an ordered list of ``(lo, hi, format)`` blocks
+tiling the adjacency's rows.  Two disciplines keep it safe:
+
+* **hysteresis** — an incumbent block format is only displaced when the
+  challenger's predicted win exceeds a relative margin, so a block
+  sitting on the crossover does not flap between formats on every
+  re-tune;
+* **collapse** — an all-CBM or all-CSR decision collapses to the pure
+  route, so single-format-dominant graphs execute the exact static
+  kernel (no hybrid dispatch overhead to pay, which is what makes the
+  never-slower bound on those graphs structural rather than measured).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.autotune.cost import BlockCost, CostModel, block_costs
+from repro.core.cbm import CBMMatrix
+from repro.sparse.blocked import coalesce_bounds, partition_rows
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_positive
+
+__all__ = ["BlockDecision", "FormatRouter", "RouterPolicy", "TuneDecision"]
+
+FORMATS = ("cbm", "csr")
+
+
+@dataclass(frozen=True)
+class RouterPolicy:
+    """Knobs of the format decision."""
+
+    num_blocks: int = 8
+    min_rows: int = 16           # blocks smaller than this merge left
+    margin: float = 0.10         # relative win required to displace an incumbent
+    measure: bool = True         # verify candidate routes by measurement in tune()
+    pin: str | None = None       # force every block to one format (chaos/negative control)
+
+    def __post_init__(self) -> None:
+        check_positive(self.num_blocks, "num_blocks")
+        check_positive(self.min_rows, "min_rows")
+        if not 0.0 <= self.margin < 1.0:
+            raise ValueError(f"margin must be in [0, 1), got {self.margin}")
+        if self.pin is not None and self.pin not in FORMATS:
+            raise ValueError(f"pin must be one of {FORMATS}, got {self.pin!r}")
+
+
+@dataclass(frozen=True)
+class BlockDecision:
+    """One routed block: the chosen format plus the costs that chose it."""
+
+    lo: int
+    hi: int
+    fmt: str
+    cost: BlockCost | None = None
+    measured_s: float | None = None
+
+    @property
+    def rows(self) -> int:
+        return self.hi - self.lo
+
+    def to_dict(self) -> dict:
+        d = {"lo": self.lo, "hi": self.hi, "format": self.fmt}
+        if self.cost is not None:
+            d.update(self.cost.to_dict())
+        if self.measured_s is not None:
+            d["measured_s"] = self.measured_s
+        return d
+
+
+@dataclass
+class TuneDecision:
+    """The router's output: a block map plus the route it implies."""
+
+    blocks: list[BlockDecision]
+    columns: int
+    predicted: dict = field(default_factory=dict)
+
+    @property
+    def route(self) -> str:
+        fmts = {b.fmt for b in self.blocks}
+        if fmts == {"cbm"}:
+            return "cbm"
+        if fmts == {"csr"}:
+            return "csr"
+        return "hybrid"
+
+    @property
+    def n_rows(self) -> int:
+        return self.blocks[-1].hi if self.blocks else 0
+
+    def block_map(self) -> list[list]:
+        return [[b.lo, b.hi, b.fmt] for b in self.blocks]
+
+    def fmt_for(self, row: int) -> str | None:
+        for b in self.blocks:
+            if b.lo <= row < b.hi:
+                return b.fmt
+        return None
+
+    def to_meta(self) -> dict:
+        """JSON-safe form committed alongside a generation's artifact."""
+        return {
+            "route": self.route,
+            "columns": self.columns,
+            "blocks": self.block_map(),
+            "predicted": {k: float(v) for k, v in self.predicted.items()},
+        }
+
+    @classmethod
+    def from_meta(cls, meta: dict) -> "TuneDecision":
+        blocks = [
+            BlockDecision(int(lo), int(hi), str(fmt))
+            for lo, hi, fmt in meta.get("blocks", [])
+        ]
+        return cls(
+            blocks=blocks,
+            columns=int(meta.get("columns", 1)),
+            predicted=dict(meta.get("predicted", {})),
+        )
+
+    @classmethod
+    def pure(cls, fmt: str, n_rows: int, columns: int) -> "TuneDecision":
+        if fmt not in FORMATS:
+            raise ValueError(f"unknown format {fmt!r}")
+        return cls(
+            blocks=[BlockDecision(0, int(n_rows), fmt)], columns=int(columns)
+        )
+
+
+class FormatRouter:
+    """Scores blocks with a :class:`CostModel` and emits a :class:`TuneDecision`."""
+
+    def __init__(self, model: CostModel):
+        self.model = model
+
+    def decide(
+        self,
+        a: CSRMatrix,
+        cbm: CBMMatrix,
+        columns: int,
+        *,
+        policy: RouterPolicy | None = None,
+        incumbent: TuneDecision | None = None,
+    ) -> TuneDecision:
+        policy = policy or RouterPolicy()
+        check_positive(columns, "columns")
+        bounds = coalesce_bounds(
+            partition_rows(a.row_nnz(), policy.num_blocks), min_rows=policy.min_rows
+        )
+        costs = block_costs(a, cbm, bounds, columns, self.model)
+        blocks: list[BlockDecision] = []
+        for c in costs:
+            if policy.pin is not None:
+                fmt = policy.pin
+            else:
+                fmt = "cbm" if c.cbm_s <= c.csr_s else "csr"
+                held = incumbent.fmt_for(c.lo) if incumbent is not None else None
+                if held in FORMATS and fmt != held:
+                    held_s = c.cbm_s if held == "cbm" else c.csr_s
+                    cand_s = c.cbm_s if fmt == "cbm" else c.csr_s
+                    if cand_s > held_s * (1.0 - policy.margin):
+                        fmt = held  # challenger's win is inside the margin
+            blocks.append(BlockDecision(c.lo, c.hi, fmt, cost=c))
+        decision = TuneDecision(
+            blocks=blocks,
+            columns=int(columns),
+            predicted={
+                "csr": sum(c.csr_s for c in costs),
+                "cbm": sum(c.cbm_s for c in costs),
+                "routed": sum(
+                    (c.cbm_s if b.fmt == "cbm" else c.csr_s)
+                    for b, c in zip(blocks, costs)
+                ),
+            },
+        )
+        return decision

@@ -1,0 +1,174 @@
+"""The tune entry point: calibrate, route, verify by measurement.
+
+``tune()`` is deliberately belt-and-braces: the cost model proposes a
+block map, and (unless measurement is disabled) the candidate routes are
+then *raced* on the live matrix — pure CSR, pure CBM, and the hybrid if
+the router produced one — with the winner chosen on measured seconds.
+The never-slower guarantee is therefore structural: the served plan is
+whichever candidate actually won on this machine, and the cost model
+only decides *which* hybrid block map gets to compete.  When measurement
+is off (background re-tunes under tight budgets, or a chaos-lying model
+in the soak), the watchdog's measured-vs-predicted residuals are the
+backstop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.autotune.chaos import TuneChaos
+from repro.autotune.cost import CostModel, _best
+from repro.autotune.hybrid import HybridPlan, TuneStats, WatchdogPolicy
+from repro.autotune.router import FormatRouter, RouterPolicy, TuneDecision
+from repro.core.cbm import CBMMatrix
+from repro.parallel.machine import XEON_GOLD_6130, MachineSpec
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import spmm
+from repro.utils.validation import check_positive
+
+__all__ = ["TuneReport", "build_hybrid", "tune"]
+
+
+@dataclass
+class TuneReport:
+    """Everything one tune run decided and why."""
+
+    decision: TuneDecision
+    model: CostModel
+    candidates: dict = field(default_factory=dict)  # route -> measured seconds
+    chosen: str = "cbm"
+    measured: bool = True
+    seconds: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "chosen": self.chosen,
+            "route": self.decision.route,
+            "columns": self.decision.columns,
+            "measured": self.measured,
+            "seconds": self.seconds,
+            "candidates": {k: float(v) for k, v in self.candidates.items()},
+            "predicted": {k: float(v) for k, v in self.decision.predicted.items()},
+            "blocks": [b.to_dict() for b in self.decision.blocks],
+            "model": self.model.to_dict(),
+        }
+
+
+def _pattern(source: CSRMatrix) -> CSRMatrix:
+    if source.is_binary():
+        return source
+    return CSRMatrix(
+        source.indptr,
+        source.indices,
+        np.ones(source.nnz, dtype=np.float32),
+        source.shape,
+        check=False,
+    )
+
+
+def tune(
+    source: CSRMatrix,
+    cbm: CBMMatrix,
+    columns: int,
+    *,
+    policy: RouterPolicy | None = None,
+    model: CostModel | None = None,
+    machine: MachineSpec = XEON_GOLD_6130,
+    chaos: TuneChaos | None = None,
+    incumbent: TuneDecision | None = None,
+    repeats: int = 3,
+) -> TuneReport:
+    """Pick the serving route for ``(source, cbm)`` at the given width.
+
+    ``source`` is the weighted CSR reference of the represented product
+    (``AdjacencySlot.source``); ``cbm`` the full-matrix CBM.  Returns a
+    :class:`TuneReport` whose ``decision`` reflects the *chosen* route —
+    a pure winner overrides a hybrid block map that lost the race.
+    """
+    check_positive(columns, "columns")
+    check_positive(repeats, "repeats")
+    t_start = time.perf_counter()
+    policy = policy or RouterPolicy()
+    a = _pattern(source)
+    if model is None:
+        model = CostModel.calibrate(a, cbm, columns=columns, machine=machine)
+    if chaos is not None:
+        model = chaos.wrap(model)
+
+    router = FormatRouter(model)
+    decision = router.decide(a, cbm, columns, policy=policy, incumbent=incumbent)
+
+    candidates: dict[str, float] = {}
+    chosen = decision.route
+    if policy.measure and policy.pin is None:
+        rng = np.random.default_rng(0)
+        b = rng.standard_normal((source.shape[1], columns)).astype(np.float32)
+        candidates["csr"] = _best(lambda: spmm(source, b), repeats)
+        plan = cbm.plan(update="level", scaling="deferred")
+        out = plan.out_buffer(columns)
+        try:
+            candidates["cbm"] = _best(lambda: plan.execute(b, out=out), repeats)
+        finally:
+            plan.release(out)
+        if decision.route == "hybrid":
+            hybrid = HybridPlan(cbm, source, decision, model=model)
+            hout = hybrid.pool.acquire((source.shape[0], columns), np.float32)
+            try:
+                candidates["hybrid"] = _best(
+                    lambda: hybrid.matmul(b, out=hout), repeats
+                )
+            finally:
+                hybrid.release(hout)
+                hybrid.drain()
+        chosen = min(candidates, key=candidates.get)
+        # Hysteresis on the route itself: keep the incumbent route when
+        # the winner's measured margin is inside the policy margin.
+        held = incumbent.route if incumbent is not None else None
+        if (
+            held is not None
+            and held != chosen
+            and held in candidates
+            and candidates[chosen] > candidates[held] * (1.0 - policy.margin)
+        ):
+            chosen = held
+        if chosen != "hybrid" and decision.route != chosen:
+            decision = TuneDecision.pure(chosen, source.shape[0], columns)
+            decision.predicted = dict(
+                router.decide(a, cbm, columns, policy=policy).predicted
+            )
+    elif policy.pin is not None:
+        decision = TuneDecision.pure(policy.pin, source.shape[0], columns)
+        chosen = policy.pin
+
+    return TuneReport(
+        decision=decision,
+        model=model,
+        candidates=candidates,
+        chosen=chosen,
+        measured=bool(candidates),
+        seconds=time.perf_counter() - t_start,
+    )
+
+
+def build_hybrid(
+    cbm: CBMMatrix,
+    source: CSRMatrix,
+    decision: TuneDecision,
+    *,
+    model: CostModel | None = None,
+    watchdog: WatchdogPolicy | None = None,
+) -> HybridPlan | None:
+    """Materialise the executor for a decision.
+
+    Returns ``None`` for the pure-CBM route — the serving tier then uses
+    its normal (guarded) kernel path, keeping the breaker ladder exactly
+    as it was.  Pure-CSR and hybrid routes get a :class:`HybridPlan`
+    (a pure-CSR decision is a one-block hybrid).
+    """
+    if decision.route == "cbm":
+        return None
+    stats = TuneStats(watchdog) if watchdog is not None else TuneStats()
+    return HybridPlan(cbm, source, decision, model=model, stats=stats)

@@ -1,0 +1,200 @@
+"""Background re-tuning: detect sustained misprediction, re-plan, republish.
+
+The :class:`Retuner` is the autotuner's analogue of
+:class:`~repro.streaming.rebuild.BackgroundRebuilder`, and deliberately
+shares its shape (trigger-poll daemon loop, synchronous ``*_once`` entry
+point, errors list kept alive).  It fires on three signals:
+
+* the serving slot's :class:`~repro.autotune.hybrid.TuneStats` ring says
+  measured execution has sustainedly diverged from the plan's
+  predictions (the misprediction watchdog);
+* the slot's :class:`~repro.streaming.drift.DriftTracker` reports
+  compression-quality decay past its re-tune threshold — structure
+  shifted enough that the format decision, not just the tree, is stale;
+* an explicit :meth:`trigger`.
+
+Publication reuses the existing durability machinery end to end: the
+current CBM is committed to the :class:`~repro.recovery.GenerationStore`
+with the new decision in the generation's ``meta["autotune"]``, then
+:meth:`~repro.serving.InferenceService.swap_generation` loads, attaches
+the hybrid from that meta, and swaps — in-flight requests finish on the
+old slot, so no request is dropped mid-re-tune.  Without a store the
+retuner swaps an in-memory slot through the same ``swap_slot`` contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.autotune.chaos import TuneChaos
+from repro.autotune.hybrid import WatchdogPolicy
+from repro.autotune.router import RouterPolicy
+from repro.autotune.tune import TuneReport, build_hybrid, tune
+from repro.core.io import save_cbm
+from repro.errors import ReproError, ServingError
+from repro.parallel.machine import XEON_GOLD_6130, MachineSpec
+
+__all__ = ["Retuner"]
+
+
+class Retuner:
+    """Watch a serving slot's tuning health; re-tune and republish off-path."""
+
+    def __init__(
+        self,
+        service,
+        store=None,
+        *,
+        columns: int,
+        policy: RouterPolicy | None = None,
+        watchdog: WatchdogPolicy | None = None,
+        chaos: TuneChaos | None = None,
+        machine: MachineSpec = XEON_GOLD_6130,
+        payload: str = "adjacency.npz",
+        poll_interval_s: float = 0.05,
+        repeats: int = 3,
+    ):
+        self.service = service
+        self.store = store
+        self.columns = int(columns)
+        self.policy = policy or RouterPolicy()
+        self.watchdog = watchdog or WatchdogPolicy()
+        self.chaos = chaos
+        self.machine = machine
+        self.payload = payload
+        self.poll_interval_s = float(poll_interval_s)
+        self.repeats = int(repeats)
+        self.reports: list[tuple[str, TuneReport]] = []
+        self.errors: list[Exception] = []
+        self.retunes = 0
+        self.last_retune_at: float | None = None
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._forced = threading.Event()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def check_once(self) -> str | None:
+        """Return the re-tune reason if any trigger is live, else ``None``."""
+        if self._forced.is_set():
+            self._forced.clear()
+            return "trigger"
+        slot = self.service.current_slot()
+        hybrid = getattr(slot, "hybrid", None)
+        if hybrid is not None and hybrid.stats.should_retune():
+            return "misprediction"
+        tracker = getattr(slot, "tracker", None)
+        if tracker is not None and getattr(tracker, "should_retune", None):
+            if tracker.should_retune():
+                tracker.consume_retune()
+                return "drift"
+        return None
+
+    def retune_once(self, reason: str = "manual") -> TuneReport:
+        """Tune against the current slot and publish the winning route."""
+        slot = self.service.current_slot()
+        report = tune(
+            slot.source,
+            slot.cbm,
+            self.columns,
+            policy=self.policy,
+            chaos=self.chaos,
+            incumbent=getattr(slot, "tune_decision", None),
+            machine=self.machine,
+            repeats=self.repeats,
+        )
+        meta = report.decision.to_meta()
+        meta["tuned_at"] = time.time()
+        meta["model"] = report.model.to_dict()
+        meta["reason"] = reason
+        if self.store is not None:
+            with self.store.begin(
+                meta={
+                    "kind": "cbm-archive",
+                    "autotune": meta,
+                    "graph_version": getattr(slot, "graph_version", None),
+                }
+            ) as txn:
+                save_cbm(txn.path(self.payload, kind="cbm"), slot.cbm)
+            self.service.swap_generation(store=self.store, payload=self.payload)
+        else:
+            from repro.serving.service import AdjacencySlot
+
+            fresh = AdjacencySlot(
+                slot.cbm, slot.source, tracker=getattr(slot, "tracker", None)
+            )
+            fresh.graph_version = getattr(slot, "graph_version", None)
+            fresh.apply_tune(
+                report.decision,
+                build_hybrid(
+                    slot.cbm,
+                    slot.source,
+                    report.decision,
+                    model=report.model,
+                    watchdog=self.watchdog,
+                ),
+                tuned_at=meta["tuned_at"],
+            )
+            self.service.swap_slot(fresh)
+        self.service.note_retune(reason=reason, report=report)
+        with self._lock:
+            self.reports.append((reason, report))
+            self.retunes += 1
+            self.last_retune_at = meta["tuned_at"]
+        return report
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            raise ServingError("retuner already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._loop, name="cbm-retuner", daemon=True
+        )
+        self._thread.start()
+
+    def trigger(self) -> None:
+        """Request an immediate re-tune (threaded mode)."""
+        self._forced.set()
+        self._wake.set()
+
+    def poke(self) -> None:
+        """Wake the loop to re-check its triggers without forcing one —
+        used by the rebuilder when it sees the drift trigger arm, so the
+        retuner (which owns consuming it) reacts without waiting a poll."""
+        self._wake.set()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        self._stop.set()
+        self._wake.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self._wake.wait(self.poll_interval_s)
+            self._wake.clear()
+            if self._stop.is_set():
+                break
+            try:
+                reason = self.check_once()
+                if reason is not None:
+                    self.retune_once(reason)
+            except (ReproError, OSError) as exc:
+                # A failed re-tune leaves the incumbent plan serving —
+                # strictly a quality regression, never a correctness one.
+                with self._lock:
+                    self.errors.append(exc)
+
+    def describe(self) -> dict:
+        with self._lock:
+            return {
+                "retunes": self.retunes,
+                "last_retune_at": self.last_retune_at,
+                "errors": len(self.errors),
+                "reasons": [r for r, _ in self.reports],
+                "columns": self.columns,
+            }

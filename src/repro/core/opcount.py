@@ -72,6 +72,44 @@ def cbm_spmm_ops(
     return OpCount(multiply_stage=mul, update_stage=upd)
 
 
+def csr_rows_spmm_ops(nnz: int, p: int) -> OpCount:
+    """CSR SpMM cost of a row range holding ``nnz`` stored elements.
+
+    The per-row-block form of :func:`csr_spmm_ops`, used by the format
+    router to price a candidate CSR-routed block without materialising
+    the row slice.
+    """
+    if p < 0:
+        raise ValueError(f"p must be non-negative, got {p}")
+    if nnz < 0:
+        raise ValueError(f"nnz must be non-negative, got {nnz}")
+    return OpCount(multiply_stage=2 * int(nnz) * p, update_stage=0)
+
+
+def cbm_rows_spmm_ops(
+    delta_nnz: int, tree_edges: int, p: int, *, variant: str = "A"
+) -> OpCount:
+    """CBM SpMM cost of a row block with the given compressed sizes.
+
+    The per-row-block form of :func:`cbm_spmm_ops`: ``delta_nnz`` counts
+    the block's delta elements (rows whose parent falls outside the
+    block are priced as roots, i.e. at their full nnz) and
+    ``tree_edges`` counts only the parent links that stay inside the
+    block.  Same variant conventions as :func:`cbm_spmm_ops`.
+    """
+    if p < 0:
+        raise ValueError(f"p must be non-negative, got {p}")
+    if delta_nnz < 0 or tree_edges < 0:
+        raise ValueError("delta_nnz and tree_edges must be non-negative")
+    mul = 2 * int(delta_nnz) * p
+    upd = int(tree_edges) * p
+    if variant in ("DAD", "D1AD2"):
+        upd += 2 * int(tree_edges) * p
+    elif variant not in ("A", "AD"):
+        raise ValueError(f"unknown variant {variant!r}; expected A, AD, or DAD")
+    return OpCount(multiply_stage=mul, update_stage=upd)
+
+
 def csr_memory_bytes(a: CSRMatrix) -> int:
     """Paper-convention CSR footprint (see module docstring)."""
     return a.memory_bytes(value_bytes=4, index_bytes=4)

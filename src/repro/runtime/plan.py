@@ -386,6 +386,22 @@ class KernelPlan:
         """Return a buffer obtained from :meth:`out_buffer` to the pool."""
         self.pool.release(buf)
 
+    def scalar_ops(self, columns: int):
+        """Paper-convention :class:`~repro.core.opcount.OpCount` of one
+        :meth:`execute` at the given operand width.
+
+        Priced from the *built* plan (operand nnz, scheduled tree
+        edges), so the format autotuner's misprediction residuals
+        compare measured time against the cost of the schedule that
+        actually ran, not the router's pre-build estimate.
+        """
+        from repro.core.opcount import cbm_rows_spmm_ops
+
+        edges = int(sum(len(lv) for lv, _ in self.level_pairs))
+        return cbm_rows_spmm_ops(
+            self.operand.nnz, edges, int(columns), variant=self.variant.value
+        )
+
     def describe(self) -> dict:
         """Plan summary used by the CLI and benchmark reports."""
         return {

@@ -80,6 +80,8 @@ class ServiceStats:
         "batches",
         "coalesced",
         "batch_victims",
+        "retunes",
+        "autotune_attach_failures",
     )
 
     def __init__(self) -> None:
@@ -188,6 +190,13 @@ class AdjacencySlot:
         # (set by repro.streaming publishers; None for static slots).
         self.tracker = tracker
         self.graph_version: int | None = None
+        # Autotune state (repro.autotune): the routed executor serving
+        # the FAST tier when the tuner chose csr/hybrid, the decision it
+        # executes, and when it was tuned.  None = pure-CBM route (the
+        # pre-autotune behaviour, byte for byte).
+        self.hybrid = None
+        self.tune_decision = None
+        self.tuned_at: float | None = None
         # (store, index) pin held while this slot serves a store-backed
         # generation — released by retire() so retention pruning can
         # reclaim the directory only after the slot stops serving it.
@@ -228,6 +237,21 @@ class AdjacencySlot:
         plan = self.cbm.plan()
         if width is not None:
             plan.pool.warm((self.cbm.shape[0], int(width)), np.float32, count=1)
+        if self.hybrid is not None and width is not None:
+            self.hybrid.prepare(int(width))
+
+    @property
+    def route(self) -> str:
+        """The serving route of the FAST tier: ``cbm``, ``csr``, or ``hybrid``."""
+        if self.hybrid is None:
+            return "cbm"
+        return self.hybrid.route
+
+    def apply_tune(self, decision, hybrid, *, tuned_at: float | None = None) -> None:
+        """Attach a tuner decision (and its executor, if non-pure-CBM)."""
+        self.tune_decision = decision
+        self.hybrid = hybrid
+        self.tuned_at = tuned_at
 
     def retire(self) -> int:
         """Drain the retiring matrix's pooled workspaces; return bytes freed.
@@ -240,7 +264,10 @@ class AdjacencySlot:
         if pin is not None:
             store, index = pin
             store.release(index)
-        return self.cbm.drain_workspaces()
+        freed = self.cbm.drain_workspaces()
+        if self.hybrid is not None:
+            freed += self.hybrid.drain()
+        return freed
 
 
 class InferenceService:
@@ -340,6 +367,7 @@ class InferenceService:
         self._ewma_lock = threading.Lock()
         self._seed = seed
         self._started = False
+        self._last_retune: dict | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -591,6 +619,12 @@ class InferenceService:
                 )
             return y
         guarded = tier is ServeTier.GUARDED
+        if not guarded and slot.hybrid is not None:
+            # Tuned FAST tier: the routed executor (per-block CBM/CSR).
+            # GUARDED keeps the guarded-CBM kernel and DEGRADED the CSR
+            # reference, so the breaker ladder still ends at the exact
+            # reference product whatever the router decided.
+            return self._compute_hybrid(slot, x, req.vector)
         guard = GuardedKernel(
             slot.cbm,
             source=slot.source if guarded else None,
@@ -612,6 +646,38 @@ class InferenceService:
         if req.vector:
             return guard.matvec(x.astype(np.float32, copy=False))
         return guard.matmul(x.astype(np.float32, copy=False))
+
+    def _compute_hybrid(self, slot: AdjacencySlot, x, vector: bool) -> np.ndarray:
+        """FAST-tier forward through the tuned hybrid/CSR executor.
+
+        A non-finite product raises :class:`NumericalError` like every
+        other tier, so the breaker records the failure and retries land
+        on GUARDED — a broken hybrid plan degrades, never serves junk.
+        """
+        hybrid = slot.hybrid
+        x = np.asarray(x, dtype=np.float32)
+        if self.weights is not None:
+            from repro.autotune.hybrid import HybridAdjacency
+            from repro.gnn.gcn import two_layer_gcn_inference
+
+            y = two_layer_gcn_inference(HybridAdjacency(hybrid), x, *self.weights)
+        elif vector:
+            y = hybrid.matvec(x)
+        else:
+            out = hybrid.matmul(x)
+            y = np.array(out, copy=True)
+            hybrid.release(out)
+        if self.validate and not all_finite(y):
+            if not all_finite(x):
+                err = NumericalError(
+                    "request operand contains NaN/Inf; no serving tier "
+                    "can repair a corrupted input"
+                )
+                err.input_rejection = True
+                slot.stats.record_input_rejection()
+                raise err
+            raise NumericalError("hybrid-routed product is non-finite")
+        return y
 
     def _observe_latency(self, seconds: float) -> None:
         with self._ewma_lock:
@@ -719,9 +785,15 @@ class InferenceService:
             for req, (lo, hi) in zip(members, layout.spans()):
                 col = np.asarray(req.x, dtype=np.float32)
                 xs[:, lo:hi] = col[:, None] if req.vector else col
+            hybrid_fast = tier is ServeTier.FAST and slot.hybrid is not None
             if tier is ServeTier.DEGRADED:
                 def product(arr: np.ndarray) -> np.ndarray:
                     return spmm(slot.source, arr)
+            elif hybrid_fast:
+                hybrid = slot.hybrid
+
+                def product(arr: np.ndarray) -> np.ndarray:
+                    return hybrid.matmul(arr)
             else:
                 guarded = tier is ServeTier.GUARDED
                 guard = GuardedKernel(
@@ -754,9 +826,10 @@ class InferenceService:
                     ]
                 finally:
                     plan.release(ys)
-            if tier is ServeTier.DEGRADED and self.validate:
+            if (tier is ServeTier.DEGRADED or hybrid_fast) and self.validate:
                 # The guarded tiers validate inside GuardedKernel; the CSR
-                # reference tier validates here, mirroring _compute.
+                # reference and tuned-hybrid tiers validate here,
+                # mirroring _compute.
                 if not all(all_finite(y) for y in outs):
                     if not all_finite(xs):
                         err = NumericalError(
@@ -1017,7 +1090,23 @@ class InferenceService:
                 slot._pin = (store, gen.index)
             meta = gen.manifest.get("meta", {})
             if isinstance(meta, dict) and "graph_version" in meta:
-                slot.graph_version = int(meta["graph_version"])
+                version = meta["graph_version"]
+                slot.graph_version = int(version) if version is not None else None
+            if isinstance(meta, dict) and isinstance(meta.get("autotune"), dict):
+                # Re-attach the generation's tuned route: rebuild the
+                # decision + hybrid executor from the committed block
+                # map, so a re-tune published through the store swaps in
+                # with its routing intact.
+                try:
+                    self._attach_autotune(slot, meta["autotune"])
+                except ReproError as exc:
+                    # A stale/badly-shaped block map must not block the
+                    # swap: the slot falls back to the pure-CBM route
+                    # (always correct) and the mismatch is counted.
+                    self.stats.bump("autotune_attach_failures")
+                    slot.hybrid = None
+                    slot.tune_decision = None
+                    last_exc = exc
             try:
                 summary = self.swap_slot(slot, warm_width=warm_width)
             except Exception:
@@ -1034,9 +1123,85 @@ class InferenceService:
         )
         raise err from last_exc
 
+    @staticmethod
+    def _attach_autotune(slot: AdjacencySlot, meta: dict) -> None:
+        """Rebuild a committed ``meta["autotune"]`` decision onto a slot."""
+        from repro.autotune.cost import CostModel
+        from repro.autotune.router import TuneDecision
+        from repro.autotune.tune import build_hybrid
+
+        decision = TuneDecision.from_meta(meta)
+        if decision.blocks and decision.n_rows != slot.cbm.shape[0]:
+            raise ShapeError(
+                f"autotune block map covers {decision.n_rows} rows, "
+                f"generation has {slot.cbm.shape[0]} — stale map"
+            )
+        model = None
+        if isinstance(meta.get("model"), dict):
+            model = CostModel.from_dict(meta["model"])
+        slot.apply_tune(
+            decision,
+            build_hybrid(slot.cbm, slot.source, decision, model=model),
+            tuned_at=meta.get("tuned_at"),
+        )
+
+    def current_slot(self) -> AdjacencySlot:
+        """The live serving slot (the background retuner's tune target)."""
+        return self._slot
+
+    def note_retune(self, *, reason: str = "", report=None) -> None:
+        """Record a completed re-tune and clear stale failure state.
+
+        The breaker's failure window priced the *old* plan; carrying it
+        into the new plan's first requests would double-punish a slot
+        that was just fixed, so the window resets (state machine and
+        transition log are preserved).  The fresh slot's TuneStats ring
+        starts empty by construction.
+        """
+        self.stats.bump("retunes")
+        self._last_retune = {
+            "at": time.time(),
+            "reason": reason,
+            "chosen": getattr(report, "chosen", None),
+        }
+        self.breaker.reset_window(reason=f"retune:{reason}" if reason else "retune")
+
     # ------------------------------------------------------------------
     # Health
     # ------------------------------------------------------------------
+    def _format_health(self, slot: AdjacencySlot) -> dict:
+        """Per-slot format/tuning block of :meth:`health` and :meth:`describe`."""
+        hybrid = slot.hybrid
+        return {
+            "route": slot.route,
+            "blocks": (
+                hybrid.block_map()
+                if hybrid is not None
+                else [[0, slot.cbm.shape[0], "cbm"]]
+            ),
+            "tuned_at": slot.tuned_at,
+            "tune": hybrid.stats.snapshot() if hybrid is not None else None,
+            "last_retune": self._last_retune,
+        }
+
+    def describe(self) -> dict:
+        """Operator-facing snapshot: slot, route, and tuning decision detail."""
+        slot = self._slot
+        d = {
+            "state": self._state,
+            "generation": slot.generation,
+            "shape": list(slot.cbm.shape),
+            "variant": slot.cbm.variant.value,
+            "graph_version": slot.graph_version,
+            "format": self._format_health(slot),
+            "breaker": self.breaker.describe(),
+        }
+        if slot.hybrid is not None:
+            d["hybrid"] = slot.hybrid.describe()
+        if slot.tune_decision is not None:
+            d["decision"] = slot.tune_decision.to_meta()
+        return d
+
     def health(self) -> dict:
         """Liveness + readiness + the counters an operator would page on."""
         with self._ewma_lock:
@@ -1075,6 +1240,7 @@ class InferenceService:
             "breaker": self.breaker.describe(),
             "batching": batching,
             "streaming": streaming,
+            "format": self._format_health(slot),
             "service": self.stats.snapshot(),
             "guard": slot.stats.snapshot(),
         }

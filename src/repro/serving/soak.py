@@ -39,7 +39,6 @@ from repro.errors import (
     OverloadError,
     ReproError,
 )
-from repro.reliability.chaos import ChaosExecutorFactory, inject_nan
 from repro.serving.backoff import RetryPolicy
 from repro.serving.breaker import CircuitBreaker, ServeTier
 from repro.serving.service import AdjacencySlot, InferenceService
@@ -95,6 +94,11 @@ def _client(
     seed: int,
 ) -> None:
     """One client thread: submit, wait, verify against the CSR reference."""
+    # Deferred: repro.reliability.chaos reaches repro.parallel, whose
+    # package init imports repro.serving — a module-level import here
+    # would close that cycle and break first-touch imports of chaos.
+    from repro.reliability.chaos import inject_nan
+
     rng = np.random.default_rng(seed)
     n = source.shape[1]
     for i in range(requests):
@@ -261,6 +265,8 @@ def run_soak(
     DEGRADED under chaos, and it recovered to FAST once the faults
     stopped.  ``ok`` is the conjunction.
     """
+    from repro.reliability.chaos import ChaosExecutorFactory
+
     if clients < 1 or requests_per_client < 1:
         raise ValueError("need at least one client and one request per client")
     chaos = ChaosExecutorFactory(
@@ -422,6 +428,7 @@ def _batched_client(
     different generation's reference is cross-generation contamination,
     the invariant the collector's bind-at-open + close-on-swap protects.
     """
+    from repro.reliability.chaos import inject_nan
     from repro.sparse.ops import spmv
 
     rng = np.random.default_rng(seed)

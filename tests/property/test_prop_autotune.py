@@ -1,0 +1,150 @@
+"""Property-based tests for the hybrid CBM/CSR autotune executor.
+
+The never-slower guarantee is only worth having if routing can never
+change results.  These properties pin that down bitwise: with
+integer-valued float32 operands every product and partial sum is exactly
+representable, so a hybrid plan (any block map, any per-block format
+assignment) must produce the *identical* array a pure-CSR SpMM does —
+not merely an allclose one.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.autotune import (
+    BlockDecision,
+    HybridAdjacency,
+    HybridPlan,
+    RouterPolicy,
+    TuneDecision,
+    build_hybrid,
+    tune,
+)
+from repro.core.builder import build_cbm
+from repro.gnn.adjacency import CSRAdjacency
+from repro.gnn.gcn import GCN
+from repro.sparse.convert import from_dense
+from repro.sparse.ops import spmm
+
+
+@st.composite
+def hybrid_case(draw, max_n=20, max_cuts=4):
+    """A square binary adjacency plus a random block map over its rows."""
+    n = draw(st.integers(2, max_n))
+    d = draw(arrays(np.float32, (n, n), elements=st.sampled_from([0.0, 1.0])))
+    n_cuts = draw(st.integers(0, min(max_cuts, n - 1)))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(1, n - 1),
+                min_size=n_cuts,
+                max_size=n_cuts,
+                unique=True,
+            )
+        )
+    )
+    bounds = [0, *cuts, n]
+    fmts = [
+        draw(st.sampled_from(["cbm", "csr"])) for _ in range(len(bounds) - 1)
+    ]
+    return d, bounds, fmts
+
+
+def _decision(bounds, fmts, columns):
+    blocks = [
+        BlockDecision(lo, hi, fmt)
+        for lo, hi, fmt in zip(bounds, bounds[1:], fmts)
+    ]
+    return TuneDecision(blocks=blocks, columns=columns)
+
+
+def _int_operand(rng, shape):
+    """Integer-valued float32: every product/sum is exactly representable."""
+    return rng.integers(-3, 4, size=shape).astype(np.float32)
+
+
+class TestHybridBitwise:
+    @given(hybrid_case(), st.integers(0, 3), st.integers(1, 5))
+    @settings(max_examples=60, deadline=None)
+    def test_spmm_bitwise_equals_pure_csr(self, case, alpha, p):
+        d, bounds, fmts = case
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=alpha)
+        hybrid = HybridPlan(cbm, a, _decision(bounds, fmts, p))
+        x = _int_operand(np.random.default_rng(0), (d.shape[1], p))
+        try:
+            got = hybrid.matmul(x)
+            assert got.dtype == np.float32
+            assert np.array_equal(got, spmm(a, x))
+        finally:
+            hybrid.drain()
+
+    @given(hybrid_case(), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_matvec_bitwise_equals_pure_csr(self, case, alpha):
+        d, bounds, fmts = case
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=alpha)
+        hybrid = HybridPlan(cbm, a, _decision(bounds, fmts, 1))
+        v = _int_operand(np.random.default_rng(1), d.shape[1])
+        try:
+            ref = spmm(a, v.reshape(-1, 1)).ravel()
+            assert np.array_equal(hybrid.matvec(v), ref)
+        finally:
+            hybrid.drain()
+
+    @given(hybrid_case(max_n=16), st.integers(1, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_gcn_forward_bitwise_equals_pure_csr(self, case, hidden):
+        """A GCN forward pass through the routed operator must be the
+        identical array the CSRAdjacency baseline produces (weights
+        pinned to small integers so the dense stages stay exact too)."""
+        d, bounds, fmts = case
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        hybrid = HybridPlan(cbm, a, _decision(bounds, fmts, hidden))
+        rng = np.random.default_rng(2)
+        features = 3
+        model = GCN([features, hidden, 2], seed=0)
+        for layer in model.layers:
+            layer.linear.weight = _int_operand(rng, layer.linear.weight.shape)
+        x = _int_operand(rng, (d.shape[0], features))
+        try:
+            ref = model.forward(CSRAdjacency(a), x)
+            got = model.forward(HybridAdjacency(hybrid), x)
+            assert np.array_equal(got, ref)
+        finally:
+            hybrid.drain()
+
+
+class TestTunedRoute:
+    @given(hybrid_case(max_n=18), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_tuned_decision_tiles_and_serves_bitwise(self, case, p):
+        """Whatever route ``tune()`` picks, the served executor is exact."""
+        d, _, _ = case
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        report = tune(a, cbm, p, policy=RouterPolicy(measure=False))
+        blocks = report.decision.blocks
+        assert blocks[0].lo == 0 and blocks[-1].hi == a.shape[0]
+        assert all(x.hi == y.lo for x, y in zip(blocks, blocks[1:]))
+
+        x = _int_operand(np.random.default_rng(3), (d.shape[1], p))
+        ref = spmm(a, x)
+        hybrid = build_hybrid(cbm, a, report.decision, model=report.model)
+        if hybrid is None:  # pure-CBM route serves the full-matrix kernel
+            assert report.decision.route == "cbm"
+            plan = cbm.plan(update="level", scaling="deferred")
+            out = plan.out_buffer(p)
+            try:
+                assert np.array_equal(plan.execute(x, out=out), ref)
+            finally:
+                plan.release(out)
+        else:
+            try:
+                assert np.array_equal(hybrid.matmul(x), ref)
+            finally:
+                hybrid.drain()

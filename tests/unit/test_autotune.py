@@ -1,0 +1,572 @@
+"""Unit suite for the adaptive format-routing stack (repro.autotune).
+
+Covers the calibrated cost model, the per-block router and its
+hysteresis, the hybrid executor's cover validation and watchdog ring,
+the chaos injector's determinism, the tune() race contract, the
+storeless Retuner publish path, and the serving-layer surface the
+operator sees (health/describe format block, breaker window reset,
+drift re-tune trigger).
+"""
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    BlockDecision,
+    CostModel,
+    FormatRouter,
+    HybridAdjacency,
+    HybridPlan,
+    Retuner,
+    RouterPolicy,
+    TuneChaos,
+    TuneDecision,
+    TuneStats,
+    WatchdogPolicy,
+    block_costs,
+    build_hybrid,
+    tune,
+)
+from repro.core.builder import build_cbm
+from repro.errors import ShapeError
+from repro.serving import AdjacencySlot, InferenceService
+from repro.sparse.blocked import coalesce_bounds, partition_rows
+from repro.sparse.convert import from_dense
+from repro.sparse.ops import spmm
+from repro.streaming.drift import DriftPolicy, DriftTracker
+
+from tests.conftest import random_adjacency_csr
+
+
+def _fixture(n=48, density=0.2, seed=0, alpha=0):
+    a = random_adjacency_csr(n, density=density, seed=seed)
+    cbm, _ = build_cbm(a, alpha=alpha)
+    return a, cbm
+
+
+class FakeClock:
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+
+# ---------------------------------------------------------------------------
+# Cost model
+# ---------------------------------------------------------------------------
+
+
+class TestCostModel:
+    def test_calibrate_rates_positive(self):
+        a, cbm = _fixture()
+        model = CostModel.calibrate(a, cbm, columns=8)
+        assert model.sec_per_op_csr > 0
+        assert model.sec_per_op_update > 0
+        assert model.sec_per_level >= 0
+        assert model.sec_per_call > 0
+        assert model.meta["columns"] == 8
+
+    def test_predictions_monotone_in_width(self):
+        a, cbm = _fixture()
+        model = CostModel.calibrate(a, cbm, columns=8)
+        assert model.predict_csr(a.nnz, 32, rows=48, n_cols=48) > model.predict_csr(
+            a.nnz, 4, rows=48, n_cols=48
+        )
+        assert model.predict_cbm(
+            200, 30, 4, 32, rows=48, n_cols=48
+        ) > model.predict_cbm(200, 30, 4, 4, rows=48, n_cols=48)
+
+    def test_scaled_is_the_chaos_lever(self):
+        model = CostModel(1e-9, 2e-9, 1e-8, 1e-7)
+        lied = model.scaled(csr=0.25)
+        assert lied.sec_per_op_csr == pytest.approx(0.25e-9)
+        assert lied.sec_per_op_update == model.sec_per_op_update
+        assert lied.meta["scaled"] == {"csr": 0.25, "cbm": 1.0}
+        lied = model.scaled(cbm=0.5)
+        assert lied.sec_per_op_update == pytest.approx(1e-9)
+        assert lied.sec_per_level == pytest.approx(0.5e-8)
+
+    def test_dict_round_trip(self):
+        a, cbm = _fixture()
+        model = CostModel.calibrate(a, cbm, columns=4)
+        clone = CostModel.from_dict(model.to_dict())
+        assert clone.sec_per_op_csr == model.sec_per_op_csr
+        assert clone.sec_per_call == model.sec_per_call
+        assert clone.meta == model.meta
+
+    def test_block_costs_cover_all_rows(self):
+        a, cbm = _fixture()
+        model = CostModel.calibrate(a, cbm, columns=4)
+        bounds = coalesce_bounds(partition_rows(a.row_nnz(), 4), min_rows=4)
+        costs = block_costs(a, cbm, bounds, 4, model)
+        assert costs[0].lo == 0 and costs[-1].hi == a.shape[0]
+        assert sum(c.nnz for c in costs) == a.nnz
+        assert all(c.csr_s > 0 and c.cbm_s > 0 for c in costs)
+
+
+# ---------------------------------------------------------------------------
+# Router and decisions
+# ---------------------------------------------------------------------------
+
+
+class TestRouter:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RouterPolicy(margin=1.5)
+        with pytest.raises(ValueError):
+            RouterPolicy(pin="coo")
+
+    def test_decision_tiles_rows(self):
+        a, cbm = _fixture(n=64)
+        model = CostModel.calibrate(a, cbm, columns=4)
+        d = FormatRouter(model).decide(a, cbm, 4)
+        assert d.blocks[0].lo == 0 and d.blocks[-1].hi == 64
+        assert all(x.hi == y.lo for x, y in zip(d.blocks, d.blocks[1:]))
+        assert set(d.predicted) == {"csr", "cbm", "routed"}
+        assert d.predicted["routed"] <= min(d.predicted["csr"], d.predicted["cbm"]) + 1e-12
+
+    def test_pin_forces_every_block(self):
+        a, cbm = _fixture()
+        model = CostModel.calibrate(a, cbm, columns=4)
+        for fmt in ("csr", "cbm"):
+            d = FormatRouter(model).decide(
+                a, cbm, 4, policy=RouterPolicy(pin=fmt)
+            )
+            assert d.route == fmt
+            assert {b.fmt for b in d.blocks} == {fmt}
+
+    def test_hysteresis_holds_incumbent_inside_margin(self):
+        a, cbm = _fixture(n=64)
+        model = CostModel.calibrate(a, cbm, columns=4)
+        router = FormatRouter(model)
+        fresh = router.decide(a, cbm, 4, policy=RouterPolicy(margin=0.0))
+        # An incumbent with every block flipped: a margin of ~1 means no
+        # challenger can win by enough, so the incumbent must be held.
+        flipped = TuneDecision(
+            blocks=[
+                BlockDecision(b.lo, b.hi, "csr" if b.fmt == "cbm" else "cbm")
+                for b in fresh.blocks
+            ],
+            columns=4,
+        )
+        held = router.decide(
+            a, cbm, 4, policy=RouterPolicy(margin=0.99), incumbent=flipped
+        )
+        assert [b.fmt for b in held.blocks] == [b.fmt for b in flipped.blocks]
+
+    def test_decision_meta_round_trip(self):
+        d = TuneDecision(
+            blocks=[BlockDecision(0, 10, "cbm"), BlockDecision(10, 30, "csr")],
+            columns=8,
+            predicted={"csr": 1.0, "cbm": 2.0, "routed": 0.5},
+        )
+        assert d.route == "hybrid"
+        assert d.fmt_for(9) == "cbm" and d.fmt_for(10) == "csr"
+        assert d.fmt_for(99) is None
+        clone = TuneDecision.from_meta(d.to_meta())
+        assert clone.block_map() == d.block_map()
+        assert clone.columns == 8 and clone.route == "hybrid"
+
+    def test_pure_decision_validation(self):
+        assert TuneDecision.pure("csr", 10, 4).route == "csr"
+        with pytest.raises(ValueError):
+            TuneDecision.pure("dense", 10, 4)
+
+
+# ---------------------------------------------------------------------------
+# Watchdog ring
+# ---------------------------------------------------------------------------
+
+
+class TestTuneStats:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogPolicy(tolerance=0.9)
+        with pytest.raises(ValueError):
+            WatchdogPolicy(trigger_fraction=0.0)
+        with pytest.raises(ValueError):
+            WatchdogPolicy(cooldown_s=-1)
+
+    def test_trigger_needs_full_window_and_cooldown(self):
+        clock = FakeClock()
+        stats = TuneStats(
+            WatchdogPolicy(window=4, tolerance=1.5, trigger_fraction=0.5, cooldown_s=10.0),
+            clock=clock,
+        )
+        for _ in range(3):
+            stats.record(1.0, 3.0)  # ratio 3: a miss
+        assert not stats.should_retune()  # window not full
+        stats.record(1.0, 3.0)
+        assert not stats.should_retune()  # cooldown still holds
+        clock.t = 11.0
+        assert stats.should_retune()
+        assert stats.misprediction_ratio() == 1.0
+
+    def test_honest_plan_never_triggers(self):
+        clock = FakeClock(t=100.0)
+        stats = TuneStats(WatchdogPolicy(window=4, cooldown_s=0.0), clock=clock)
+        for _ in range(8):
+            stats.record(1.0, 1.0)
+        assert not stats.should_retune()
+        assert stats.mispredictions == 0
+
+    def test_reset_clears_window_and_rearms_cooldown(self):
+        clock = FakeClock()
+        stats = TuneStats(
+            WatchdogPolicy(window=2, tolerance=1.5, trigger_fraction=0.5, cooldown_s=5.0),
+            clock=clock,
+        )
+        clock.t = 6.0
+        stats.record(1.0, 9.0)
+        stats.record(1.0, 9.0)
+        assert stats.should_retune()
+        stats.reset()
+        assert stats.snapshot()["window_fill"] == 0
+        stats.record(1.0, 9.0)
+        stats.record(1.0, 9.0)
+        assert not stats.should_retune()  # cooldown restarted at reset
+
+
+# ---------------------------------------------------------------------------
+# Hybrid executor
+# ---------------------------------------------------------------------------
+
+
+class TestHybridPlan:
+    def test_cover_validation(self):
+        a, cbm = _fixture(n=40)
+
+        def decision(blocks):
+            return TuneDecision(
+                blocks=[BlockDecision(lo, hi, fmt) for lo, hi, fmt in blocks],
+                columns=4,
+            )
+
+        for bad in (
+            [(0, 20, "csr"), (22, 40, "cbm")],   # gap
+            [(0, 20, "csr"), (18, 40, "cbm")],   # overlap
+            [(0, 30, "csr")],                     # short
+            [(5, 40, "csr")],                     # missing head
+            [(0, 20, "csr"), (20, 20, "cbm"), (20, 40, "csr")],  # empty block
+        ):
+            with pytest.raises(ShapeError):
+                HybridPlan(cbm, a, decision(bad))
+
+    def test_zero_nnz_block_falls_back_to_csr(self):
+        d = np.zeros((12, 12), dtype=np.float32)
+        d[:6, :6] = 1.0 - np.eye(6, dtype=np.float32)
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        decision = TuneDecision(
+            blocks=[BlockDecision(0, 6, "cbm"), BlockDecision(6, 12, "cbm")],
+            columns=2,
+        )
+        hybrid = HybridPlan(cbm, a, decision)
+        assert [b.fmt for b in hybrid.blocks] == ["cbm", "csr"]
+        x = np.ones((12, 2), dtype=np.float32)
+        try:
+            assert np.array_equal(hybrid.matmul(x), spmm(a, x))
+        finally:
+            hybrid.drain()
+
+    def test_matmul_records_stats_and_validates_shapes(self):
+        a, cbm = _fixture(n=32)
+        model = CostModel.calibrate(a, cbm, columns=4)
+        decision = TuneDecision(
+            blocks=[BlockDecision(0, 16, "cbm"), BlockDecision(16, 32, "csr")],
+            columns=4,
+        )
+        hybrid = HybridPlan(cbm, a, decision, model=model)
+        try:
+            with pytest.raises(ShapeError):
+                hybrid.matmul(np.ones((31, 4), dtype=np.float32))
+            with pytest.raises(ShapeError):
+                hybrid.matmul(
+                    np.ones((32, 4), dtype=np.float32),
+                    out=np.empty((32, 3), dtype=np.float32),
+                )
+            out = hybrid.matmul(np.ones((32, 4), dtype=np.float32))
+            hybrid.release(out)
+            v = hybrid.matvec(np.ones(32, dtype=np.float32))
+            assert v.shape == (32,)
+            snap = hybrid.stats.snapshot()
+            assert snap["executions"] == 2
+            assert hybrid.predicted_s(8) > hybrid.predicted_s(1) > 0
+            assert hybrid.block_map() == [[0, 16, "cbm"], [16, 32, "csr"]]
+        finally:
+            hybrid.drain()
+
+    def test_adjacency_requires_square(self):
+        d = np.ones((4, 6), dtype=np.float32)
+        a = from_dense(d)
+        cbm, _ = build_cbm(a, alpha=0)
+        hybrid = HybridPlan(
+            cbm, a, TuneDecision(blocks=[BlockDecision(0, 4, "csr")], columns=2)
+        )
+        with pytest.raises(ShapeError):
+            HybridAdjacency(hybrid)
+
+    def test_adjacency_dispatches_vector_and_matrix(self):
+        a, cbm = _fixture(n=24)
+        hybrid = HybridPlan(
+            cbm, a, TuneDecision(blocks=[BlockDecision(0, 24, "csr")], columns=2)
+        )
+        adj = HybridAdjacency(hybrid)
+        try:
+            assert adj.n == 24
+            x = np.ones((24, 2), dtype=np.float32)
+            assert np.array_equal(adj.matmul(x), spmm(a, x))
+            assert adj.matmul(np.ones(24, dtype=np.float32)).shape == (24,)
+        finally:
+            hybrid.drain()
+
+
+# ---------------------------------------------------------------------------
+# Chaos injector
+# ---------------------------------------------------------------------------
+
+
+class TestTuneChaos:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TuneChaos(0, lie_factor=1.0)
+        with pytest.raises(ValueError):
+            TuneChaos(0, victim="dense")
+        with pytest.raises(ValueError):
+            TuneChaos(0, lie_tunes=-1)
+
+    def test_lie_prices_victim_optimistically_then_expires(self):
+        model = CostModel(1e-9, 2e-9, 1e-8, 1e-7)
+        chaos = TuneChaos(3, lie_factor=8.0, lie_tunes=1, victim="csr")
+        lied = chaos.wrap(model)
+        assert lied.sec_per_op_csr == pytest.approx(model.sec_per_op_csr / 8.0)
+        assert chaos.log[0]["lie"] == "csr"
+        assert not chaos.lying
+        honest = chaos.wrap(model)
+        assert honest is model
+        assert chaos.log[1]["lie"] is None
+
+    def test_deterministic_under_seed(self):
+        a, _ = _fixture(n=40)
+        c1, c2 = TuneChaos(7), TuneChaos(7)
+        m = CostModel(1e-9, 2e-9, 1e-8, 1e-7)
+        assert c1.wrap(m).to_dict() == c2.wrap(m).to_dict()
+        b1 = c1.scatter_batch(a, 0, 20, edges=16)
+        b2 = c2.scatter_batch(a, 0, 20, edges=16)
+        assert np.array_equal(b1.inserts, b2.inserts)
+        k1 = c1.clique_batch(a, 0, 20, size=5)
+        k2 = c2.clique_batch(a, 0, 20, size=5)
+        assert np.array_equal(k1.inserts, k2.inserts)
+
+    def test_batches_respect_row_windows(self):
+        a, _ = _fixture(n=40)
+        chaos = TuneChaos(1)
+        batch = chaos.scatter_batch(a, 10, 20, edges=32)
+        assert np.all(batch.inserts[:, 0] >= 10)
+        assert np.all(batch.inserts[:, 0] < 20)
+        with pytest.raises(ValueError):
+            chaos.clique_batch(a, 30, 10)
+
+
+# ---------------------------------------------------------------------------
+# tune(): the race contract
+# ---------------------------------------------------------------------------
+
+
+class TestTune:
+    def test_model_only_mode_does_not_measure(self):
+        a, cbm = _fixture()
+        report = tune(a, cbm, 4, policy=RouterPolicy(measure=False))
+        assert report.measured is False
+        assert report.candidates == {}
+        assert report.chosen == report.decision.route
+
+    def test_pin_overrides_everything(self):
+        a, cbm = _fixture()
+        report = tune(a, cbm, 4, policy=RouterPolicy(pin="csr"))
+        assert report.chosen == "csr"
+        assert report.decision.route == "csr"
+        assert report.candidates == {}
+
+    def test_measured_race_serves_the_winner(self):
+        a, cbm = _fixture(n=64)
+        report = tune(a, cbm, 4, policy=RouterPolicy(measure=True))
+        assert {"csr", "cbm"} <= set(report.candidates)
+        assert report.chosen == min(report.candidates, key=report.candidates.get)
+        assert report.decision.route == report.chosen
+        assert report.seconds > 0
+        d = report.to_dict()
+        assert d["chosen"] == report.chosen
+        assert d["blocks"][0]["lo"] == 0
+
+    def test_build_hybrid_route_mapping(self):
+        a, cbm = _fixture()
+        n = a.shape[0]
+        assert build_hybrid(cbm, a, TuneDecision.pure("cbm", n, 4)) is None
+        plan = build_hybrid(cbm, a, TuneDecision.pure("csr", n, 4))
+        assert isinstance(plan, HybridPlan)
+        plan.drain()
+
+
+# ---------------------------------------------------------------------------
+# Retuner (storeless publish path)
+# ---------------------------------------------------------------------------
+
+
+class FakeService:
+    def __init__(self, slot):
+        self.slot = slot
+        self.swaps = []
+        self.notes = []
+
+    def current_slot(self):
+        return self.slot
+
+    def swap_slot(self, fresh):
+        self.swaps.append(fresh)
+        self.slot = fresh
+
+    def note_retune(self, *, reason="", report=None):
+        self.notes.append((reason, getattr(report, "chosen", None)))
+
+
+class TestRetuner:
+    def _slot(self, n=48):
+        a = random_adjacency_csr(n, density=0.2, seed=3)
+        return AdjacencySlot.from_graph(a)
+
+    def test_retune_once_publishes_fresh_slot(self):
+        svc = FakeService(self._slot())
+        old = svc.slot
+        retuner = Retuner(
+            svc, columns=4, policy=RouterPolicy(measure=False), repeats=5
+        )
+        assert retuner.repeats == 5
+        report = retuner.retune_once("manual")
+        assert svc.slot is not old
+        assert svc.slot.tune_decision is report.decision
+        assert svc.notes == [("manual", report.chosen)]
+        assert retuner.retunes == 1
+        assert retuner.describe()["reasons"] == ["manual"]
+        assert retuner.last_retune_at is not None
+
+    def test_check_once_trigger_priority(self):
+        svc = FakeService(self._slot())
+        retuner = Retuner(svc, columns=4, policy=RouterPolicy(measure=False))
+        assert retuner.check_once() is None
+        retuner.trigger()
+        assert retuner.check_once() == "trigger"
+        assert retuner.check_once() is None  # forced flag consumed
+
+    def test_check_once_sees_misprediction_and_drift(self):
+        slot = self._slot()
+
+        class TripStats:
+            def should_retune(self):
+                return True
+
+        class TripHybrid:
+            stats = TripStats()
+
+        class TripTracker:
+            def __init__(self):
+                self.consumed = 0
+
+            def should_retune(self):
+                return self.consumed == 0
+
+            def consume_retune(self):
+                self.consumed += 1
+
+        svc = FakeService(slot)
+        retuner = Retuner(svc, columns=4, policy=RouterPolicy(measure=False))
+        slot.hybrid = TripHybrid()
+        assert retuner.check_once() == "misprediction"
+        slot.hybrid = None
+        slot.tracker = TripTracker()
+        assert retuner.check_once() == "drift"
+        assert slot.tracker.consumed == 1
+        assert retuner.check_once() is None
+
+
+# ---------------------------------------------------------------------------
+# Serving surface: health/describe, breaker window, drift trigger
+# ---------------------------------------------------------------------------
+
+
+class TestServingSurface:
+    def test_health_and_describe_expose_format_block(self):
+        a = random_adjacency_csr(40, density=0.2, seed=5)
+        slot = AdjacencySlot.from_graph(a)
+        with InferenceService(slot, workers=1) as svc:
+            fmt = svc.health()["format"]
+            assert fmt["route"] == "cbm"
+            assert fmt["blocks"] == [[0, 40, "cbm"]]
+            assert fmt["tune"] is None and fmt["last_retune"] is None
+
+            decision = TuneDecision.pure("csr", 40, 4)
+            fresh = AdjacencySlot(slot.cbm, slot.source)
+            fresh.apply_tune(
+                decision, build_hybrid(slot.cbm, slot.source, decision), tuned_at=123.0
+            )
+            svc.swap_slot(fresh)
+            svc.note_retune(reason="drift", report=None)
+
+            health = svc.health()
+            assert health["format"]["route"] == "csr"
+            assert health["format"]["blocks"] == [[0, 40, "csr"]]
+            assert health["format"]["tuned_at"] == 123.0
+            assert health["format"]["tune"]["executions"] == 0
+            assert health["format"]["last_retune"]["reason"] == "drift"
+            assert health["service"]["retunes"] == 1
+
+            desc = svc.describe()
+            assert desc["format"]["route"] == "csr"
+            assert desc["decision"]["route"] == "csr"
+            assert desc["hybrid"]["blocks"][0]["format"] == "csr"
+
+    def test_note_retune_resets_breaker_window_not_state(self):
+        from repro.serving import CircuitBreaker, ServeTier
+
+        a = random_adjacency_csr(24, density=0.2, seed=7)
+        slot = AdjacencySlot.from_graph(a)
+        breaker = CircuitBreaker()
+        with InferenceService(slot, workers=1, breaker=breaker) as svc:
+            breaker.record(ServeTier.FAST, False)
+            breaker.record(ServeTier.FAST, False)
+            assert breaker.describe()["window"] == 2
+            svc.note_retune(reason="misprediction")
+            d = breaker.describe()
+            assert d["window"] == 0
+            assert d["state"] == "closed"
+            log = breaker.transition_log()
+            assert any("window_reset:retune:misprediction" == e["event"] for e in log)
+
+    def test_drift_tracker_retune_trigger_lifecycle(self):
+        # Baseline: highly compressible near-identical rows. Live: the
+        # same shape rebuilt from scattered rows — far more ops.
+        base = np.ones((30, 30), dtype=np.float32) - np.eye(30, dtype=np.float32)
+        cheap, _ = build_cbm(from_dense(base), alpha=0)
+        noisy = (np.random.default_rng(0).random((30, 30)) < 0.4).astype(np.float32)
+        np.fill_diagonal(noisy, 0.0)
+        costly, _ = build_cbm(from_dense(noisy), alpha=0)
+
+        tracker = DriftTracker(
+            DriftPolicy(max_drift=50.0, retune_drift=0.05, columns=4)
+        )
+        tracker.mark_rebuilt(cheap, version=1)
+        assert not tracker.should_retune()
+        tracker.note_patch(costly, version=1, edges=10)
+        assert tracker.should_retune()
+        snap = tracker.snapshot()
+        assert snap["retune_pending"] is True
+        assert snap["retunes_signalled"] == 1
+
+        tracker.consume_retune()
+        assert not tracker.should_retune()
+        tracker.note_patch(costly, version=1, edges=1)
+        assert tracker.should_retune()  # re-arms on the next crossing
+
+        tracker.mark_rebuilt(costly, version=2)
+        assert not tracker.should_retune()  # fresh tree re-prices everything
